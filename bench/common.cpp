@@ -1,0 +1,148 @@
+#include "common.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+
+#include "support/env.hpp"
+#include "tuner/parameter_space.hpp"
+
+namespace ith::bench {
+
+const std::vector<ScenarioSpec>& table4_scenarios() {
+  static const std::vector<ScenarioSpec> kScenarios = {
+      {"Adapt", vm::Scenario::kAdapt, tuner::Goal::kBalance, false},
+      {"Opt:Bal", vm::Scenario::kOpt, tuner::Goal::kBalance, false},
+      {"Opt:Tot", vm::Scenario::kOpt, tuner::Goal::kTotal, false},
+      {"Adapt (PPC)", vm::Scenario::kAdapt, tuner::Goal::kBalance, true},
+      {"Opt:Bal (PPC)", vm::Scenario::kOpt, tuner::Goal::kBalance, true},
+  };
+  return kScenarios;
+}
+
+rt::MachineModel machine_for(bool ppc) { return ppc ? rt::ppc_g4_model() : rt::pentium4_model(); }
+
+tuner::EvalConfig eval_config_for(const ScenarioSpec& spec) {
+  tuner::EvalConfig cfg;
+  cfg.machine = machine_for(spec.ppc);
+  cfg.scenario = spec.scenario;
+  return cfg;
+}
+
+ga::GaConfig ga_config_from_env() {
+  ga::GaConfig cfg = tuner::default_ga_config(
+      static_cast<int>(env_int_or("ITH_GA_GENERATIONS", 40)),
+      static_cast<std::uint64_t>(env_int_or("ITH_GA_SEED", 42)));
+  cfg.population = static_cast<int>(env_int_or("ITH_GA_POP", 20));
+  return cfg;
+}
+
+namespace {
+
+heur::InlineParams make_params(int callee, int always, int depth, int caller, int hot) {
+  heur::InlineParams p;
+  p.callee_max_size = callee;
+  p.always_inline_size = always;
+  p.max_inline_depth = depth;
+  p.caller_max_size = caller;
+  p.hot_callee_max_size = hot;
+  return p;
+}
+
+}  // namespace
+
+// Values produced by `ITH_GA_GENERATIONS=60 ./bench/table4_tuned_params`
+// (seed 42) on this simulator; see EXPERIMENTS.md. Regenerate after any
+// cost-model or workload change.
+const std::vector<heur::InlineParams>& recorded_tuned_params() {
+  static const std::vector<heur::InlineParams> kRecorded = {
+      /* Adapt        */ make_params(6, 13, 7, 3992, 37),
+      /* Opt:Bal      */ make_params(49, 9, 6, 308, 135),
+      /* Opt:Tot      */ make_params(47, 6, 3, 128, 135),
+      /* Adapt (PPC)  */ make_params(10, 13, 2, 2942, 44),
+      /* Opt:Bal (PPC)*/ make_params(48, 4, 6, 236, 135),
+  };
+  return kRecorded;
+}
+
+// Values produced by `./bench/fig10_per_program` with ITH_RETUNE=1 and the
+// default budget; see EXPERIMENTS.md.
+const std::vector<std::pair<std::string, heur::InlineParams>>& recorded_fig10_params() {
+  static const std::vector<std::pair<std::string, heur::InlineParams>> kRecorded = {
+      {"compress", make_params(33, 13, 7, 600, 135)},
+      {"jess", make_params(36, 12, 15, 1924, 135)},
+      {"db", make_params(36, 12, 7, 187, 135)},
+      {"javac", make_params(24, 14, 7, 187, 135)},
+      {"mpegaudio", make_params(39, 14, 7, 187, 135)},
+      {"raytrace", make_params(49, 23, 2, 2813, 135)},
+      {"jack", make_params(33, 13, 7, 600, 135)},
+      {"antlr", make_params(28, 1, 7, 902, 135)},
+      {"fop", make_params(36, 12, 15, 1924, 135)},
+      {"jython", make_params(33, 13, 7, 600, 135)},
+      {"pmd", make_params(36, 12, 15, 1924, 135)},
+      {"ps", make_params(47, 12, 15, 187, 135)},
+      {"ipsixql", make_params(36, 12, 15, 1924, 135)},
+      {"pseudojbb", make_params(39, 1, 6, 600, 135)},
+  };
+  return kRecorded;
+}
+
+heur::InlineParams tuned_params_for(std::size_t scenario_index) {
+  const ScenarioSpec& spec = table4_scenarios().at(scenario_index);
+  if (env_int_or("ITH_RETUNE", 0) == 0) {
+    return recorded_tuned_params().at(scenario_index);
+  }
+  ga::GaConfig cfg = ga_config_from_env();
+  cfg.seed += 1000 * scenario_index;  // independent GA experiment per scenario
+  std::cout << "[retuning " << spec.label << " live: pop " << cfg.population << ", up to "
+            << cfg.generations << " generations]\n";
+  tuner::SuiteEvaluator train(wl::make_suite("specjvm98"), eval_config_for(spec));
+  return tuner::tune(train, spec.goal, cfg).best;
+}
+
+void print_figure_panels(const ScenarioSpec& spec, const heur::InlineParams& tuned) {
+  std::cout << "scenario=" << spec.label << " machine=" << machine_for(spec.ppc).name
+            << " goal=" << tuner::goal_name(spec.goal) << "\n";
+  std::cout << "tuned params:   " << tuned.to_string() << "\n";
+  std::cout << "default params: " << heur::default_params().to_string() << "\n\n";
+
+  // Machine-readable series next to the human tables, for replotting.
+  const std::string csv_dir = env_or("ITH_CSV_DIR", "");
+  std::string tag;
+  for (char c : spec.label) tag += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+
+  const char* panel = "ab";
+  const char* suites[2] = {"specjvm98", "dacapo+jbb"};
+  const char* roles[2] = {"training suite", "unseen test suite"};
+  for (int i = 0; i < 2; ++i) {
+    tuner::SuiteEvaluator eval(wl::make_suite(suites[i]), eval_config_for(spec));
+    const auto& with_default = eval.default_results();
+    const auto& with_tuned = eval.evaluate(tuned);
+    const auto rows = tuner::compare_results(with_tuned, with_default);
+    std::cout << "(" << panel[i] << ") " << suites[i] << " (" << roles[i]
+              << "), normalized to the default heuristic (<1.0 = improvement):\n";
+    tuner::comparison_table(rows).render(std::cout);
+    std::cout << "\n";
+    if (!csv_dir.empty()) {
+      const std::string path = csv_dir + "/" + tag + "_" + (i == 0 ? "spec" : "dacapo") + ".csv";
+      std::ofstream out(path);
+      if (out) {
+        tuner::write_comparison_csv(out, rows);
+        std::cout << "[csv written to " << path << "]\n\n";
+      } else {
+        std::cerr << "[cannot write " << path << "]\n\n";
+      }
+    }
+  }
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n";
+  std::cout << title << "\n";
+  std::cout << "reproduces: " << paper_ref << "\n";
+  std::cout << "==============================================================\n\n";
+}
+
+}  // namespace ith::bench

@@ -1,0 +1,68 @@
+// Shared plumbing for the figure/table reproduction harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper. GA
+// budgets come from the environment so the same binaries serve smoke runs
+// and paper-scale runs:
+//
+//   ITH_GA_GENERATIONS  generations per GA run (default 40; paper used 500)
+//   ITH_GA_POP          population size        (default 20, as the paper)
+//   ITH_GA_SEED         GA seed                (default 42)
+//   ITH_RETUNE=1        re-run the GA live instead of using the recorded
+//                       parameter values (figs 5-10, table 5)
+//
+// The "recorded" values are the output of bench/table4_tuned_params with
+// the default budget and seed — the analogue of the paper shipping Table 4
+// inside the compiler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ga/ga.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/fitness.hpp"
+#include "tuner/report.hpp"
+#include "tuner/tuner.hpp"
+#include "workloads/suite.hpp"
+
+namespace ith::bench {
+
+/// One tuning scenario of Table 4.
+struct ScenarioSpec {
+  std::string label;       ///< e.g. "Adapt", "Opt:Bal", "Adapt (PPC)"
+  vm::Scenario scenario;
+  tuner::Goal goal;
+  bool ppc;                ///< machine: false = Pentium-4, true = PowerPC G4
+};
+
+/// The five tuned columns of Table 4, in paper order.
+const std::vector<ScenarioSpec>& table4_scenarios();
+
+rt::MachineModel machine_for(bool ppc);
+
+/// Evaluator over a suite for a scenario spec.
+tuner::EvalConfig eval_config_for(const ScenarioSpec& spec);
+
+/// GA budget from the environment (see header comment).
+ga::GaConfig ga_config_from_env();
+
+/// Tuned parameter values recorded from a default-budget table4 run
+/// (ITH_GA_GENERATIONS=60, seed 42). Index parallel to table4_scenarios().
+const std::vector<heur::InlineParams>& recorded_tuned_params();
+
+/// Recorded per-program running-time parameters (figure 10); pairs of
+/// (benchmark name, params), x86 Opt scenario.
+const std::vector<std::pair<std::string, heur::InlineParams>>& recorded_fig10_params();
+
+/// Returns the tuned parameters for scenario index `i`: recorded values by
+/// default, or a live GA run when ITH_RETUNE=1.
+heur::InlineParams tuned_params_for(std::size_t scenario_index);
+
+/// Prints the standard two-suite comparison (the (a)/(b) panels of the
+/// paper's figures) for tuned-vs-default under a scenario.
+void print_figure_panels(const ScenarioSpec& spec, const heur::InlineParams& tuned);
+
+/// Banner helper.
+void print_header(const std::string& title, const std::string& paper_ref);
+
+}  // namespace ith::bench

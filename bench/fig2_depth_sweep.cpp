@@ -1,0 +1,71 @@
+// Reproduces Figure 2: "Execution time vs Inlining Depth" for compress (a)
+// and jess (b) — MAX_INLINE_DEPTH swept 0..10 with the other parameters at
+// their defaults, under both compilation scenarios, x86. Times are total
+// execution time in (simulated) seconds, as in the paper's plots.
+//
+// Shape to reproduce: the best scenario differs by program (compress: Opt,
+// jess: Adapt); the default depth 5 is not the best value for either
+// program under either scenario.
+
+#include <algorithm>
+#include <iostream>
+
+#include "common.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/table.hpp"
+#include "vm/vm.hpp"
+
+using namespace ith;
+
+namespace {
+
+double total_seconds(const wl::Workload& w, const rt::MachineModel& machine, vm::Scenario sc,
+                     int depth) {
+  heur::InlineParams params = heur::default_params();
+  params.max_inline_depth = depth;
+  heur::JikesHeuristic h(params);
+  vm::VmConfig cfg;
+  cfg.scenario = sc;
+  vm::VirtualMachine m(w.program, machine, h, cfg);
+  return machine.cycles_to_seconds(m.run(2).total_cycles);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("fig2_depth_sweep", "Figure 2 (a: compress, b: jess)");
+  const rt::MachineModel machine = bench::machine_for(false);
+
+  const char* panel = "ab";
+  const char* names[2] = {"compress", "jess"};
+  for (int i = 0; i < 2; ++i) {
+    const wl::Workload w = wl::make_workload(names[i]);
+    Table t({"MAX_INLINE_DEPTH", "Opt total (s)", "Adapt total (s)"});
+    int best_opt = 0, best_adapt = 0;
+    double best_opt_v = 0, best_adapt_v = 0;
+    for (int depth = 0; depth <= 10; ++depth) {
+      const double opt = total_seconds(w, machine, vm::Scenario::kOpt, depth);
+      const double adapt = total_seconds(w, machine, vm::Scenario::kAdapt, depth);
+      if (depth == 0 || opt < best_opt_v) {
+        best_opt_v = opt;
+        best_opt = depth;
+      }
+      if (depth == 0 || adapt < best_adapt_v) {
+        best_adapt_v = adapt;
+        best_adapt = depth;
+      }
+      t.add_row({std::to_string(depth), cell(opt * 1e3, 3) + "m", cell(adapt * 1e3, 3) + "m"});
+    }
+    std::cout << "(" << panel[i] << ") " << names[i]
+              << " — total execution time vs inline depth (milliseconds simulated):\n";
+    t.render(std::cout);
+    std::cout << "best depth: Opt=" << best_opt << ", Adapt=" << best_adapt
+              << " (Jikes default depth: 5)\n";
+    const double opt5 = total_seconds(w, machine, vm::Scenario::kOpt, 5);
+    const double adapt5 = total_seconds(w, machine, vm::Scenario::kAdapt, 5);
+    std::cout << "better scenario overall: "
+              << (std::min(best_opt_v, opt5) < std::min(best_adapt_v, adapt5) ? "Opt" : "Adapt")
+              << "\n\n";
+  }
+  return 0;
+}

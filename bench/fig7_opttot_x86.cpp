@@ -1,0 +1,15 @@
+// Reproduces Figure 7 — Optimizing scenario tuned for total time on x86 (Opt:Tot).
+// Panels: (a) SPECjvm98 (training suite), (b) DaCapo+JBB (unseen test
+// suite); tuned heuristic normalized to the Jikes RVM default.
+// Uses the recorded Table-4 parameters; set ITH_RETUNE=1 to re-run the GA.
+
+#include "common.hpp"
+
+using namespace ith;
+
+int main() {
+  bench::print_header("fig7_opttot_x86", "Figure 7 — Optimizing scenario tuned for total time on x86 (Opt:Tot)");
+  const bench::ScenarioSpec& spec = bench::table4_scenarios()[2];
+  bench::print_figure_panels(spec, bench::tuned_params_for(2));
+  return 0;
+}

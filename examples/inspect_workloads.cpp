@@ -1,0 +1,86 @@
+// inspect_workloads: prints, for every benchmark program, its static shape
+// (call-graph metrics, size bands relative to the heuristic thresholds) and
+// its simulated times under three heuristics (no inlining / Jikes defaults /
+// always-inline) in both compilation scenarios. Useful for understanding
+// the workload suite and for sanity-checking the cost model.
+//
+// Usage: inspect_workloads [--suite=specjvm98|dacapo+jbb|all] [--arch=x86|ppc]
+//                          [--dot=<dir>]   # also write GraphViz call graphs
+
+#include <fstream>
+#include <iostream>
+
+#include "bytecode/analysis.hpp"
+#include "bytecode/size_estimator.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "vm/vm.hpp"
+#include "workloads/suite.hpp"
+
+using namespace ith;
+
+namespace {
+
+struct Times {
+  std::uint64_t running;
+  std::uint64_t total;
+  std::uint64_t compile;
+};
+
+Times measure(const wl::Workload& w, const rt::MachineModel& machine, vm::Scenario scenario,
+              heur::InlineHeuristic& h) {
+  vm::VmConfig cfg;
+  cfg.scenario = scenario;
+  vm::VirtualMachine m(w.program, machine, h, cfg);
+  const vm::RunResult rr = m.run(2);
+  return Times{rr.running_cycles, rr.total_cycles, rr.compile_cycles_all};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliParser cli(argc, argv);
+  const std::string suite = cli.get_or("suite", "all");
+  const rt::MachineModel machine =
+      cli.get_or("arch", "x86") == "ppc" ? rt::ppc_g4_model() : rt::pentium4_model();
+
+  std::cout << "Workload inventory (" << machine.name << ")\n\n";
+
+  const auto dot_dir = cli.get("dot");
+
+  for (const wl::Workload& w : wl::make_suite(suite)) {
+    std::cout << w.name << " [" << w.suite << "] — " << w.description << "\n";
+    std::cout << bc::metrics_to_string(bc::compute_metrics(w.program));
+
+    if (dot_dir) {
+      const std::string path = *dot_dir + "/" + w.name + ".dot";
+      std::ofstream out(path);
+      if (out) {
+        bc::CallGraph(w.program).to_dot(out);
+        std::cout << "  call graph written to " << path << "\n";
+      } else {
+        std::cerr << "  cannot write " << path << "\n";
+      }
+    }
+
+    Table t({"scenario", "heuristic", "running (cyc)", "total (cyc)", "compile (cyc)"});
+    for (const vm::Scenario sc : {vm::Scenario::kOpt, vm::Scenario::kAdapt}) {
+      heur::NeverInlineHeuristic never;
+      heur::JikesHeuristic dflt;  // Jikes RVM defaults
+      heur::AlwaysInlineHeuristic always(10);
+      const Times tn = measure(w, machine, sc, never);
+      const Times td = measure(w, machine, sc, dflt);
+      const Times ta = measure(w, machine, sc, always);
+      t.add_row({vm::scenario_name(sc), "never", cell((long long)tn.running),
+                 cell((long long)tn.total), cell((long long)tn.compile)});
+      t.add_row({vm::scenario_name(sc), "default", cell((long long)td.running),
+                 cell((long long)td.total), cell((long long)td.compile)});
+      t.add_row({vm::scenario_name(sc), "always", cell((long long)ta.running),
+                 cell((long long)ta.total), cell((long long)ta.compile)});
+    }
+    t.render(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

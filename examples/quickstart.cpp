@@ -1,0 +1,87 @@
+// quickstart: the 5-minute tour of the library.
+//
+//  1. Build a small program with the ProgramBuilder DSL.
+//  2. Run it in the VM under both compilation scenarios with the default
+//     Jikes-style inlining heuristic.
+//  3. Tune the heuristic's five parameters with the genetic algorithm.
+//  4. Compare tuned vs default.
+
+#include <iostream>
+
+#include "bytecode/builder.hpp"
+#include "ga/ga.hpp"
+#include "heuristics/heuristic.hpp"
+#include "tuner/parameter_space.hpp"
+#include "tuner/report.hpp"
+#include "tuner/tuner.hpp"
+#include "vm/vm.hpp"
+#include "workloads/suite.hpp"
+
+using namespace ith;
+
+int main() {
+  // --- 1. A program: sum of distance() over a loop, plus one-shot setup. ---
+  bc::ProgramBuilder pb("demo", /*globals=*/256);
+
+  pb.method("square", 1, 1).load(0).load(0).mul().ret();
+
+  auto& dist = pb.method("distance", 2, 2);  // |a^2 - b^2|
+  dist.load(0).call("square", 1);
+  dist.load(1).call("square", 1);
+  dist.sub();
+  dist.jz("done_nonneg");  // 0 is fine as-is
+  dist.load(0).call("square", 1).load(1).call("square", 1).sub();
+  dist.jnz("check");
+  dist.label("done_nonneg");
+  dist.ret_const(0);
+  dist.label("check");
+  dist.load(0).call("square", 1).load(1).call("square", 1).sub().ret();
+
+  auto& m = pb.method("main", 0, 3);
+  m.const_(0).store(1);
+  m.const_(0).store(0);
+  m.label("loop");
+  m.load(0).const_(800).cmplt().jz("exit");
+  m.load(0).load(0).const_(3).add().call("distance", 2);
+  m.load(1).add().store(1);
+  m.load(0).const_(1).add().store(0);
+  m.jmp("loop");
+  m.label("exit");
+  m.load(1).halt();
+  pb.entry("main");
+
+  const bc::Program program = pb.build();  // verified
+  std::cout << "Built '" << program.name() << "': " << program.num_methods() << " methods, "
+            << program.total_code_size() << " bytecode instructions\n\n";
+
+  // --- 2. Run under both scenarios with the Jikes default heuristic. -------
+  const rt::MachineModel machine = rt::pentium4_model();
+  for (const vm::Scenario sc : {vm::Scenario::kOpt, vm::Scenario::kAdapt}) {
+    heur::JikesHeuristic h;  // default parameters
+    vm::VmConfig cfg;
+    cfg.scenario = sc;
+    vm::VirtualMachine jvm(program, machine, h, cfg);
+    const vm::RunResult r = jvm.run(/*iterations=*/2);
+    std::cout << vm::scenario_name(sc) << ": total=" << r.total_cycles
+              << " cycles, running=" << r.running_cycles
+              << " cycles, inlined " << r.opt_stats.inline_stats.sites_inlined
+              << " call sites, exit value=" << r.iterations[0].exec.exit_value << "\n";
+  }
+  std::cout << "\n";
+
+  // --- 3. Tune the heuristic for this program (total time, Opt). -----------
+  tuner::EvalConfig eval_cfg;
+  eval_cfg.machine = machine;
+  eval_cfg.scenario = vm::Scenario::kOpt;
+  tuner::SuiteEvaluator eval({wl::Workload{"demo", "quickstart demo", "custom", program}},
+                             eval_cfg);
+  ga::GaConfig ga_cfg = tuner::default_ga_config(/*generations=*/15, /*seed=*/1);
+  const tuner::TuneResult tuned = tuner::tune(eval, tuner::Goal::kTotal, ga_cfg);
+  std::cout << "GA tuned parameters: " << tuned.best.to_string() << "\n";
+  std::cout << "fitness (normalized total time vs default): " << tuned.best_fitness << "\n\n";
+
+  // --- 4. Side-by-side. -----------------------------------------------------
+  const auto rows = tuner::compare_results(eval.evaluate(tuned.best), eval.default_results());
+  tuner::comparison_table(rows).render(std::cout);
+  return 0;
+}

@@ -1,0 +1,254 @@
+#include "bytecode/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <ostream>
+#include <sstream>
+
+#include "bytecode/size_estimator.hpp"
+#include "support/error.hpp"
+
+namespace ith::bc {
+
+CallGraph::CallGraph(const Program& prog)
+    : prog_(prog),
+      callees_(prog.num_methods()),
+      callers_(prog.num_methods()),
+      multiplicity_(prog.num_methods()) {
+  for (std::size_t mi = 0; mi < prog.num_methods(); ++mi) {
+    const auto caller = static_cast<MethodId>(mi);
+    for (std::size_t pc : prog.method(caller).call_sites()) {
+      const MethodId callee = prog.method(caller).code()[pc].a;
+      auto& mults = multiplicity_[mi];
+      const auto it = std::find_if(mults.begin(), mults.end(),
+                                   [callee](const auto& p) { return p.first == callee; });
+      if (it == mults.end()) {
+        mults.emplace_back(callee, 1);
+        callees_[mi].push_back(callee);
+        callers_[static_cast<std::size_t>(callee)].push_back(caller);
+      } else {
+        ++it->second;
+      }
+    }
+  }
+  for (auto& v : callees_) std::sort(v.begin(), v.end());
+  for (auto& v : callers_) std::sort(v.begin(), v.end());
+}
+
+const std::vector<MethodId>& CallGraph::callees(MethodId m) const {
+  ITH_CHECK(m >= 0 && static_cast<std::size_t>(m) < callees_.size(), "method id out of range");
+  return callees_[static_cast<std::size_t>(m)];
+}
+
+const std::vector<MethodId>& CallGraph::callers(MethodId m) const {
+  ITH_CHECK(m >= 0 && static_cast<std::size_t>(m) < callers_.size(), "method id out of range");
+  return callers_[static_cast<std::size_t>(m)];
+}
+
+std::size_t CallGraph::multiplicity(MethodId m, MethodId callee) const {
+  ITH_CHECK(m >= 0 && static_cast<std::size_t>(m) < multiplicity_.size(), "method id out of range");
+  for (const auto& [c, n] : multiplicity_[static_cast<std::size_t>(m)]) {
+    if (c == callee) return n;
+  }
+  return 0;
+}
+
+std::vector<MethodId> CallGraph::reachable_from_entry() const {
+  std::vector<bool> seen(num_methods(), false);
+  std::deque<MethodId> worklist{prog_.entry()};
+  seen[static_cast<std::size_t>(prog_.entry())] = true;
+  while (!worklist.empty()) {
+    const MethodId m = worklist.front();
+    worklist.pop_front();
+    for (MethodId c : callees_[static_cast<std::size_t>(m)]) {
+      if (!seen[static_cast<std::size_t>(c)]) {
+        seen[static_cast<std::size_t>(c)] = true;
+        worklist.push_back(c);
+      }
+    }
+  }
+  std::vector<MethodId> out;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i]) out.push_back(static_cast<MethodId>(i));
+  }
+  return out;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC (explicit stack: programs can have long chains).
+struct TarjanState {
+  const std::vector<std::vector<MethodId>>& adj;
+  std::vector<int> index, lowlink;
+  std::vector<bool> on_stack;
+  std::vector<MethodId> stack;
+  std::vector<std::vector<MethodId>> sccs;
+  int next_index = 0;
+
+  explicit TarjanState(const std::vector<std::vector<MethodId>>& a)
+      : adj(a), index(a.size(), -1), lowlink(a.size(), 0), on_stack(a.size(), false) {}
+
+  void run(MethodId root) {
+    struct Frame {
+      MethodId v;
+      std::size_t child;
+    };
+    std::vector<Frame> call_stack{{root, 0}};
+    index[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] = next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!call_stack.empty()) {
+      Frame& fr = call_stack.back();
+      const auto v = static_cast<std::size_t>(fr.v);
+      if (fr.child < adj[v].size()) {
+        const MethodId w = adj[v][fr.child++];
+        const auto wi = static_cast<std::size_t>(w);
+        if (index[wi] == -1) {
+          index[wi] = lowlink[wi] = next_index++;
+          stack.push_back(w);
+          on_stack[wi] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[wi]) {
+          lowlink[v] = std::min(lowlink[v], index[wi]);
+        }
+        continue;
+      }
+      // v finished: pop an SCC if v is a root.
+      if (lowlink[v] == index[v]) {
+        std::vector<MethodId> scc;
+        for (;;) {
+          const MethodId w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          scc.push_back(w);
+          if (w == fr.v) break;
+        }
+        std::sort(scc.begin(), scc.end());
+        sccs.push_back(std::move(scc));
+      }
+      const MethodId finished = fr.v;
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const auto parent = static_cast<std::size_t>(call_stack.back().v);
+        lowlink[parent] =
+            std::min(lowlink[parent], lowlink[static_cast<std::size_t>(finished)]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<MethodId>> CallGraph::sccs() const {
+  TarjanState t(callees_);
+  for (std::size_t i = 0; i < num_methods(); ++i) {
+    if (t.index[i] == -1) t.run(static_cast<MethodId>(i));
+  }
+  return t.sccs;
+}
+
+bool CallGraph::is_recursive(MethodId m) const {
+  const auto& direct = callees(m);
+  if (std::find(direct.begin(), direct.end(), m) != direct.end()) return true;
+  for (const auto& scc : sccs()) {
+    if (scc.size() > 1 && std::find(scc.begin(), scc.end(), m) != scc.end()) return true;
+  }
+  return false;
+}
+
+std::size_t CallGraph::max_call_depth() const {
+  // Depth over the SCC condensation: assign each method its SCC id, then
+  // longest path from the entry's component. SCCs come out of Tarjan in
+  // reverse topological order, so one backward sweep computes depths.
+  const auto components = sccs();
+  std::vector<std::size_t> comp_of(num_methods(), 0);
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    for (MethodId m : components[c]) comp_of[static_cast<std::size_t>(m)] = c;
+  }
+  // depth[c] = longest chain starting at component c (in components).
+  std::vector<std::size_t> depth(components.size(), 1);
+  for (std::size_t c = 0; c < components.size(); ++c) {  // reverse topo: callees first
+    for (MethodId m : components[c]) {
+      for (MethodId callee : callees(m)) {
+        const std::size_t cc = comp_of[static_cast<std::size_t>(callee)];
+        if (cc != c) depth[c] = std::max(depth[c], depth[cc] + 1);
+      }
+    }
+  }
+  return depth[comp_of[static_cast<std::size_t>(prog_.entry())]];
+}
+
+void CallGraph::to_dot(std::ostream& os) const {
+  os << "digraph \"" << prog_.name() << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for (std::size_t i = 0; i < num_methods(); ++i) {
+    const Method& m = prog_.method(static_cast<MethodId>(i));
+    os << "  m" << i << " [label=\"" << m.name() << "\\n" << estimated_method_size(m) << "w\"";
+    if (static_cast<MethodId>(i) == prog_.entry()) os << ", style=bold";
+    os << "];\n";
+  }
+  for (std::size_t i = 0; i < num_methods(); ++i) {
+    for (const auto& [callee, n] : multiplicity_[i]) {
+      os << "  m" << i << " -> m" << callee;
+      if (n > 1) os << " [label=\"x" << n << "\", penwidth=" << std::min<std::size_t>(1 + n / 2, 5) << "]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+ProgramMetrics compute_metrics(const Program& prog) {
+  ProgramMetrics out;
+  out.num_methods = prog.num_methods();
+  const CallGraph cg(prog);
+  out.reachable_methods = cg.reachable_from_entry().size();
+  out.max_call_depth = cg.max_call_depth();
+
+  // Jikes RVM default thresholds (see heuristics/inline_params.hpp); kept
+  // as literals here so the IR library does not depend on the heuristics
+  // library.
+  constexpr int kAlwaysInlineSize = 11;
+  constexpr int kCalleeMaxSize = 23;
+  double word_sum = 0.0;
+  for (std::size_t i = 0; i < prog.num_methods(); ++i) {
+    const Method& m = prog.method(static_cast<MethodId>(i));
+    out.bytecode_instructions += m.size();
+    const int words = estimated_method_size(m);
+    out.estimated_words += static_cast<std::size_t>(words);
+    word_sum += words;
+    if (i == 0) {
+      out.min_method_words = out.max_method_words = words;
+    } else {
+      out.min_method_words = std::min(out.min_method_words, words);
+      out.max_method_words = std::max(out.max_method_words, words);
+    }
+    out.call_sites += m.call_sites().size();
+    if (m.call_sites().empty()) ++out.leaf_methods;
+    if (cg.is_recursive(static_cast<MethodId>(i))) ++out.recursive_methods;
+    if (words < kAlwaysInlineSize) {
+      ++out.always_inline_band;
+    } else if (words <= kCalleeMaxSize) {
+      ++out.conditional_band;
+    } else {
+      ++out.too_big_band;
+    }
+  }
+  out.mean_method_words = word_sum / static_cast<double>(prog.num_methods());
+  return out;
+}
+
+std::string metrics_to_string(const ProgramMetrics& m) {
+  std::ostringstream os;
+  os << "methods: " << m.num_methods << " (" << m.reachable_methods << " reachable, "
+     << m.leaf_methods << " leaves, " << m.recursive_methods << " recursive)\n";
+  os << "bytecode: " << m.bytecode_instructions << " instructions, est. " << m.estimated_words
+     << " machine words (method min/mean/max: " << m.min_method_words << "/"
+     << m.mean_method_words << "/" << m.max_method_words << ")\n";
+  os << "call sites: " << m.call_sites << ", max call depth: " << m.max_call_depth << "\n";
+  os << "size bands at Jikes defaults: <ALWAYS " << m.always_inline_band << ", (ALWAYS,CALLEE] "
+     << m.conditional_band << ", >CALLEE " << m.too_big_band << "\n";
+  return os.str();
+}
+
+}  // namespace ith::bc

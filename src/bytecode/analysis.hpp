@@ -1,0 +1,82 @@
+// Static program analysis: call-graph construction, SCC-based recursion
+// detection, reachability, and the size/shape metrics the workload
+// characterization (and the inliner's structural reasoning) is built on.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bytecode/program.hpp"
+
+namespace ith::bc {
+
+/// The static call graph: one node per method, one edge per distinct
+/// (caller, callee) pair (parallel edges collapsed, multiplicity kept).
+class CallGraph {
+ public:
+  explicit CallGraph(const Program& prog);
+
+  std::size_t num_methods() const { return callees_.size(); }
+
+  /// Distinct callees of `m`, ascending.
+  const std::vector<MethodId>& callees(MethodId m) const;
+  /// Distinct callers of `m`, ascending.
+  const std::vector<MethodId>& callers(MethodId m) const;
+  /// Number of call sites in `m` targeting `callee`.
+  std::size_t multiplicity(MethodId m, MethodId callee) const;
+
+  /// Methods reachable from the entry (including the entry), ascending.
+  std::vector<MethodId> reachable_from_entry() const;
+
+  /// Strongly connected components (Tarjan), in reverse topological order.
+  /// A method is recursive iff its SCC has >1 member or it calls itself.
+  std::vector<std::vector<MethodId>> sccs() const;
+
+  /// True if `m` can (transitively) call itself.
+  bool is_recursive(MethodId m) const;
+
+  /// Length of the longest acyclic call chain starting at the entry, where
+  /// every method in a cycle counts once (depth over the SCC condensation).
+  std::size_t max_call_depth() const;
+
+  /// GraphViz dot rendering; node labels are method names, penwidth scales
+  /// with call-site multiplicity.
+  void to_dot(std::ostream& os) const;
+
+ private:
+  const Program& prog_;
+  std::vector<std::vector<MethodId>> callees_;
+  std::vector<std::vector<MethodId>> callers_;
+  // (caller, callee) -> #sites, stored sparsely.
+  std::vector<std::vector<std::pair<MethodId, std::size_t>>> multiplicity_;
+};
+
+/// Aggregate static metrics for one program.
+struct ProgramMetrics {
+  std::size_t num_methods = 0;
+  std::size_t reachable_methods = 0;
+  std::size_t bytecode_instructions = 0;
+  std::size_t estimated_words = 0;
+  std::size_t call_sites = 0;
+  std::size_t recursive_methods = 0;
+  std::size_t leaf_methods = 0;       ///< methods with no call sites
+  std::size_t max_call_depth = 0;
+  int min_method_words = 0;
+  int max_method_words = 0;
+  double mean_method_words = 0.0;
+  /// Methods whose estimated size is below ALWAYS_INLINE_SIZE (11) /
+  /// within (11, 23] / above CALLEE_MAX_SIZE (23) at the Jikes defaults —
+  /// the split that decides what the default heuristic does with them.
+  std::size_t always_inline_band = 0;
+  std::size_t conditional_band = 0;
+  std::size_t too_big_band = 0;
+};
+
+ProgramMetrics compute_metrics(const Program& prog);
+
+/// Renders metrics as "key: value" lines.
+std::string metrics_to_string(const ProgramMetrics& m);
+
+}  // namespace ith::bc

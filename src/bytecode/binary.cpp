@@ -1,0 +1,140 @@
+#include "bytecode/binary.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "bytecode/verifier.hpp"
+#include "support/error.hpp"
+
+namespace ith::bc {
+
+namespace {
+
+void put_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = is.get();
+    ITH_CHECK(c != std::char_traits<char>::eof(), "binary: truncated varint");
+    ITH_CHECK(shift < 64, "binary: varint too long");
+    v |= static_cast<std::uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (0 - (v & 1)));
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  put_varint(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& is) {
+  const std::uint64_t n = get_varint(is);
+  ITH_CHECK(n <= 1 << 20, "binary: implausible string length");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  ITH_CHECK(static_cast<std::uint64_t>(is.gcount()) == n, "binary: truncated string");
+  return s;
+}
+
+std::int32_t narrow32(std::int64_t v, const char* what) {
+  ITH_CHECK(v >= std::numeric_limits<std::int32_t>::min() &&
+                v <= std::numeric_limits<std::int32_t>::max(),
+            std::string("binary: ") + what + " out of 32-bit range");
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace
+
+void write_binary(const Program& prog, std::ostream& os) {
+  os.write("ITHB", 4);
+  put_varint(os, kBinaryFormatVersion);
+  put_string(os, prog.name());
+  put_varint(os, prog.globals_size());
+  put_varint(os, static_cast<std::uint64_t>(prog.entry()));
+  put_varint(os, prog.num_methods());
+  for (const Method& m : prog.methods()) {
+    put_string(os, m.name());
+    put_varint(os, static_cast<std::uint64_t>(m.num_args()));
+    put_varint(os, static_cast<std::uint64_t>(m.num_locals()));
+    put_varint(os, m.size());
+    for (const Instruction& insn : m.code()) {
+      os.put(static_cast<char>(insn.op));
+      put_varint(os, zigzag(insn.a));
+      put_varint(os, zigzag(insn.b));
+    }
+  }
+  ITH_CHECK(os.good(), "binary: write failed");
+}
+
+std::vector<std::uint8_t> to_binary(const Program& prog) {
+  std::ostringstream os;
+  write_binary(prog, os);
+  const std::string s = os.str();
+  return {s.begin(), s.end()};
+}
+
+Program read_binary(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, 4);
+  ITH_CHECK(is.gcount() == 4 && std::string(magic, 4) == "ITHB", "binary: bad magic");
+  const std::uint64_t version = get_varint(is);
+  ITH_CHECK(version == kBinaryFormatVersion,
+            "binary: unsupported version " + std::to_string(version));
+
+  const std::string name = get_string(is);
+  const auto globals = static_cast<std::size_t>(get_varint(is));
+  const auto entry = static_cast<MethodId>(get_varint(is));
+  const std::uint64_t num_methods = get_varint(is);
+  ITH_CHECK(num_methods > 0 && num_methods <= 1 << 20, "binary: implausible method count");
+
+  Program prog(name, globals);
+  for (std::uint64_t mi = 0; mi < num_methods; ++mi) {
+    const std::string mname = get_string(is);
+    const auto args = static_cast<int>(get_varint(is));
+    const auto locals = static_cast<int>(get_varint(is));
+    Method m(mname, args, locals);
+    const std::uint64_t code_len = get_varint(is);
+    ITH_CHECK(code_len <= 1 << 24, "binary: implausible method length");
+    for (std::uint64_t pc = 0; pc < code_len; ++pc) {
+      const int opbyte = is.get();
+      ITH_CHECK(opbyte != std::char_traits<char>::eof(), "binary: truncated code");
+      ITH_CHECK(opbyte >= 0 && opbyte < kNumOps, "binary: unknown opcode byte");
+      Instruction insn;
+      insn.op = static_cast<Op>(opbyte);
+      insn.a = narrow32(unzigzag(get_varint(is)), "operand a");
+      insn.b = narrow32(unzigzag(get_varint(is)), "operand b");
+      m.append(insn);
+    }
+    prog.add_method(std::move(m));
+  }
+  prog.set_entry(entry);
+  verify_program(prog);
+  return prog;
+}
+
+Program from_binary(const std::vector<std::uint8_t>& bytes) {
+  std::istringstream is(std::string(bytes.begin(), bytes.end()));
+  return read_binary(is);
+}
+
+}  // namespace ith::bc

@@ -1,0 +1,39 @@
+// Compact binary serialization for programs ("ITHB" format).
+//
+// The textual assembly format (serializer.hpp) is for humans; this format
+// is for caches and corpora: LEB128/zigzag varints, a magic/version header,
+// and full verification on load. Round-trips exactly.
+//
+// Layout (all integers varint-encoded unless noted):
+//   "ITHB"            4 raw bytes
+//   version           u32 varint (currently 1)
+//   name              length-prefixed UTF-8 bytes
+//   globals_size
+//   entry method id
+//   method count
+//   per method: name, num_args, num_locals, code length,
+//               per instruction: opcode byte, zigzag(a), zigzag(b)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bytecode/program.hpp"
+
+namespace ith::bc {
+
+inline constexpr std::uint32_t kBinaryFormatVersion = 1;
+
+/// Serializes `prog` to the binary format.
+void write_binary(const Program& prog, std::ostream& os);
+std::vector<std::uint8_t> to_binary(const Program& prog);
+
+/// Deserializes and verifies a program; throws ith::Error on malformed
+/// input (bad magic, truncation, unknown version/opcode, verification
+/// failure).
+Program read_binary(std::istream& is);
+Program from_binary(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace ith::bc

@@ -1,0 +1,120 @@
+#include "bytecode/builder.hpp"
+
+#include <limits>
+
+#include "bytecode/verifier.hpp"
+#include "support/error.hpp"
+
+namespace ith::bc {
+
+MethodBuilder::MethodBuilder(std::string name, int num_args, int num_locals)
+    : method_(std::move(name), num_args, num_locals) {}
+
+MethodBuilder& MethodBuilder::emit(Op op, std::int32_t a, std::int32_t b) {
+  method_.append(Instruction{op, a, b});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::const_(std::int64_t v) {
+  ITH_CHECK(v >= std::numeric_limits<std::int32_t>::min() &&
+                v <= std::numeric_limits<std::int32_t>::max(),
+            "const immediate out of 32-bit range");
+  return emit(Op::kConst, static_cast<std::int32_t>(v));
+}
+MethodBuilder& MethodBuilder::load(int slot) { return emit(Op::kLoad, slot); }
+MethodBuilder& MethodBuilder::store(int slot) { return emit(Op::kStore, slot); }
+MethodBuilder& MethodBuilder::add() { return emit(Op::kAdd); }
+MethodBuilder& MethodBuilder::sub() { return emit(Op::kSub); }
+MethodBuilder& MethodBuilder::mul() { return emit(Op::kMul); }
+MethodBuilder& MethodBuilder::div() { return emit(Op::kDiv); }
+MethodBuilder& MethodBuilder::mod() { return emit(Op::kMod); }
+MethodBuilder& MethodBuilder::neg() { return emit(Op::kNeg); }
+MethodBuilder& MethodBuilder::cmplt() { return emit(Op::kCmpLt); }
+MethodBuilder& MethodBuilder::cmple() { return emit(Op::kCmpLe); }
+MethodBuilder& MethodBuilder::cmpeq() { return emit(Op::kCmpEq); }
+MethodBuilder& MethodBuilder::cmpne() { return emit(Op::kCmpNe); }
+MethodBuilder& MethodBuilder::gload() { return emit(Op::kGLoad); }
+MethodBuilder& MethodBuilder::gstore() { return emit(Op::kGStore); }
+MethodBuilder& MethodBuilder::pop() { return emit(Op::kPop); }
+MethodBuilder& MethodBuilder::nop() { return emit(Op::kNop); }
+
+MethodBuilder& MethodBuilder::label(const std::string& name) {
+  ITH_CHECK(labels_.emplace(name, method_.size()).second,
+            "duplicate label '" + name + "' in method " + method_.name());
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::jmp(const std::string& target) {
+  pending_branches_[method_.size()] = target;
+  return emit(Op::kJmp);
+}
+MethodBuilder& MethodBuilder::jz(const std::string& target) {
+  pending_branches_[method_.size()] = target;
+  return emit(Op::kJz);
+}
+MethodBuilder& MethodBuilder::jnz(const std::string& target) {
+  pending_branches_[method_.size()] = target;
+  return emit(Op::kJnz);
+}
+
+MethodBuilder& MethodBuilder::call(const std::string& callee, int nargs) {
+  ITH_CHECK(nargs >= 0, "negative argument count");
+  pending_calls_[method_.size()] = callee;
+  return emit(Op::kCall, /*a=*/-1, /*b=*/nargs);
+}
+
+MethodBuilder& MethodBuilder::ret() { return emit(Op::kRet); }
+MethodBuilder& MethodBuilder::ret_const(std::int64_t v) { return const_(v).ret(); }
+MethodBuilder& MethodBuilder::halt() { return emit(Op::kHalt); }
+
+ProgramBuilder::ProgramBuilder(std::string name, std::size_t globals_size)
+    : name_(std::move(name)), globals_size_(globals_size) {}
+
+MethodBuilder& ProgramBuilder::method(const std::string& name, int num_args, int num_locals) {
+  for (const auto& mb : methods_) {
+    if (mb->name() == name) {
+      ITH_CHECK(mb->method_.num_args() == num_args && mb->method_.num_locals() == num_locals,
+                "method '" + name + "' reopened with a different signature");
+      return *mb;
+    }
+  }
+  methods_.push_back(std::unique_ptr<MethodBuilder>(new MethodBuilder(name, num_args, num_locals)));
+  return *methods_.back();
+}
+
+ProgramBuilder& ProgramBuilder::entry(const std::string& name) {
+  entry_name_ = name;
+  return *this;
+}
+
+Program ProgramBuilder::build(bool verify) const {
+  Program prog(name_, globals_size_);
+
+  // First pass: install methods so call targets can be resolved by name.
+  for (const auto& mb : methods_) {
+    prog.add_method(mb->method_);
+  }
+
+  // Second pass: patch symbolic branch targets and callee names.
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    const MethodBuilder& mb = *methods_[i];
+    Method& m = prog.mutable_method(static_cast<MethodId>(i));
+    for (const auto& [pc, label] : mb.pending_branches_) {
+      const auto it = mb.labels_.find(label);
+      ITH_CHECK(it != mb.labels_.end(),
+                "undefined label '" + label + "' in method " + mb.name());
+      m.mutable_code()[pc].a = static_cast<std::int32_t>(it->second);
+    }
+    for (const auto& [pc, callee] : mb.pending_calls_) {
+      m.mutable_code()[pc].a = prog.find_method(callee);
+    }
+  }
+
+  ITH_CHECK(!entry_name_.empty(), "program '" + name_ + "' has no entry method");
+  prog.set_entry(prog.find_method(entry_name_));
+
+  if (verify) verify_program(prog);
+  return prog;
+}
+
+}  // namespace ith::bc

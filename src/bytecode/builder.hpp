@@ -1,0 +1,93 @@
+// Fluent construction DSL for minijvm programs.
+//
+// Workload generators, tests and examples assemble programs through this
+// builder: labels instead of raw pcs, callee names instead of method ids.
+// All symbolic references are resolved (and the result verified) in
+// ProgramBuilder::build().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bytecode/program.hpp"
+
+namespace ith::bc {
+
+class ProgramBuilder;
+
+class MethodBuilder {
+ public:
+  // Straight-line ops -------------------------------------------------------
+  MethodBuilder& const_(std::int64_t v);
+  MethodBuilder& load(int slot);
+  MethodBuilder& store(int slot);
+  MethodBuilder& add();
+  MethodBuilder& sub();
+  MethodBuilder& mul();
+  MethodBuilder& div();
+  MethodBuilder& mod();
+  MethodBuilder& neg();
+  MethodBuilder& cmplt();
+  MethodBuilder& cmple();
+  MethodBuilder& cmpeq();
+  MethodBuilder& cmpne();
+  MethodBuilder& gload();
+  MethodBuilder& gstore();
+  MethodBuilder& pop();
+  MethodBuilder& nop();
+
+  // Control flow ------------------------------------------------------------
+  /// Binds `name` to the next instruction's pc.
+  MethodBuilder& label(const std::string& name);
+  MethodBuilder& jmp(const std::string& target);
+  MethodBuilder& jz(const std::string& target);
+  MethodBuilder& jnz(const std::string& target);
+  MethodBuilder& call(const std::string& callee, int nargs);
+  MethodBuilder& ret();
+  /// Shorthand for const_(v).ret().
+  MethodBuilder& ret_const(std::int64_t v);
+  MethodBuilder& halt();
+
+  const std::string& name() const { return method_.name(); }
+  std::size_t size() const { return method_.size(); }
+
+ private:
+  friend class ProgramBuilder;
+  MethodBuilder(std::string name, int num_args, int num_locals);
+
+  MethodBuilder& emit(Op op, std::int32_t a = 0, std::int32_t b = 0);
+
+  Method method_;
+  std::map<std::string, std::size_t> labels_;
+  // pc -> label for branches awaiting resolution
+  std::map<std::size_t, std::string> pending_branches_;
+  // pc -> callee name for calls awaiting resolution
+  std::map<std::size_t, std::string> pending_calls_;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name, std::size_t globals_size = 0);
+
+  /// Starts (or continues) a method; the returned reference stays valid for
+  /// the builder's lifetime. Method names must be unique.
+  MethodBuilder& method(const std::string& name, int num_args, int num_locals);
+
+  /// Marks the program entry point (a zero-argument method).
+  ProgramBuilder& entry(const std::string& name);
+
+  /// Resolves labels and callee names, verifies, and returns the program.
+  /// Pass verify=false only in tests that deliberately build broken code.
+  Program build(bool verify = true) const;
+
+ private:
+  std::string name_;
+  std::size_t globals_size_;
+  std::string entry_name_;
+  std::vector<std::unique_ptr<MethodBuilder>> methods_;
+};
+
+}  // namespace ith::bc

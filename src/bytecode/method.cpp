@@ -1,0 +1,40 @@
+#include "bytecode/method.hpp"
+
+#include "support/error.hpp"
+
+namespace ith::bc {
+
+Method::Method(std::string name, int num_args, int num_locals)
+    : name_(std::move(name)), num_args_(num_args), num_locals_(num_locals) {
+  ITH_CHECK(num_args >= 0, "negative argument count");
+  ITH_CHECK(num_locals >= num_args, "locals must cover arguments");
+}
+
+void Method::set_num_locals(int n) {
+  ITH_CHECK(n >= num_args_, "locals must cover arguments");
+  num_locals_ = n;
+}
+
+const Instruction& Method::at(std::size_t pc) const {
+  ITH_CHECK(pc < code_.size(), "pc out of range in method " + name_);
+  return code_[pc];
+}
+
+std::vector<std::size_t> Method::call_sites() const {
+  std::vector<std::size_t> sites;
+  for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+    if (code_[pc].op == Op::kCall) sites.push_back(pc);
+  }
+  return sites;
+}
+
+std::size_t Method::back_edge_count() const {
+  std::size_t n = 0;
+  for (std::size_t pc = 0; pc < code_.size(); ++pc) {
+    const Instruction& insn = code_[pc];
+    if (op_info(insn.op).is_branch && static_cast<std::size_t>(insn.a) <= pc) ++n;
+  }
+  return n;
+}
+
+}  // namespace ith::bc

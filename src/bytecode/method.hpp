@@ -1,0 +1,52 @@
+// Method: one compilation unit of the minijvm IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/instruction.hpp"
+
+namespace ith::bc {
+
+/// Index of a method within its Program.
+using MethodId = std::int32_t;
+
+class Method {
+ public:
+  Method() = default;
+  Method(std::string name, int num_args, int num_locals);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Arguments occupy locals [0, num_args).
+  int num_args() const { return num_args_; }
+  int num_locals() const { return num_locals_; }
+  void set_num_locals(int n);
+
+  const std::vector<Instruction>& code() const { return code_; }
+  std::vector<Instruction>& mutable_code() { return code_; }
+
+  void append(Instruction insn) { code_.push_back(insn); }
+  std::size_t size() const { return code_.size(); }
+  bool empty() const { return code_.empty(); }
+
+  const Instruction& at(std::size_t pc) const;
+
+  /// All pcs holding kCall instructions, in order.
+  std::vector<std::size_t> call_sites() const;
+
+  /// Number of backward branches (used by the profiler to weight loops).
+  std::size_t back_edge_count() const;
+
+  friend bool operator==(const Method&, const Method&) = default;
+
+ private:
+  std::string name_;
+  int num_args_ = 0;
+  int num_locals_ = 0;
+  std::vector<Instruction> code_;
+};
+
+}  // namespace ith::bc

@@ -1,0 +1,59 @@
+#include "bytecode/program.hpp"
+
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace ith::bc {
+
+Program::Program(std::string name, std::size_t globals_size)
+    : name_(std::move(name)), globals_size_(globals_size) {}
+
+MethodId Program::add_method(Method m) {
+  ITH_CHECK(methods_.size() < static_cast<std::size_t>(std::numeric_limits<MethodId>::max()),
+            "too many methods");
+  for (const Method& existing : methods_) {
+    ITH_CHECK(existing.name() != m.name(), "duplicate method name: " + m.name());
+  }
+  methods_.push_back(std::move(m));
+  return static_cast<MethodId>(methods_.size() - 1);
+}
+
+const Method& Program::method(MethodId id) const {
+  ITH_CHECK(id >= 0 && static_cast<std::size_t>(id) < methods_.size(),
+            "method id out of range: " + std::to_string(id));
+  return methods_[static_cast<std::size_t>(id)];
+}
+
+Method& Program::mutable_method(MethodId id) {
+  ITH_CHECK(id >= 0 && static_cast<std::size_t>(id) < methods_.size(),
+            "method id out of range: " + std::to_string(id));
+  return methods_[static_cast<std::size_t>(id)];
+}
+
+MethodId Program::find_method(const std::string& name) const {
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    if (methods_[i].name() == name) return static_cast<MethodId>(i);
+  }
+  throw Error("no such method: " + name + " in program " + name_);
+}
+
+bool Program::has_method(const std::string& name) const {
+  for (const Method& m : methods_) {
+    if (m.name() == name) return true;
+  }
+  return false;
+}
+
+void Program::set_entry(MethodId id) {
+  ITH_CHECK(id >= 0 && static_cast<std::size_t>(id) < methods_.size(), "entry id out of range");
+  entry_ = id;
+}
+
+std::size_t Program::total_code_size() const {
+  std::size_t total = 0;
+  for (const Method& m : methods_) total += m.size();
+  return total;
+}
+
+}  // namespace ith::bc

@@ -1,0 +1,50 @@
+// Program: a set of methods plus an entry point and a global data segment,
+// the unit the virtual machine loads and runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/method.hpp"
+
+namespace ith::bc {
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::string name, std::size_t globals_size = 0);
+
+  const std::string& name() const { return name_; }
+
+  /// Size of the global data array (elements, not bytes).
+  std::size_t globals_size() const { return globals_size_; }
+  void set_globals_size(std::size_t n) { globals_size_ = n; }
+
+  MethodId add_method(Method m);
+  std::size_t num_methods() const { return methods_.size(); }
+
+  const Method& method(MethodId id) const;
+  Method& mutable_method(MethodId id);
+  const std::vector<Method>& methods() const { return methods_; }
+
+  /// Looks a method up by name; throws if absent.
+  MethodId find_method(const std::string& name) const;
+  bool has_method(const std::string& name) const;
+
+  MethodId entry() const { return entry_; }
+  void set_entry(MethodId id);
+
+  /// Total bytecode instruction count across all methods.
+  std::size_t total_code_size() const;
+
+  friend bool operator==(const Program&, const Program&) = default;
+
+ private:
+  std::string name_;
+  std::size_t globals_size_ = 0;
+  std::vector<Method> methods_;
+  MethodId entry_ = -1;
+};
+
+}  // namespace ith::bc

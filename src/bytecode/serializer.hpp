@@ -1,0 +1,31 @@
+// Human-readable assembly format for minijvm programs.
+//
+//   program name=demo globals=64 entry=main
+//   method main args=0 locals=2 {
+//     const 10
+//     store 0
+//     call helper 0
+//     halt
+//   }
+//
+// Branch targets are printed (and parsed) as absolute instruction indices;
+// call targets by method name. dump/parse round-trip exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bytecode/program.hpp"
+
+namespace ith::bc {
+
+/// Writes `prog` in the assembly format above.
+void dump_program(const Program& prog, std::ostream& os);
+std::string dump_program(const Program& prog);
+
+/// Parses a program from the assembly format; throws ith::Error with a line
+/// number on malformed input. The result is verified before returning.
+Program parse_program(std::istream& is);
+Program parse_program(const std::string& text);
+
+}  // namespace ith::bc

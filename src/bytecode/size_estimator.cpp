@@ -1,0 +1,21 @@
+#include "bytecode/size_estimator.hpp"
+
+namespace ith::bc {
+
+int estimated_words(const Instruction& insn) { return op_info(insn.op).machine_words; }
+
+int estimated_method_size(const Method& m) {
+  int words = kFrameOverheadWords;
+  for (const Instruction& insn : m.code()) words += estimated_words(insn);
+  return words;
+}
+
+std::size_t estimated_program_size(const Program& prog) {
+  std::size_t total = 0;
+  for (const Method& m : prog.methods()) {
+    total += static_cast<std::size_t>(estimated_method_size(m));
+  }
+  return total;
+}
+
+}  // namespace ith::bc

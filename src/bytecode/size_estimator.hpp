@@ -1,0 +1,30 @@
+// Machine-code size estimation.
+//
+// Jikes RVM's inlining heuristic operates on the *estimated number of
+// machine instructions* a method will compile to, not its bytecode length.
+// This estimator plays that role: every threshold in the tuned heuristic
+// (CALLEE_MAX_SIZE, CALLER_MAX_SIZE, ...) is compared against these values.
+#pragma once
+
+#include <cstddef>
+
+#include "bytecode/method.hpp"
+#include "bytecode/program.hpp"
+
+namespace ith::bc {
+
+/// Estimated machine instructions for one IR instruction.
+int estimated_words(const Instruction& insn);
+
+/// Estimated machine instructions for a whole method body, including the
+/// fixed prologue/epilogue frame overhead a real compiler emits.
+int estimated_method_size(const Method& m);
+
+/// Sum of estimated_method_size over all methods.
+std::size_t estimated_program_size(const Program& prog);
+
+/// Frame setup/teardown overhead included in estimated_method_size. Exposed
+/// so tests and the inliner's size accounting agree on the constant.
+inline constexpr int kFrameOverheadWords = 2;
+
+}  // namespace ith::bc

@@ -1,0 +1,155 @@
+#include "bytecode/verifier.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace ith::bc {
+
+namespace {
+
+[[noreturn]] void fail(const Program& prog, MethodId id, std::size_t pc, const std::string& why) {
+  throw Error("verify: method '" + prog.method(id).name() + "' pc " + std::to_string(pc) + ": " +
+              why);
+}
+
+}  // namespace
+
+MethodVerifyInfo verify_method(const Program& prog, MethodId id) {
+  const Method& m = prog.method(id);
+  const auto n = m.code().size();
+  ITH_CHECK(n > 0, "verify: method '" + m.name() + "' has no code");
+
+  // Pass 1: per-instruction operand validity.
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    const Instruction& insn = m.code()[pc];
+    const OpInfo& info = op_info(insn.op);
+    switch (insn.op) {
+      case Op::kLoad:
+      case Op::kStore:
+        if (insn.a < 0 || insn.a >= m.num_locals()) fail(prog, id, pc, "local slot out of range");
+        break;
+      case Op::kCall: {
+        if (insn.a < 0 || static_cast<std::size_t>(insn.a) >= prog.num_methods()) {
+          fail(prog, id, pc, "call target out of range");
+        }
+        const Method& callee = prog.method(insn.a);
+        if (insn.b != callee.num_args()) {
+          fail(prog, id, pc,
+               "call arity mismatch: " + std::to_string(insn.b) + " args passed to '" +
+                   callee.name() + "' which takes " + std::to_string(callee.num_args()));
+        }
+        break;
+      }
+      default:
+        if (info.is_branch && (insn.a < 0 || static_cast<std::size_t>(insn.a) >= n)) {
+          fail(prog, id, pc, "branch target out of range");
+        }
+        break;
+    }
+  }
+
+  // Pass 2: abstract interpretation of stack depth. Every reachable pc must
+  // have one consistent entry depth; no pop from empty; no fallthrough past
+  // the last instruction.
+  constexpr int kUnvisited = -1;
+  std::vector<int> depth_at(n, kUnvisited);
+  std::deque<std::size_t> worklist;
+  depth_at[0] = 0;
+  worklist.push_back(0);
+  std::size_t reachable = 0;
+  int max_stack = 0;
+
+  auto propagate = [&](std::size_t from_pc, std::size_t to_pc, int depth) {
+    if (to_pc >= n) fail(prog, id, from_pc, "control falls off the end of the method");
+    if (depth_at[to_pc] == kUnvisited) {
+      depth_at[to_pc] = depth;
+      worklist.push_back(to_pc);
+    } else if (depth_at[to_pc] != depth) {
+      fail(prog, id, to_pc,
+           "inconsistent stack depth at join: " + std::to_string(depth_at[to_pc]) + " vs " +
+               std::to_string(depth));
+    }
+  };
+
+  while (!worklist.empty()) {
+    const std::size_t pc = worklist.front();
+    worklist.pop_front();
+    ++reachable;
+    const Instruction& insn = m.code()[pc];
+    const int in_depth = depth_at[pc];
+
+    // Popped operand count per opcode.
+    int pops = 0;
+    switch (insn.op) {
+      case Op::kStore:
+      case Op::kNeg:
+      case Op::kJz:
+      case Op::kJnz:
+      case Op::kRet:
+      case Op::kGLoad:
+      case Op::kPop:
+        pops = 1;
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod:
+      case Op::kCmpLt:
+      case Op::kCmpLe:
+      case Op::kCmpEq:
+      case Op::kCmpNe:
+      case Op::kGStore:
+        pops = 2;
+        break;
+      case Op::kCall:
+        pops = insn.b;
+        break;
+      default:
+        pops = 0;
+        break;
+    }
+    if (in_depth < pops) fail(prog, id, pc, "operand stack underflow");
+
+    const int out_depth = in_depth + stack_effect(insn);
+    max_stack = std::max(max_stack, std::max(in_depth, out_depth));
+
+    switch (insn.op) {
+      case Op::kJmp:
+        propagate(pc, static_cast<std::size_t>(insn.a), out_depth);
+        break;
+      case Op::kJz:
+      case Op::kJnz:
+        propagate(pc, static_cast<std::size_t>(insn.a), out_depth);
+        propagate(pc, pc + 1, out_depth);
+        break;
+      case Op::kRet:
+      case Op::kHalt:
+        break;  // terminators: nothing to propagate
+      default:
+        propagate(pc, pc + 1, out_depth);
+        break;
+    }
+  }
+
+  return MethodVerifyInfo{max_stack, reachable};
+}
+
+std::vector<MethodVerifyInfo> verify_program(const Program& prog) {
+  ITH_CHECK(prog.num_methods() > 0, "verify: program has no methods");
+  ITH_CHECK(prog.entry() >= 0, "verify: program has no entry method");
+  ITH_CHECK(prog.method(prog.entry()).num_args() == 0,
+            "verify: entry method must take zero arguments");
+
+  std::vector<MethodVerifyInfo> infos;
+  infos.reserve(prog.num_methods());
+  for (std::size_t i = 0; i < prog.num_methods(); ++i) {
+    infos.push_back(verify_method(prog, static_cast<MethodId>(i)));
+  }
+  return infos;
+}
+
+}  // namespace ith::bc

@@ -1,0 +1,29 @@
+// Bytecode verifier: static well-formedness checks plus stack-shape
+// inference. Both the VM (before loading) and the optimizer (after every
+// transformation, in tests) rely on it — the inliner's correctness argument
+// is "the verifier accepts its output and the interpreter computes the same
+// values".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bytecode/program.hpp"
+
+namespace ith::bc {
+
+/// Per-method verification artifacts.
+struct MethodVerifyInfo {
+  int max_stack = 0;             ///< deepest operand stack along any path
+  std::size_t reachable = 0;     ///< number of reachable instructions
+};
+
+/// Verifies a single method against its program (call targets/arity).
+/// Throws ith::Error with a precise location on the first violation.
+MethodVerifyInfo verify_method(const Program& prog, MethodId id);
+
+/// Verifies every method plus program-level rules (valid entry taking zero
+/// arguments). Returns per-method info indexed by MethodId.
+std::vector<MethodVerifyInfo> verify_program(const Program& prog);
+
+}  // namespace ith::bc

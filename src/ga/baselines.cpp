@@ -1,0 +1,76 @@
+#include "ga/baselines.hpp"
+
+#include "support/error.hpp"
+
+namespace ith::ga {
+
+SearchResult random_search(const GenomeSpace& space, const FitnessFn& fitness, std::size_t budget,
+                           std::uint64_t seed) {
+  ITH_CHECK(budget >= 1, "random search needs a positive budget");
+  Pcg32 rng(seed, 0x9a2d);
+  SearchResult result;
+  result.trajectory.reserve(budget);
+  for (std::size_t i = 0; i < budget; ++i) {
+    Genome g = space.random(rng);
+    const double f = fitness(g);
+    ++result.evaluations;
+    if (i == 0 || f < result.best_fitness) {
+      result.best_fitness = f;
+      result.best = std::move(g);
+    }
+    result.trajectory.push_back(result.best_fitness);
+  }
+  return result;
+}
+
+SearchResult hill_climb(const GenomeSpace& space, const FitnessFn& fitness, std::size_t budget,
+                        std::uint64_t seed, int stall_limit) {
+  ITH_CHECK(budget >= 1, "hill climbing needs a positive budget");
+  ITH_CHECK(stall_limit >= 1, "stall limit must be positive");
+  Pcg32 rng(seed, 0x811c);
+  SearchResult result;
+  result.trajectory.reserve(budget);
+
+  Genome current = space.random(rng);
+  double current_f = fitness(current);
+  ++result.evaluations;
+  result.best = current;
+  result.best_fitness = current_f;
+  result.trajectory.push_back(result.best_fitness);
+  int stall = 0;
+
+  while (result.evaluations < budget) {
+    Genome probe = current;
+    // One-gene move: redraw a single coordinate.
+    const std::size_t i = rng.bounded(static_cast<std::uint32_t>(space.size()));
+    probe[i] = static_cast<int>(rng.range(space.gene(i).lo, space.gene(i).hi));
+
+    const double f = fitness(probe);
+    ++result.evaluations;
+    if (f < current_f) {
+      current = std::move(probe);
+      current_f = f;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+    if (current_f < result.best_fitness) {
+      result.best_fitness = current_f;
+      result.best = current;
+    }
+    if (stall >= stall_limit) {  // restart from a fresh random point
+      current = space.random(rng);
+      current_f = fitness(current);
+      ++result.evaluations;
+      if (current_f < result.best_fitness) {
+        result.best_fitness = current_f;
+        result.best = current;
+      }
+      stall = 0;
+    }
+    result.trajectory.push_back(result.best_fitness);
+  }
+  return result;
+}
+
+}  // namespace ith::ga

@@ -1,0 +1,31 @@
+// Non-evolutionary search baselines with the same interface and evaluation
+// budget as the GA, used by the ablation bench to show the GA earns its
+// keep (the paper argues GA over exhaustive search; we additionally compare
+// against random sampling and local search).
+#pragma once
+
+#include <cstdint>
+
+#include "ga/ga.hpp"
+
+namespace ith::ga {
+
+struct SearchResult {
+  Genome best;
+  double best_fitness = 0.0;
+  std::size_t evaluations = 0;
+  /// best_fitness after each evaluation (anytime curve).
+  std::vector<double> trajectory;
+};
+
+/// Uniform random sampling of `budget` genomes.
+SearchResult random_search(const GenomeSpace& space, const FitnessFn& fitness, std::size_t budget,
+                           std::uint64_t seed);
+
+/// Steepest-ascent-style stochastic hill climbing with restarts: perturbs
+/// one gene at a time (reset mutation); restarts from a random genome after
+/// `stall_limit` non-improving probes. Runs until `budget` evaluations.
+SearchResult hill_climb(const GenomeSpace& space, const FitnessFn& fitness, std::size_t budget,
+                        std::uint64_t seed, int stall_limit = 25);
+
+}  // namespace ith::ga

@@ -1,0 +1,159 @@
+#include "ga/ga.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ith::ga {
+
+GeneticAlgorithm::GeneticAlgorithm(GenomeSpace space, FitnessFn fitness, GaConfig config)
+    : space_(std::move(space)), fitness_(std::move(fitness)), config_(config) {
+  ITH_CHECK(fitness_ != nullptr, "GA requires a fitness function");
+  ITH_CHECK(config_.population >= 2, "population must be >= 2");
+  ITH_CHECK(config_.generations >= 1, "need at least one generation");
+  ITH_CHECK(config_.elites >= 0 && config_.elites < config_.population,
+            "elites must be in [0, population)");
+  ITH_CHECK(config_.crossover_rate >= 0.0 && config_.crossover_rate <= 1.0,
+            "crossover rate out of [0,1]");
+  ITH_CHECK(config_.mutation_prob >= 0.0 && config_.mutation_prob <= 1.0,
+            "mutation probability out of [0,1]");
+  for (const Genome& g : config_.seed_individuals) {
+    ITH_CHECK(space_.valid(g), "seed individual outside the genome space");
+  }
+}
+
+void GeneticAlgorithm::set_progress(std::function<void(const GenerationStats&)> cb) {
+  progress_ = std::move(cb);
+}
+
+std::vector<double> GeneticAlgorithm::evaluate(const std::vector<Genome>& pop, GaResult& result) {
+  std::vector<double> fitness(pop.size());
+  std::vector<std::size_t> todo;  // indices not answered by the cache
+
+  if (config_.memoize) {
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      const auto it = cache_.find(pop[i]);
+      if (it != cache_.end()) {
+        fitness[i] = it->second;
+        ++result.cache_hits;
+      } else {
+        todo.push_back(i);
+      }
+    }
+  } else {
+    todo.resize(pop.size());
+    std::iota(todo.begin(), todo.end(), 0);
+  }
+
+  // Within one generation, duplicate uncached genomes are evaluated once.
+  std::map<Genome, std::vector<std::size_t>> groups;
+  for (std::size_t i : todo) groups[pop[i]].push_back(i);
+
+  std::vector<const Genome*> uniques;
+  uniques.reserve(groups.size());
+  for (const auto& [g, _] : groups) uniques.push_back(&g);
+
+  std::vector<double> values(uniques.size());
+  if (config_.threads == 1 || uniques.size() <= 1) {
+    for (std::size_t u = 0; u < uniques.size(); ++u) values[u] = fitness_(*uniques[u]);
+  } else {
+    ThreadPool pool(config_.threads == 0 ? 0 : static_cast<std::size_t>(config_.threads));
+    pool.parallel_for(uniques.size(),
+                      [&](std::size_t u) { values[u] = fitness_(*uniques[u]); });
+  }
+  result.evaluations += uniques.size();
+
+  for (std::size_t u = 0; u < uniques.size(); ++u) {
+    const Genome& g = *uniques[u];
+    if (config_.memoize) cache_[g] = values[u];
+    for (std::size_t i : groups[g]) fitness[i] = values[u];
+  }
+  return fitness;
+}
+
+GaResult GeneticAlgorithm::run() {
+  Pcg32 rng(config_.seed, 0x6a11);
+  GaResult result;
+
+  // Initial population: seed individuals first, random fill.
+  std::vector<Genome> pop;
+  pop.reserve(static_cast<std::size_t>(config_.population));
+  for (const Genome& g : config_.seed_individuals) {
+    if (pop.size() < static_cast<std::size_t>(config_.population)) pop.push_back(g);
+  }
+  while (pop.size() < static_cast<std::size_t>(config_.population)) {
+    pop.push_back(space_.random(rng));
+  }
+
+  std::vector<double> fitness = evaluate(pop, result);
+
+  double best_ever = fitness[0];
+  Genome best_genome = pop[0];
+  int stale = 0;
+
+  auto record_generation = [&](int gen) {
+    GenerationStats gs;
+    gs.generation = gen;
+    gs.best = *std::min_element(fitness.begin(), fitness.end());
+    gs.worst = *std::max_element(fitness.begin(), fitness.end());
+    gs.mean = std::accumulate(fitness.begin(), fitness.end(), 0.0) /
+              static_cast<double>(fitness.size());
+    const auto bi = static_cast<std::size_t>(
+        std::min_element(fitness.begin(), fitness.end()) - fitness.begin());
+    gs.best_genome = pop[bi];
+    result.history.push_back(gs);
+    if (progress_) progress_(gs);
+
+    if (gs.best < best_ever) {
+      best_ever = gs.best;
+      best_genome = pop[bi];
+      stale = 0;
+    } else {
+      ++stale;
+    }
+  };
+
+  record_generation(0);
+
+  for (int gen = 1; gen < config_.generations; ++gen) {
+    if (config_.patience > 0 && stale >= config_.patience) break;
+
+    // Elitism: carry over the best individuals unchanged.
+    std::vector<std::size_t> order(pop.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return fitness[a] < fitness[b]; });
+
+    std::vector<Genome> next;
+    next.reserve(pop.size());
+    for (int e = 0; e < config_.elites; ++e) next.push_back(pop[order[static_cast<std::size_t>(e)]]);
+
+    while (next.size() < pop.size()) {
+      const std::size_t pa = config_.selection == SelectionKind::kTournament
+                                 ? tournament_select(fitness, config_.tournament_k, rng)
+                                 : roulette_select(fitness, rng);
+      const std::size_t pb = config_.selection == SelectionKind::kTournament
+                                 ? tournament_select(fitness, config_.tournament_k, rng)
+                                 : roulette_select(fitness, rng);
+      Genome child = rng.chance(config_.crossover_rate)
+                         ? crossover(pop[pa], pop[pb], config_.crossover, rng)
+                         : pop[pa];
+      mutate(child, space_, config_.mutation, config_.mutation_prob, rng);
+      space_.clamp(child);
+      next.push_back(std::move(child));
+    }
+
+    pop = std::move(next);
+    fitness = evaluate(pop, result);
+    record_generation(gen);
+  }
+
+  result.best = best_genome;
+  result.best_fitness = best_ever;
+  return result;
+}
+
+}  // namespace ith::ga

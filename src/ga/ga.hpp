@@ -1,0 +1,79 @@
+// GeneticAlgorithm: the off-line search driver (the role ECJ plays in the
+// paper). Generational GA with elitism, tournament or roulette selection,
+// configurable crossover/mutation, fitness memoization and optional
+// thread-pool evaluation. Fitness is minimized.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ga/genome.hpp"
+#include "ga/operators.hpp"
+
+namespace ith::ga {
+
+/// Fitness function; lower is better. Must be pure (memoization assumes it)
+/// and thread-safe when GaConfig::threads != 1.
+using FitnessFn = std::function<double(const Genome&)>;
+
+enum class SelectionKind { kTournament, kRoulette };
+
+struct GaConfig {
+  int population = 20;    ///< the paper's population size
+  int generations = 500;  ///< the paper's generation count (usually overridden)
+  SelectionKind selection = SelectionKind::kTournament;
+  int tournament_k = 3;
+  CrossoverKind crossover = CrossoverKind::kTwoPoint;
+  double crossover_rate = 0.9;
+  MutationKind mutation = MutationKind::kReset;
+  double mutation_prob = 0.1;  ///< per gene
+  int elites = 2;              ///< individuals copied unchanged each generation
+  std::uint64_t seed = 42;
+  int threads = 1;             ///< 0 = hardware concurrency
+  bool memoize = true;         ///< cache fitness by genome (fitness must be pure)
+  /// Stop after this many generations without improvement (0 = disabled).
+  int patience = 0;
+  /// Individuals injected into the initial population (e.g. the compiler's
+  /// default parameters), replacing random ones.
+  std::vector<Genome> seed_individuals;
+};
+
+struct GenerationStats {
+  int generation = 0;
+  double best = 0.0;
+  double mean = 0.0;
+  double worst = 0.0;
+  Genome best_genome;
+};
+
+struct GaResult {
+  Genome best;
+  double best_fitness = 0.0;
+  std::vector<GenerationStats> history;
+  std::size_t evaluations = 0;  ///< fitness-function invocations (cache misses)
+  std::size_t cache_hits = 0;
+};
+
+class GeneticAlgorithm {
+ public:
+  GeneticAlgorithm(GenomeSpace space, FitnessFn fitness, GaConfig config);
+
+  /// Per-generation progress callback (invoked on the driver thread).
+  void set_progress(std::function<void(const GenerationStats&)> cb);
+
+  GaResult run();
+
+ private:
+  std::vector<double> evaluate(const std::vector<Genome>& pop, GaResult& result);
+
+  GenomeSpace space_;
+  FitnessFn fitness_;
+  GaConfig config_;
+  std::function<void(const GenerationStats&)> progress_;
+  std::map<Genome, double> cache_;
+};
+
+}  // namespace ith::ga

@@ -1,0 +1,52 @@
+#include "ga/genome.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ith::ga {
+
+GenomeSpace::GenomeSpace(std::vector<GeneSpec> genes) : genes_(std::move(genes)) {
+  ITH_CHECK(!genes_.empty(), "genome space needs at least one gene");
+  for (const GeneSpec& g : genes_) {
+    ITH_CHECK(g.lo <= g.hi, "gene '" + g.name + "' has an empty range");
+  }
+}
+
+const GeneSpec& GenomeSpace::gene(std::size_t i) const {
+  ITH_CHECK(i < genes_.size(), "gene index out of range");
+  return genes_[i];
+}
+
+Genome GenomeSpace::random(Pcg32& rng) const {
+  Genome g(genes_.size());
+  for (std::size_t i = 0; i < genes_.size(); ++i) {
+    g[i] = static_cast<int>(rng.range(genes_[i].lo, genes_[i].hi));
+  }
+  return g;
+}
+
+void GenomeSpace::clamp(Genome& g) const {
+  ITH_CHECK(g.size() == genes_.size(), "genome arity mismatch");
+  for (std::size_t i = 0; i < genes_.size(); ++i) {
+    g[i] = std::clamp(g[i], genes_[i].lo, genes_[i].hi);
+  }
+}
+
+bool GenomeSpace::valid(const Genome& g) const {
+  if (g.size() != genes_.size()) return false;
+  for (std::size_t i = 0; i < genes_.size(); ++i) {
+    if (g[i] < genes_[i].lo || g[i] > genes_[i].hi) return false;
+  }
+  return true;
+}
+
+double GenomeSpace::cardinality() const {
+  double card = 1.0;
+  for (const GeneSpec& g : genes_) {
+    card *= static_cast<double>(g.hi - g.lo + 1);
+  }
+  return card;
+}
+
+}  // namespace ith::ga

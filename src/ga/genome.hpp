@@ -1,0 +1,46 @@
+// Integer-vector genomes over bounded gene ranges — the representation the
+// paper uses with ECJ: one gene per inlining parameter, Table 1 ranges.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ith::ga {
+
+using Genome = std::vector<int>;
+
+struct GeneSpec {
+  std::string name;
+  int lo = 0;
+  int hi = 0;  ///< inclusive
+};
+
+class GenomeSpace {
+ public:
+  explicit GenomeSpace(std::vector<GeneSpec> genes);
+
+  std::size_t size() const { return genes_.size(); }
+  const GeneSpec& gene(std::size_t i) const;
+  const std::vector<GeneSpec>& genes() const { return genes_; }
+
+  /// Uniformly random genome.
+  Genome random(Pcg32& rng) const;
+
+  /// Clamps every gene into its range.
+  void clamp(Genome& g) const;
+
+  /// True if g has the right arity and every gene is in range.
+  bool valid(const Genome& g) const;
+
+  /// Product of gene spans — the size of the search space (the paper quotes
+  /// ~3x10^11 for Table 1).
+  double cardinality() const;
+
+ private:
+  std::vector<GeneSpec> genes_;
+};
+
+}  // namespace ith::ga

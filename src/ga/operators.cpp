@@ -1,0 +1,81 @@
+#include "ga/operators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace ith::ga {
+
+Genome crossover(const Genome& a, const Genome& b, CrossoverKind kind, Pcg32& rng) {
+  ITH_CHECK(a.size() == b.size() && !a.empty(), "crossover arity mismatch");
+  const std::size_t n = a.size();
+  Genome child(n);
+  switch (kind) {
+    case CrossoverKind::kOnePoint: {
+      // Cut in [1, n-1] so both parents contribute (for n == 1, copy a).
+      const std::size_t cut = n == 1 ? 1 : 1 + rng.bounded(static_cast<std::uint32_t>(n - 1));
+      for (std::size_t i = 0; i < n; ++i) child[i] = i < cut ? a[i] : b[i];
+      break;
+    }
+    case CrossoverKind::kTwoPoint: {
+      std::size_t lo = rng.bounded(static_cast<std::uint32_t>(n));
+      std::size_t hi = rng.bounded(static_cast<std::uint32_t>(n));
+      if (lo > hi) std::swap(lo, hi);
+      for (std::size_t i = 0; i < n; ++i) child[i] = (i >= lo && i <= hi) ? b[i] : a[i];
+      break;
+    }
+    case CrossoverKind::kUniform: {
+      for (std::size_t i = 0; i < n; ++i) child[i] = rng.chance(0.5) ? a[i] : b[i];
+      break;
+    }
+  }
+  return child;
+}
+
+void mutate(Genome& g, const GenomeSpace& space, MutationKind kind, double per_gene_prob,
+            Pcg32& rng) {
+  ITH_CHECK(g.size() == space.size(), "mutate arity mismatch");
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (!rng.chance(per_gene_prob)) continue;
+    const GeneSpec& spec = space.gene(i);
+    switch (kind) {
+      case MutationKind::kReset:
+        g[i] = static_cast<int>(rng.range(spec.lo, spec.hi));
+        break;
+      case MutationKind::kGaussian: {
+        const double sigma = std::max(1.0, static_cast<double>(spec.hi - spec.lo) / 10.0);
+        const double v = static_cast<double>(g[i]) + rng.gaussian() * sigma;
+        g[i] = std::clamp(static_cast<int>(std::lround(v)), spec.lo, spec.hi);
+        break;
+      }
+    }
+  }
+}
+
+std::size_t tournament_select(std::span<const double> fitness, int k, Pcg32& rng) {
+  ITH_CHECK(!fitness.empty(), "selection over empty population");
+  ITH_CHECK(k >= 1, "tournament size must be >= 1");
+  std::size_t best = rng.bounded(static_cast<std::uint32_t>(fitness.size()));
+  for (int round = 1; round < k; ++round) {
+    const std::size_t contender = rng.bounded(static_cast<std::uint32_t>(fitness.size()));
+    if (fitness[contender] < fitness[best]) best = contender;
+  }
+  return best;
+}
+
+std::size_t roulette_select(std::span<const double> fitness, Pcg32& rng) {
+  ITH_CHECK(!fitness.empty(), "selection over empty population");
+  const double worst = *std::max_element(fitness.begin(), fitness.end());
+  constexpr double kEps = 1e-9;
+  double total = 0.0;
+  for (double f : fitness) total += (worst - f) + kEps;
+  double ticket = rng.uniform() * total;
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    ticket -= (worst - fitness[i]) + kEps;
+    if (ticket <= 0.0) return i;
+  }
+  return fitness.size() - 1;
+}
+
+}  // namespace ith::ga

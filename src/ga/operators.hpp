@@ -1,0 +1,32 @@
+// Genetic operators: selection, crossover and mutation over integer genomes.
+// All take an explicit RNG so runs are reproducible.
+#pragma once
+
+#include <span>
+
+#include "ga/genome.hpp"
+
+namespace ith::ga {
+
+enum class CrossoverKind { kOnePoint, kTwoPoint, kUniform };
+enum class MutationKind {
+  kReset,     ///< mutated gene redrawn uniformly from its range
+  kGaussian,  ///< mutated gene perturbed by N(0, range/10), clamped
+};
+
+/// Recombines two parents into one child.
+Genome crossover(const Genome& a, const Genome& b, CrossoverKind kind, Pcg32& rng);
+
+/// Mutates each gene independently with probability `per_gene_prob`.
+void mutate(Genome& g, const GenomeSpace& space, MutationKind kind, double per_gene_prob,
+            Pcg32& rng);
+
+/// Tournament selection for *minimization*: draws k contestants uniformly
+/// and returns the index of the fittest (lowest fitness).
+std::size_t tournament_select(std::span<const double> fitness, int k, Pcg32& rng);
+
+/// Roulette-wheel selection for minimization: probability proportional to
+/// (worst - f + eps) so the best individual gets the largest share.
+std::size_t roulette_select(std::span<const double> fitness, Pcg32& rng);
+
+}  // namespace ith::ga

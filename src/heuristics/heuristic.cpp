@@ -1,0 +1,38 @@
+#include "heuristics/heuristic.hpp"
+
+namespace ith::heur {
+
+void InlineHeuristic::prepare(const bc::Program&) {}
+
+JikesHeuristic::JikesHeuristic(InlineParams params) : params_(params) {}
+
+bool JikesHeuristic::should_inline(const InlineRequest& req) const {
+  if (req.is_hot) {
+    // Figure 4: hot call sites are judged only by callee size.
+    return req.callee_size <= params_.hot_callee_max_size;
+  }
+  // Figure 3, test order preserved.
+  if (req.callee_size > params_.callee_max_size) return false;
+  if (req.callee_size < params_.always_inline_size) return true;
+  if (req.depth > params_.max_inline_depth) return false;
+  if (req.caller_size > params_.caller_max_size) return false;
+  return true;
+}
+
+std::string JikesHeuristic::name() const { return "jikes" + params_.to_string(); }
+
+AlwaysInlineHeuristic::AlwaysInlineHeuristic(int depth_cap) : depth_cap_(depth_cap) {}
+
+bool AlwaysInlineHeuristic::should_inline(const InlineRequest& req) const {
+  return req.depth <= depth_cap_;
+}
+
+std::unique_ptr<InlineHeuristic> make_jikes(InlineParams params) {
+  return std::make_unique<JikesHeuristic>(params);
+}
+std::unique_ptr<InlineHeuristic> make_always(int depth_cap) {
+  return std::make_unique<AlwaysInlineHeuristic>(depth_cap);
+}
+std::unique_ptr<InlineHeuristic> make_never() { return std::make_unique<NeverInlineHeuristic>(); }
+
+}  // namespace ith::heur

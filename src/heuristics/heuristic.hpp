@@ -1,0 +1,92 @@
+// InlineHeuristic: the decision procedure the optimizing compiler consults
+// at every call site. Implementations include the paper's Jikes RVM
+// heuristic (Figures 3 and 4), trivial always/never baselines, and a
+// knapsack-style oracle modelled on Arnold et al. (related work).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bytecode/program.hpp"
+#include "heuristics/inline_params.hpp"
+
+namespace ith::heur {
+
+/// Everything the compiler knows about one inlining opportunity.
+struct InlineRequest {
+  bc::MethodId caller = -1;
+  bc::MethodId callee = -1;
+  std::size_t call_pc = 0;       ///< pc of the kCall in the (current) caller body
+  int callee_size = 0;           ///< estimated machine words of the callee
+  int caller_size = 0;           ///< estimated machine words of the caller, incl. growth so far
+  int depth = 0;                 ///< inlining depth at this site (0 = original call)
+  bool is_hot = false;           ///< call site observed hot by the profiler (Adapt)
+  std::uint64_t site_count = 0;  ///< profiled execution count of the site (0 if unknown)
+};
+
+class InlineHeuristic {
+ public:
+  virtual ~InlineHeuristic() = default;
+
+  /// True if the call site should be inlined.
+  virtual bool should_inline(const InlineRequest& req) const = 0;
+
+  /// Called once before a compilation session over `prog`; heuristics that
+  /// need whole-program context (the knapsack oracle) hook this. Default: no-op.
+  virtual void prepare(const bc::Program& prog);
+
+  virtual std::string name() const = 0;
+};
+
+/// The paper's heuristic, verbatim:
+///
+///   inliningHeuristic(calleeSize, inlineDepth, callerSize)   [Figure 3]
+///     if (calleeSize > CALLEE_MAX_SIZE)      return NO;
+///     if (calleeSize < ALWAYS_INLINE_SIZE)   return YES;
+///     if (inlineDepth > MAX_INLINE_DEPTH)    return NO;
+///     if (callerSize > CALLER_MAX_SIZE)      return NO;
+///     return YES;
+///
+///   inlineHotCallSite(calleeSize)                            [Figure 4]
+///     if (calleeSize > HOT_CALLEE_MAX_SIZE)  return NO;
+///     return YES;
+///
+/// Hot call sites (req.is_hot) use the Figure 4 test; all others Figure 3.
+class JikesHeuristic final : public InlineHeuristic {
+ public:
+  explicit JikesHeuristic(InlineParams params = default_params());
+
+  bool should_inline(const InlineRequest& req) const override;
+  std::string name() const override;
+
+  const InlineParams& params() const { return params_; }
+
+ private:
+  InlineParams params_;
+};
+
+/// Inlines everything the compiler structurally can (depth-capped to avoid
+/// unbounded recursion expansion). Upper-bound comparator.
+class AlwaysInlineHeuristic final : public InlineHeuristic {
+ public:
+  explicit AlwaysInlineHeuristic(int depth_cap = 15);
+  bool should_inline(const InlineRequest& req) const override;
+  std::string name() const override { return "always"; }
+
+ private:
+  int depth_cap_;
+};
+
+/// Never inlines. This is the paper's "no inlining" baseline for Figure 1.
+class NeverInlineHeuristic final : public InlineHeuristic {
+ public:
+  bool should_inline(const InlineRequest&) const override { return false; }
+  std::string name() const override { return "never"; }
+};
+
+std::unique_ptr<InlineHeuristic> make_jikes(InlineParams params = default_params());
+std::unique_ptr<InlineHeuristic> make_always(int depth_cap = 15);
+std::unique_ptr<InlineHeuristic> make_never();
+
+}  // namespace ith::heur

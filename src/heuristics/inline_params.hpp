@@ -1,0 +1,46 @@
+// The five tunable inlining parameters from Table 1 of the paper, plus the
+// default values Jikes RVM 2.3.3 ships with (Table 4, column "Default").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ith::heur {
+
+/// One setting of the inlining heuristic. This is exactly the genome the
+/// genetic algorithm evolves.
+struct InlineParams {
+  int callee_max_size = 23;      ///< CALLEE_MAX_SIZE: max callee size allowed to inline
+  int always_inline_size = 11;   ///< ALWAYS_INLINE_SIZE: callees below this always inline
+  int max_inline_depth = 5;      ///< MAX_INLINE_DEPTH: max depth at a call site
+  int caller_max_size = 2048;    ///< CALLER_MAX_SIZE: max caller size to inline into
+  int hot_callee_max_size = 135; ///< HOT_CALLEE_MAX_SIZE: max hot callee size (Adapt only)
+
+  friend bool operator==(const InlineParams&, const InlineParams&) = default;
+
+  /// Values in Table 1 order (the genome layout).
+  std::array<int, 5> to_array() const;
+  static InlineParams from_array(const std::array<int, 5>& v);
+
+  std::string to_string() const;
+};
+
+/// The Jikes RVM 2.3.3 defaults (paper Table 4, "Default" column).
+InlineParams default_params();
+
+/// Inclusive search ranges from Table 1.
+struct ParamRange {
+  const char* name;
+  int lo;
+  int hi;
+};
+
+/// Table 1 ranges, genome order. The product of the spans is the paper's
+/// quoted ~3e11 search space.
+const std::array<ParamRange, 5>& param_ranges();
+
+/// Clamps every field into its Table 1 range.
+InlineParams clamp_to_ranges(const InlineParams& p);
+
+}  // namespace ith::heur

@@ -1,0 +1,48 @@
+// Knapsack-style inlining oracle, modelled on Arnold, Fink, Sarkar & Sweeney
+// (DYNAMO'00), which the paper discusses as related work: with *global*
+// knowledge of the program, choose the set of call sites that maximizes
+// estimated benefit subject to a code-expansion budget.
+//
+// A dynamic compiler cannot use this (it lacks the global view — the paper's
+// central criticism), but it is a useful upper-bound comparator for the
+// ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "heuristics/heuristic.hpp"
+
+namespace ith::heur {
+
+class KnapsackHeuristic final : public InlineHeuristic {
+ public:
+  /// `expansion_budget` is the allowed fractional growth of the program's
+  /// estimated machine-code size (Arnold et al. study budgets up to ~10%).
+  explicit KnapsackHeuristic(double expansion_budget = 0.10);
+
+  /// Scans the whole program, estimates per-site benefit/cost, and greedily
+  /// fills the budget by descending benefit/cost ratio.
+  void prepare(const bc::Program& prog) override;
+
+  /// Inlines exactly the selected original call sites (depth 0). Sites
+  /// created *by* inlining are judged against the same selection keyed by
+  /// the transitive callee, which approximates the oracle's fixed plan.
+  bool should_inline(const InlineRequest& req) const override;
+
+  std::string name() const override;
+
+  std::size_t selected_sites() const { return selected_.size(); }
+
+ private:
+  double expansion_budget_;
+  // (caller, call_pc) -> selected
+  std::map<std::pair<bc::MethodId, std::size_t>, bool> selected_;
+};
+
+/// Static loop-nesting estimate for a pc: the number of backward-branch
+/// spans [target, branch] that contain it. Shared with tests.
+int static_loop_depth(const bc::Method& m, std::size_t pc);
+
+}  // namespace ith::heur

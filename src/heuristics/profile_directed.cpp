@@ -1,0 +1,32 @@
+#include "heuristics/profile_directed.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ith::heur {
+
+ProfileDirectedHeuristic::ProfileDirectedHeuristic(double benefit_per_call, double cost_weight,
+                                                   int depth_cap)
+    : benefit_per_call_(benefit_per_call), cost_weight_(cost_weight), depth_cap_(depth_cap) {
+  ITH_CHECK(benefit_per_call > 0.0 && cost_weight > 0.0, "weights must be positive");
+  ITH_CHECK(depth_cap >= 0, "depth cap must be non-negative");
+}
+
+bool ProfileDirectedHeuristic::should_inline(const InlineRequest& req) const {
+  if (req.depth > depth_cap_) return false;
+  // Un-profiled sites (cold code, or the Opt scenario) are never inlined:
+  // with no evidence of execution there is no evidence of benefit.
+  if (req.site_count == 0) return false;
+  const double benefit = static_cast<double>(req.site_count) * benefit_per_call_;
+  const double cost = cost_weight_ * static_cast<double>(req.callee_size);
+  return benefit >= cost;
+}
+
+std::string ProfileDirectedHeuristic::name() const {
+  std::ostringstream os;
+  os << "profile-directed(benefit=" << benefit_per_call_ << ", cost=" << cost_weight_ << ")";
+  return os.str();
+}
+
+}  // namespace ith::heur

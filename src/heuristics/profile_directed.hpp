@@ -1,0 +1,35 @@
+// Profile-directed inlining heuristic: an online cost/benefit comparator in
+// the spirit of Dean & Chambers' "inlining trials" discussion in the
+// paper's related work — instead of fixed size thresholds, weigh the
+// *measured* call-site frequency against the estimated compile-time cost of
+// splicing the callee.
+//
+//   inline iff  site_count * benefit_per_call >= cost_weight * callee_size
+//
+// Only meaningful under the Adapt scenario (it needs profile counts); with
+// no profile it degenerates to never-inline, which is its honest cold-code
+// answer.
+#pragma once
+
+#include "heuristics/heuristic.hpp"
+
+namespace ith::heur {
+
+class ProfileDirectedHeuristic final : public InlineHeuristic {
+ public:
+  /// `benefit_per_call`: estimated cycles saved per avoided call (linkage +
+  /// marshalling). `cost_weight`: compile cycles charged per callee word.
+  /// `depth_cap`: structural recursion guard.
+  ProfileDirectedHeuristic(double benefit_per_call = 12.0, double cost_weight = 60.0,
+                           int depth_cap = 10);
+
+  bool should_inline(const InlineRequest& req) const override;
+  std::string name() const override;
+
+ private:
+  double benefit_per_call_;
+  double cost_weight_;
+  int depth_cap_;
+};
+
+}  // namespace ith::heur

@@ -1,0 +1,18 @@
+#include "opt/annotated.hpp"
+
+namespace ith::opt {
+
+AnnotatedMethod AnnotatedMethod::from_method(const bc::Method& m, bc::MethodId id) {
+  AnnotatedMethod am;
+  am.method = m;
+  am.meta.resize(m.size());
+  for (std::size_t pc = 0; pc < m.size(); ++pc) {
+    am.meta[pc].depth = 0;
+    am.meta[pc].origin_method = id;
+    am.meta[pc].origin_pc = static_cast<std::int32_t>(pc);
+    am.meta[pc].chain = nullptr;  // empty chain
+  }
+  return am;
+}
+
+}  // namespace ith::opt

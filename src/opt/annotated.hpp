@@ -1,0 +1,39 @@
+// AnnotatedMethod: a method body under transformation, with per-instruction
+// provenance. The inliner needs three facts about every instruction it did
+// not originally emit: how deep in the inline tree it sits, which methods
+// are on its inline chain (to refuse runaway recursive expansion), and which
+// original (method, pc) it came from (so profile data recorded against the
+// original code still applies after splicing).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bytecode/method.hpp"
+
+namespace ith::opt {
+
+/// Provenance for one instruction of a body under optimization.
+struct InstrMeta {
+  int depth = 0;                      ///< inline depth (0 = original caller code)
+  bc::MethodId origin_method = -1;    ///< method the instruction was written in
+  std::int32_t origin_pc = -1;        ///< pc within origin_method
+  /// Methods inlined *through* to produce this instruction, outermost first.
+  /// Shared: every instruction of one spliced region points at the same chain.
+  std::shared_ptr<const std::vector<bc::MethodId>> chain;
+};
+
+/// A method body plus parallel provenance. Invariant: meta.size() == code size.
+struct AnnotatedMethod {
+  bc::Method method;
+  std::vector<InstrMeta> meta;
+
+  /// Wraps an original method: every instruction at depth 0, origin = itself.
+  static AnnotatedMethod from_method(const bc::Method& m, bc::MethodId id);
+
+  /// True while code and annotations agree in length.
+  bool consistent() const { return method.code().size() == meta.size(); }
+};
+
+}  // namespace ith::opt

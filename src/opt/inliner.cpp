@@ -1,0 +1,209 @@
+#include "opt/inliner.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "bytecode/size_estimator.hpp"
+#include "support/error.hpp"
+
+namespace ith::opt {
+
+SiteProfile cold_site(bc::MethodId, std::int32_t) { return SiteProfile{}; }
+
+Inliner::Inliner(const bc::Program& prog, const heur::InlineHeuristic& heuristic, SiteOracle oracle,
+                 InlineLimits limits)
+    : prog_(prog), heuristic_(heuristic), oracle_(std::move(oracle)), limits_(limits) {
+  ITH_CHECK(oracle_ != nullptr, "Inliner requires a site oracle");
+}
+
+bool Inliner::is_inlinable(const bc::Program& prog, bc::MethodId callee) {
+  const bc::Method& m = prog.method(callee);
+  if (m.empty()) return false;
+
+  // Abstract stack-depth interpretation (the method is assumed verified, so
+  // joins are consistent and the stack never underflows). We need two extra
+  // facts the verifier does not expose: no kHalt anywhere reachable, and
+  // operand-stack depth exactly 1 at every kRet — the splice turns kRet into
+  // a jump that leaves the stack as-is, so anything but "just the return
+  // value" would leak values into the caller's frame.
+  const std::size_t n = m.size();
+  constexpr int kUnvisited = -1;
+  std::vector<int> depth_at(n, kUnvisited);
+  std::deque<std::size_t> worklist;
+  depth_at[0] = 0;
+  worklist.push_back(0);
+  while (!worklist.empty()) {
+    const std::size_t pc = worklist.front();
+    worklist.pop_front();
+    const bc::Instruction& insn = m.code()[pc];
+    if (insn.op == bc::Op::kHalt) return false;
+    const int out = depth_at[pc] + bc::stack_effect(insn);
+    if (insn.op == bc::Op::kRet) {
+      if (depth_at[pc] != 1) return false;
+      continue;
+    }
+    auto visit = [&](std::size_t to) {
+      if (to >= n) return;  // verifier guarantees this cannot actually happen
+      if (depth_at[to] == kUnvisited) {
+        depth_at[to] = out;
+        worklist.push_back(to);
+      }
+    };
+    switch (insn.op) {
+      case bc::Op::kJmp:
+        visit(static_cast<std::size_t>(insn.a));
+        break;
+      case bc::Op::kJz:
+      case bc::Op::kJnz:
+        visit(static_cast<std::size_t>(insn.a));
+        visit(pc + 1);
+        break;
+      default:
+        visit(pc + 1);
+        break;
+    }
+  }
+  return true;
+}
+
+bool Inliner::splice(AnnotatedMethod& am, std::size_t call_pc) const {
+  auto& code = am.method.mutable_code();
+  const bc::Instruction call = code[call_pc];
+  ITH_ASSERT(call.op == bc::Op::kCall, "splice target is not a call");
+  const bc::Method& callee = prog_.method(call.a);
+  const int nargs = call.b;
+
+  // Fresh caller locals for the callee's frame.
+  const int base = am.method.num_locals();
+  am.method.set_num_locals(base + callee.num_locals());
+
+  // Provenance shared by the whole spliced region.
+  auto chain = std::make_shared<std::vector<bc::MethodId>>();
+  if (am.meta[call_pc].chain) *chain = *am.meta[call_pc].chain;
+  chain->push_back(call.a);
+  const int depth = am.meta[call_pc].depth + 1;
+
+  std::vector<bc::Instruction> region;
+  std::vector<InstrMeta> region_meta;
+  region.reserve(static_cast<std::size_t>(nargs) + callee.size());
+  region_meta.reserve(region.capacity());
+
+  // Argument marshalling: the top of the caller's stack holds the last
+  // argument, so pop into the highest slot first.
+  for (int i = nargs - 1; i >= 0; --i) {
+    region.push_back(bc::Instruction{bc::Op::kStore, base + i, 0});
+    region_meta.push_back(InstrMeta{depth, call.a, -1, chain});
+  }
+
+  const std::size_t body_offset = call_pc + static_cast<std::size_t>(nargs);
+  const std::size_t landing = body_offset + callee.size();
+
+  for (std::size_t j = 0; j < callee.size(); ++j) {
+    bc::Instruction insn = callee.code()[j];
+    switch (insn.op) {
+      case bc::Op::kLoad:
+      case bc::Op::kStore:
+        insn.a += base;
+        break;
+      case bc::Op::kJmp:
+      case bc::Op::kJz:
+      case bc::Op::kJnz:
+        insn.a = static_cast<std::int32_t>(body_offset) + insn.a;
+        break;
+      case bc::Op::kRet:
+        // The return value is already on top of the stack; just leave the
+        // inlined region.
+        insn = bc::Instruction{bc::Op::kJmp, static_cast<std::int32_t>(landing), 0};
+        break;
+      default:
+        break;  // kCall keeps its program-global target; the scan revisits it
+    }
+    region.push_back(insn);
+    region_meta.push_back(InstrMeta{depth, call.a, static_cast<std::int32_t>(j), chain});
+  }
+
+  // Rebase caller branches around the growth: one call instruction becomes
+  // region.size() instructions.
+  const auto delta = static_cast<std::int32_t>(region.size()) - 1;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    bc::Instruction& insn = code[pc];
+    if (bc::op_info(insn.op).is_branch && insn.a > static_cast<std::int32_t>(call_pc)) {
+      insn.a += delta;
+    }
+  }
+
+  code.erase(code.begin() + static_cast<std::ptrdiff_t>(call_pc));
+  code.insert(code.begin() + static_cast<std::ptrdiff_t>(call_pc), region.begin(), region.end());
+  am.meta.erase(am.meta.begin() + static_cast<std::ptrdiff_t>(call_pc));
+  am.meta.insert(am.meta.begin() + static_cast<std::ptrdiff_t>(call_pc), region_meta.begin(),
+                 region_meta.end());
+  ITH_ASSERT(am.consistent(), "annotation length diverged from code length");
+  return true;
+}
+
+AnnotatedMethod Inliner::run(bc::MethodId id, InlineStats* stats) const {
+  AnnotatedMethod am = AnnotatedMethod::from_method(prog_.method(id), id);
+  InlineStats local;
+  local.size_before_words = bc::estimated_method_size(am.method);
+
+  std::size_t pc = 0;
+  while (pc < am.method.size()) {
+    const bc::Instruction& insn = am.method.code()[pc];
+    if (insn.op != bc::Op::kCall) {
+      ++pc;
+      continue;
+    }
+    ++local.sites_considered;
+    const bc::MethodId callee = insn.a;
+    // Copy: splice() below invalidates references into am.meta.
+    const InstrMeta meta = am.meta[pc];
+
+    // Structural guards, independent of the tuned heuristic.
+    bool structurally_ok = meta.depth < limits_.hard_depth_cap;
+    if (structurally_ok && meta.chain) {
+      const auto occurrences =
+          std::count(meta.chain->begin(), meta.chain->end(), callee);
+      structurally_ok = occurrences < limits_.max_recursive_occurrences;
+    }
+    if (structurally_ok) {
+      structurally_ok = bc::estimated_method_size(am.method) < limits_.max_body_words;
+    }
+    if (structurally_ok) {
+      structurally_ok = is_inlinable(prog_, callee);
+    }
+    if (!structurally_ok) {
+      ++local.sites_refused_structural;
+      ++pc;
+      continue;
+    }
+
+    const SiteProfile profile = oracle_(meta.origin_method, meta.origin_pc);
+    heur::InlineRequest req;
+    req.caller = id;
+    req.callee = callee;
+    req.call_pc = pc;
+    req.callee_size = bc::estimated_method_size(prog_.method(callee));
+    req.caller_size = bc::estimated_method_size(am.method);
+    req.depth = meta.depth;
+    req.is_hot = profile.is_hot;
+    req.site_count = profile.count;
+
+    if (!heuristic_.should_inline(req)) {
+      ++local.sites_refused_by_heuristic;
+      ++pc;
+      continue;
+    }
+
+    splice(am, pc);
+    ++local.sites_inlined;
+    local.max_depth_reached = std::max(local.max_depth_reached, meta.depth + 1);
+    // Do not advance pc: the spliced region starts here and may itself begin
+    // with further call sites to consider.
+  }
+
+  local.size_after_words = bc::estimated_method_size(am.method);
+  if (stats != nullptr) *stats = local;
+  return am;
+}
+
+}  // namespace ith::opt

@@ -1,0 +1,76 @@
+// The inliner: a real program transformation, not a cost-model annotation.
+//
+// For every kCall the heuristic approves, the callee body is spliced into
+// the caller: arguments become stores into fresh caller locals, callee
+// locals are renumbered, internal branches are rebased, and each kRet turns
+// into a jump to the landing pc (its return value simply stays on the
+// operand stack, which is exactly where the caller expects it).
+//
+// Splicing is iterative and depth-aware: calls *inside* a spliced body are
+// revisited at depth+1, so the MAX_INLINE_DEPTH parameter the paper tunes
+// has its real meaning here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "bytecode/program.hpp"
+#include "heuristics/heuristic.hpp"
+#include "opt/annotated.hpp"
+
+namespace ith::opt {
+
+/// Profile facts about one *original* call site, supplied by the VM when
+/// recompiling under the adaptive scenario.
+struct SiteProfile {
+  bool is_hot = false;
+  std::uint64_t count = 0;
+};
+
+/// Maps an original call site (origin method, origin pc) to its profile.
+/// The default oracle reports cold/zero everywhere.
+using SiteOracle = std::function<SiteProfile(bc::MethodId origin_method, std::int32_t origin_pc)>;
+
+SiteProfile cold_site(bc::MethodId, std::int32_t);
+
+/// Outcome statistics for one method's inlining session.
+struct InlineStats {
+  std::size_t sites_considered = 0;
+  std::size_t sites_inlined = 0;
+  std::size_t sites_refused_by_heuristic = 0;
+  std::size_t sites_refused_structural = 0;  ///< recursion guard / non-inlinable shape
+  int max_depth_reached = 0;
+  int size_before_words = 0;   ///< estimated machine words before inlining
+  int size_after_words = 0;    ///< and after
+};
+
+/// Structural safety limits independent of the tuned heuristic. These mirror
+/// the hard limits a real compiler keeps even when a heuristic says yes.
+struct InlineLimits {
+  int hard_depth_cap = 20;           ///< absolute depth bound
+  int max_recursive_occurrences = 1; ///< times one method may appear on a chain
+  int max_body_words = 200000;       ///< give up growing a single body past this
+};
+
+class Inliner {
+ public:
+  explicit Inliner(const bc::Program& prog, const heur::InlineHeuristic& heuristic,
+                   SiteOracle oracle = cold_site, InlineLimits limits = {});
+
+  /// Inlines into (a copy of) method `id` and returns the transformed body.
+  AnnotatedMethod run(bc::MethodId id, InlineStats* stats = nullptr) const;
+
+  /// True if `callee` can structurally be spliced: single-value returns
+  /// (operand stack depth exactly 1 at every kRet) and no kHalt.
+  static bool is_inlinable(const bc::Program& prog, bc::MethodId callee);
+
+ private:
+  bool splice(AnnotatedMethod& am, std::size_t call_pc) const;
+
+  const bc::Program& prog_;
+  const heur::InlineHeuristic& heuristic_;
+  SiteOracle oracle_;
+  InlineLimits limits_;
+};
+
+}  // namespace ith::opt

@@ -1,0 +1,76 @@
+#include "opt/optimizer.hpp"
+
+#include "opt/passes.hpp"
+#include "support/error.hpp"
+
+namespace ith::opt {
+
+Optimizer::Optimizer(const bc::Program& prog, const heur::InlineHeuristic& heuristic,
+                     SiteOracle oracle, OptimizerOptions options, InlineLimits limits)
+    : prog_(prog),
+      heuristic_(heuristic),
+      oracle_(std::move(oracle)),
+      options_(options),
+      limits_(limits) {
+  ITH_CHECK(options_.max_iterations >= 1, "optimizer needs at least one iteration");
+}
+
+OptimizeResult Optimizer::optimize(bc::MethodId id) const {
+  OptimizeResult result;
+
+  if (options_.enable_inlining) {
+    const Inliner inliner(prog_, heuristic_, oracle_, limits_);
+    result.body = inliner.run(id, &result.stats.inline_stats);
+  } else {
+    result.body = AnnotatedMethod::from_method(prog_.method(id), id);
+  }
+
+  if (options_.enable_tail_recursion) {
+    result.stats.tail_calls_eliminated =
+        eliminate_tail_recursion(result.body, id, prog_.method(id).num_args());
+  }
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    std::size_t changes = 0;
+    if (options_.enable_folding) {
+      const std::size_t n = constant_fold(result.body);
+      result.stats.folds += n;
+      changes += n;
+    }
+    if (options_.enable_algebraic) {
+      const std::size_t n = simplify_algebraic(result.body);
+      result.stats.algebraic_simplifications += n;
+      changes += n;
+    }
+    if (options_.enable_compare_fusion) {
+      const std::size_t n = fuse_compare_branch(result.body);
+      result.stats.compare_fusions += n;
+      changes += n;
+    }
+    if (options_.enable_branch_simplify) {
+      const std::size_t n = simplify_branches(result.body);
+      result.stats.branch_simplifications += n;
+      changes += n;
+    }
+    if (options_.enable_copyprop) {
+      const std::size_t n = copy_propagate(result.body);
+      result.stats.copyprops += n;
+      changes += n;
+    }
+    if (options_.enable_dce) {
+      std::size_t n = eliminate_dead_stores(result.body);
+      result.stats.dead_stores += n;
+      changes += n;
+      n = eliminate_unreachable(result.body);
+      result.stats.unreachable_removed += n;
+      changes += n;
+    }
+    result.stats.instructions_compacted += compact_nops(result.body);
+    result.stats.iterations = iter + 1;
+    if (changes == 0) break;
+  }
+
+  return result;
+}
+
+}  // namespace ith::opt

@@ -1,0 +1,64 @@
+// Optimizer: the optimizing compiler's middle end. Runs the inliner under a
+// heuristic, then iterates the scalar passes to a fixpoint.
+#pragma once
+
+#include <cstddef>
+
+#include "bytecode/program.hpp"
+#include "heuristics/heuristic.hpp"
+#include "opt/inliner.hpp"
+
+namespace ith::opt {
+
+struct OptimizerOptions {
+  bool enable_inlining = true;
+  bool enable_folding = true;
+  bool enable_copyprop = true;
+  bool enable_dce = true;
+  bool enable_branch_simplify = true;
+  bool enable_algebraic = true;
+  bool enable_compare_fusion = true;
+  bool enable_tail_recursion = true;
+  int max_iterations = 6;  ///< fixpoint iteration cap for the scalar passes
+};
+
+/// Aggregate rewrite counts for one method compilation.
+struct OptStats {
+  InlineStats inline_stats;
+  std::size_t folds = 0;
+  std::size_t copyprops = 0;
+  std::size_t dead_stores = 0;
+  std::size_t branch_simplifications = 0;
+  std::size_t algebraic_simplifications = 0;
+  std::size_t compare_fusions = 0;
+  std::size_t tail_calls_eliminated = 0;
+  std::size_t unreachable_removed = 0;
+  std::size_t instructions_compacted = 0;
+  int iterations = 0;
+};
+
+struct OptimizeResult {
+  AnnotatedMethod body;  ///< optimized body with provenance preserved
+  OptStats stats;
+};
+
+class Optimizer {
+ public:
+  Optimizer(const bc::Program& prog, const heur::InlineHeuristic& heuristic,
+            SiteOracle oracle = cold_site, OptimizerOptions options = {},
+            InlineLimits limits = {});
+
+  /// Compiles method `id`: inline, then optimize to fixpoint.
+  OptimizeResult optimize(bc::MethodId id) const;
+
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  const bc::Program& prog_;
+  const heur::InlineHeuristic& heuristic_;
+  SiteOracle oracle_;
+  OptimizerOptions options_;
+  InlineLimits limits_;
+};
+
+}  // namespace ith::opt

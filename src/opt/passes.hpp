@@ -1,0 +1,67 @@
+// Scalar optimization passes run after inlining. These are what make
+// inlining profitable beyond call-overhead removal: once a callee body sits
+// inside its caller, constants flow through argument slots and fold, copies
+// disappear, and unreachable paths are deleted — the "increased
+// opportunities for compiler optimization" of the paper's abstract.
+//
+// Every pass preserves verifiability: it rewrites instructions in place
+// (using kNop/kPop placeholders so branch targets stay valid) and reports
+// how many rewrites it made; compact_nops() then removes the placholders
+// and rebases branch targets. Pass correctness is defined by the verifier
+// accepting the output and the interpreter computing identical results.
+#pragma once
+
+#include <cstddef>
+
+#include "opt/annotated.hpp"
+
+namespace ith::opt {
+
+/// Folds constant arithmetic/comparisons, constant-condition branches,
+/// constant negation, and value-discarding pairs (const/load ; pop).
+/// Returns the number of rewrites performed.
+std::size_t constant_fold(AnnotatedMethod& am);
+
+/// Removes no-op local traffic: `load i ; store i` pairs and
+/// `store i ; load i` pairs when slot i has no other readers.
+std::size_t copy_propagate(AnnotatedMethod& am);
+
+/// Rewrites stores to never-read locals into kPop.
+std::size_t eliminate_dead_stores(AnnotatedMethod& am);
+
+/// Branch cleanups: jump-to-next removal, conditional-branch-to-next
+/// reduction, and jump-chain threading.
+std::size_t simplify_branches(AnnotatedMethod& am);
+
+/// Algebraic identities: x+0, x-0, x*1, x/1 drop the operation; x*0 drops
+/// the value and pushes 0 (same for 0/x via the total-division rule it
+/// cannot prove, so only the literal-zero-multiplier form is handled).
+std::size_t simplify_algebraic(AnnotatedMethod& am);
+
+/// Compare/branch fusion at the bytecode level: `cmpXX ; jz/jnz` pairs are
+/// rewritten to the inverse/direct comparison plus a branch, removing the
+/// intermediate boolean when it feeds straight into a conditional
+/// (`cmpeq ; jz t` == `cmpne ; jnz t`, which folds further when one operand
+/// is constant). Also folds double negation of conditions.
+std::size_t fuse_compare_branch(AnnotatedMethod& am);
+
+/// Self-tail-call elimination: a `call self ; ret` pair becomes argument
+/// re-stores plus a jump to the method entry — recursion turned into a
+/// loop, removing call overhead and a frame per level. Only applied when
+/// a definite-assignment analysis proves every non-argument local is
+/// written before read (the reused frame must not leak values between
+/// logical activations).
+std::size_t eliminate_tail_recursion(AnnotatedMethod& am, bc::MethodId self, int num_args);
+
+/// True if every non-argument local of the method is definitely written
+/// before any read on every path from entry. Exposed for tests.
+bool non_arg_locals_definitely_assigned(const bc::Method& m);
+
+/// Replaces unreachable instructions with kNop.
+std::size_t eliminate_unreachable(AnnotatedMethod& am);
+
+/// Deletes kNop instructions and rebases branch targets. Returns the number
+/// of instructions removed.
+std::size_t compact_nops(AnnotatedMethod& am);
+
+}  // namespace ith::opt

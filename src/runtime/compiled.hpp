@@ -1,0 +1,51 @@
+// CompiledMethod: one tiered compilation of a method, as the execution
+// engine sees it — the (possibly transformed) body, its simulated code
+// placement for I-cache purposes, and per-instruction provenance so profile
+// events can be attributed to original call sites even inside inlined code.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bytecode/method.hpp"
+
+namespace ith::rt {
+
+enum class Tier : std::uint8_t {
+  kBaseline,  ///< fast non-optimizing compiler (no inlining, poor code)
+  kMidOpt,    ///< first optimizing level (O1): inlining + opts, weaker codegen
+  kOpt,       ///< full optimizing compiler (O2)
+};
+
+struct CompiledMethod {
+  bc::Method body;
+  Tier tier = Tier::kBaseline;
+  bc::MethodId method_id = -1;
+
+  /// Simulated base address of the emitted machine code.
+  std::uint64_t code_base = 0;
+  /// Prefix sums of machine words: word_offset[pc] is the word address of
+  /// instruction pc relative to code_base; word_offset[size] is the total
+  /// body size in words. Filled by finalize().
+  std::vector<std::uint32_t> word_offset;
+  /// Original (method, pc) each instruction came from; (-1,-1) for synthetic
+  /// instructions such as inlined argument stores.
+  std::vector<std::pair<bc::MethodId, std::int32_t>> origin;
+  /// Abstract operand-stack depth at each instruction (-1 = unreachable).
+  /// Used by on-stack replacement to prove a transfer point compatible.
+  std::vector<int> stack_depth;
+
+  /// Computes word_offset and stack_depth from the body. Call after
+  /// body/origin are set.
+  void finalize();
+
+  std::uint32_t size_words() const;
+
+  /// Index of the unique instruction whose origin is (method, pc), or -1 if
+  /// absent or ambiguous (e.g. duplicated by self-inlining). The OSR entry
+  /// lookup.
+  std::int64_t find_origin(bc::MethodId method, std::int32_t pc) const;
+};
+
+}  // namespace ith::rt

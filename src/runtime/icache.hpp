@@ -1,0 +1,53 @@
+// Set-associative LRU instruction-cache simulator.
+//
+// The interpreter probes it on every cache-line transition of the simulated
+// instruction pointer; misses add the machine's miss penalty to the cycle
+// count. This is the term that penalizes code growth from aggressive
+// inlining and drives the architecture-dependent tuning results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ith::rt {
+
+class ICache {
+ public:
+  /// Geometry: total bytes, line bytes, associativity. All must be powers
+  /// of two and consistent (bytes % (line*assoc) == 0).
+  ICache(std::size_t total_bytes, std::size_t line_bytes, std::size_t assoc);
+
+  /// Looks up the line containing `address`; fills on miss. Returns true on
+  /// hit.
+  bool probe(std::uint64_t address);
+
+  /// Invalidates everything (used between cold-start experiments).
+  void flush();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t probes() const { return hits_ + misses_; }
+  void reset_counters();
+
+  std::size_t num_sets() const { return sets_; }
+  std::size_t associativity() const { return assoc_; }
+  std::size_t line_bytes() const { return line_bytes_; }
+
+ private:
+  std::size_t line_bytes_;
+  std::size_t assoc_;
+  std::size_t sets_;
+  std::uint64_t line_shift_;
+  // ways_[set*assoc + way] = tag (kInvalid when empty);
+  // lru_[set*assoc + way] = last-touch stamp.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> lru_;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+
+  static constexpr std::uint64_t kInvalid = ~0ULL;
+};
+
+}  // namespace ith::rt

@@ -1,0 +1,93 @@
+// The execution engine.
+//
+// Executes *compiled* method bodies (whatever tier the VM hands back from
+// CodeSource::invoke) under the machine model's cost accounting:
+//
+//   cycles += machine_words(insn) * tier_cpi        every instruction
+//   cycles += call_overhead                          every dynamic kCall
+//   cycles += miss_penalty                           every I-cache line miss
+//
+// Because optimized bodies are genuinely transformed (inlined, folded),
+// better heuristics show up as fewer dynamic instructions and fewer calls —
+// the engine measures, it does not model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bytecode/program.hpp"
+#include "runtime/compiled.hpp"
+#include "runtime/icache.hpp"
+#include "runtime/machine.hpp"
+
+namespace ith::rt {
+
+/// The interpreter's view of the VM: code lookup plus profile hooks.
+class CodeSource {
+ public:
+  virtual ~CodeSource() = default;
+
+  /// Called on every method invocation, before execution. May compile or
+  /// swap in a recompiled version. The returned reference must stay valid
+  /// until the current Interpreter::run returns (old versions may still be
+  /// on the call stack).
+  virtual const CompiledMethod& invoke(bc::MethodId id) = 0;
+
+  /// A backward branch was taken inside `id`.
+  virtual void on_back_edge(bc::MethodId id);
+
+  /// Offered after every taken back edge: if a better compilation of the
+  /// executing method exists, return it and the interpreter attempts an
+  /// on-stack replacement (transfer of the live frame). Return nullptr to
+  /// decline (the default). The returned body must stay valid until run()
+  /// returns. Transfers only succeed from baseline-tier frames whose
+  /// loop-header state provably maps into the replacement (unique origin
+  /// match + equal operand-stack depth); otherwise execution continues in
+  /// the old code.
+  virtual const CompiledMethod* osr_replacement(const CompiledMethod& current,
+                                                std::size_t target_pc);
+
+  /// A call instruction originating from (origin_method, origin_pc) executed.
+  virtual void on_call_site(bc::MethodId origin_method, std::int32_t origin_pc);
+};
+
+struct ExecStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t osr_transitions = 0;
+  std::uint64_t icache_probes = 0;
+  std::uint64_t icache_misses = 0;
+  std::size_t max_frame_depth = 0;
+  std::int64_t exit_value = 0;
+};
+
+struct InterpreterOptions {
+  std::uint64_t max_instructions = 2'000'000'000ULL;  ///< runaway-program guard
+  std::size_t max_frames = 4096;                      ///< simulated stack-overflow bound
+};
+
+class Interpreter {
+ public:
+  /// `icache` may be null to run without cache simulation. The machine
+  /// model is copied; program/source/icache must outlive the interpreter.
+  Interpreter(const bc::Program& prog, const MachineModel& machine, CodeSource& source,
+              ICache* icache, InterpreterOptions options = {});
+
+  /// Runs the program's entry method to completion (kHalt or entry return).
+  ExecStats run();
+
+  /// Global data segment; persists across run() calls on the same instance.
+  std::vector<std::int64_t>& globals() { return globals_; }
+  void reset_globals();
+
+ private:
+  const bc::Program& prog_;
+  const MachineModel machine_;  // by value: callers may pass temporaries
+  CodeSource& source_;
+  ICache* icache_;
+  InterpreterOptions options_;
+  std::vector<std::int64_t> globals_;
+};
+
+}  // namespace ith::rt

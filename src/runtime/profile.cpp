@@ -1,0 +1,35 @@
+#include "runtime/profile.hpp"
+
+#include "support/error.hpp"
+
+namespace ith::rt {
+
+ProfileData::ProfileData(std::size_t num_methods) : methods_(num_methods) {}
+
+std::size_t ProfileData::check(bc::MethodId m) const {
+  ITH_CHECK(m >= 0 && static_cast<std::size_t>(m) < methods_.size(),
+            "profile: method id out of range");
+  return static_cast<std::size_t>(m);
+}
+
+void ProfileData::record_call_site(bc::MethodId origin_method, std::int32_t origin_pc) {
+  if (origin_method < 0) return;  // synthetic instruction: nothing to attribute
+  ++sites_[{origin_method, origin_pc}];
+}
+
+std::uint64_t ProfileData::hot_score(bc::MethodId m) const {
+  const auto& c = methods_[check(m)];
+  return c.invocations + c.back_edges;
+}
+
+std::uint64_t ProfileData::site_count(bc::MethodId origin_method, std::int32_t origin_pc) const {
+  const auto it = sites_.find({origin_method, origin_pc});
+  return it == sites_.end() ? 0 : it->second;
+}
+
+void ProfileData::clear() {
+  for (auto& c : methods_) c = MethodCounters{};
+  sites_.clear();
+}
+
+}  // namespace ith::rt

@@ -1,0 +1,36 @@
+// Tiny command-line flag parser for the examples and bench harnesses.
+// Supports --name=value, --name value, and boolean --name forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ith {
+
+class CliParser {
+ public:
+  CliParser(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  bool has(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int_or(const std::string& name, std::int64_t fallback) const;
+  double get_double_or(const std::string& name, double fallback) const;
+  bool get_bool_or(const std::string& name, bool fallback) const;
+
+  /// Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ith

@@ -1,0 +1,25 @@
+// Minimal CSV writer so benchmark harnesses can dump machine-readable
+// series next to the human-readable tables (for replotting the figures).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ith {
+
+/// Writes RFC-4180-style CSV: fields containing commas, quotes or newlines
+/// are quoted, embedded quotes doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace ith

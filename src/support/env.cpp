@@ -1,0 +1,24 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace ith {
+
+std::string env_or(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+std::int64_t env_int_or(const std::string& name, std::int64_t fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  ITH_CHECK(end && *end == '\0', "env var " + name + " is not an integer: " + std::string(v));
+  return parsed;
+}
+
+}  // namespace ith

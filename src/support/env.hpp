@@ -1,0 +1,16 @@
+// Environment-variable overrides used by the bench harnesses so GA budgets
+// can be scaled up (paper-scale) or down (smoke runs) without rebuilding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ith {
+
+/// Returns the env var value, or `fallback` if unset/empty.
+std::string env_or(const std::string& name, const std::string& fallback);
+
+/// Integer env var; throws ith::Error if set but unparsable.
+std::int64_t env_int_or(const std::string& name, std::int64_t fallback);
+
+}  // namespace ith

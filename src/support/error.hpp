@@ -1,0 +1,40 @@
+// Error handling primitives shared across the inline-tuner libraries.
+//
+// The libraries throw `ith::Error` for all recoverable misuse (bad bytecode,
+// malformed parameters, ...). Internal invariants use ITH_ASSERT, which is
+// compiled in all build types: a simulator that silently corrupts its cycle
+// accounting is worse than one that stops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ith {
+
+/// Exception type thrown by all inline-tuner libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ith
+
+/// Throw ith::Error with file/line context when `cond` is false.
+#define ITH_CHECK(cond, msg)                                   \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::ith::detail::raise(__FILE__, __LINE__, (msg));         \
+    }                                                          \
+  } while (0)
+
+/// Internal invariant; active in every build type.
+#define ITH_ASSERT(cond, msg) ITH_CHECK(cond, std::string("internal invariant violated: ") + (msg))

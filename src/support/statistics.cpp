@@ -1,0 +1,90 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace ith {
+
+double mean(std::span<const double> xs) {
+  ITH_CHECK(!xs.empty(), "mean of empty range");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  ITH_CHECK(!xs.empty(), "geomean of empty range");
+  double logsum = 0.0;
+  for (double x : xs) {
+    ITH_CHECK(x > 0.0, "geomean requires strictly positive values");
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double stddev(std::span<const double> xs) {
+  ITH_CHECK(xs.size() >= 2, "stddev requires at least two samples");
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::span<const double> xs) {
+  ITH_CHECK(!xs.empty(), "median of empty range");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double min_of(std::span<const double> xs) {
+  ITH_CHECK(!xs.empty(), "min of empty range");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  ITH_CHECK(!xs.empty(), "max of empty range");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  ITH_CHECK(n_ > 0, "RunningStats::mean with no samples");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  ITH_CHECK(n_ > 0, "RunningStats::min with no samples");
+  return min_;
+}
+
+double RunningStats::max() const {
+  ITH_CHECK(n_ > 0, "RunningStats::max with no samples");
+  return max_;
+}
+
+double percent_reduction(double ratio) { return (1.0 - ratio) * 100.0; }
+
+}  // namespace ith

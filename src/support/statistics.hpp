@@ -1,0 +1,51 @@
+// Summary statistics used by the tuner's fitness functions and by the
+// benchmark harnesses when aggregating per-benchmark results into the
+// averages the paper reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ith {
+
+/// Arithmetic mean. Requires a non-empty range.
+double mean(std::span<const double> xs);
+
+/// Geometric mean (the paper's Perf(S) formula). Requires a non-empty range
+/// of strictly positive values. Computed in log space for numeric stability.
+double geomean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator). Requires size >= 2.
+double stddev(std::span<const double> xs);
+
+/// Median (copies and sorts). Requires a non-empty range.
+double median(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Streaming accumulator for min/max/mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< sample variance; 0 when count < 2
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Converts a ratio `tuned/baseline` into the "% reduction" the paper quotes
+/// (positive = improvement). E.g. ratio 0.83 -> 17.0.
+double percent_reduction(double ratio);
+
+}  // namespace ith

@@ -1,0 +1,86 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ith {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  ITH_CHECK(!headers_.empty(), "Table requires at least one column");
+  if (aligns_.empty()) {
+    aligns_.assign(headers_.size(), Align::kRight);
+    aligns_[0] = Align::kLeft;  // first column is typically the benchmark name
+  }
+  ITH_CHECK(aligns_.size() == headers_.size(), "Table alignment count mismatch");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ITH_CHECK(cells.size() == headers_.size(), "Table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rules_.push_back(rows_.size()); }
+
+void Table::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto hrule = [&os, &widths] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      os << "| ";
+      if (aligns_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << row[c];
+      if (aligns_[c] == Align::kLeft) os << std::string(pad, ' ');
+      os << ' ';
+    }
+    os << "|\n";
+  };
+
+  hrule();
+  emit(headers_);
+  hrule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(rules_.begin(), rules_.end(), r) != rules_.end()) hrule();
+    emit(rows_[r]);
+  }
+  hrule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+std::string cell(double value, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, value);
+  return buf;
+}
+
+std::string cell(long long value) { return std::to_string(value); }
+
+std::string cell_ratio(double ratio) { return cell(ratio, 3); }
+
+std::string cell_percent(double percent) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", percent);
+  return buf;
+}
+
+}  // namespace ith

@@ -1,0 +1,52 @@
+// Plain-text table renderer. The benchmark harnesses print the same rows
+// the paper's tables/figures report; this keeps their formatting uniform.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ith {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, add rows of strings (or use the
+/// cell() helpers for numbers), then render to a stream.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, std::vector<Align> aligns = {});
+
+  /// Adds one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row (used to separate
+  /// per-benchmark rows from the average row, as the paper's figures do).
+  void add_rule();
+
+  std::size_t rows() const { return rows_.size(); }
+
+  void render(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> rules_;  // row indices preceded by a rule
+};
+
+/// Formats a double with `prec` fractional digits.
+std::string cell(double value, int prec = 3);
+
+/// Formats an integer.
+std::string cell(long long value);
+
+/// Formats a ratio as the paper's normalized bar value, e.g. "0.83".
+std::string cell_ratio(double ratio);
+
+/// Formats a percent reduction, e.g. "17.0%" (positive = improvement).
+std::string cell_percent(double percent);
+
+}  // namespace ith

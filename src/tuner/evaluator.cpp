@@ -1,0 +1,48 @@
+#include "tuner/evaluator.hpp"
+
+#include "support/error.hpp"
+
+namespace ith::tuner {
+
+SuiteEvaluator::SuiteEvaluator(std::vector<wl::Workload> suite, EvalConfig config)
+    : suite_(std::move(suite)), config_(config) {
+  ITH_CHECK(!suite_.empty(), "evaluator needs a non-empty suite");
+  ITH_CHECK(config_.iterations >= 1, "need at least one iteration");
+  config_.vm_config.scenario = config_.scenario;
+}
+
+std::vector<BenchmarkResult> SuiteEvaluator::evaluate_heuristic(heur::InlineHeuristic& h) const {
+  std::vector<BenchmarkResult> results;
+  results.reserve(suite_.size());
+  for (const wl::Workload& w : suite_) {
+    vm::VirtualMachine machine(w.program, config_.machine, h, config_.vm_config);
+    const vm::RunResult rr = machine.run(config_.iterations);
+    results.push_back(BenchmarkResult{w.name, rr.running_cycles, rr.total_cycles,
+                                      rr.compile_cycles_all});
+  }
+  return results;
+}
+
+const std::vector<BenchmarkResult>& SuiteEvaluator::evaluate(const heur::InlineParams& params) {
+  const std::array<int, 5> key = params.to_array();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  heur::JikesHeuristic h(params);
+  std::vector<BenchmarkResult> results = evaluate_heuristic(h);
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.emplace(key, std::move(results)).first->second;
+}
+
+const std::vector<BenchmarkResult>& SuiteEvaluator::default_results() {
+  return evaluate(heur::default_params());
+}
+
+std::size_t SuiteEvaluator::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace ith::tuner

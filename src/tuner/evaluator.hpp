@@ -1,0 +1,59 @@
+// SuiteEvaluator: runs a benchmark suite under a candidate heuristic and
+// reports per-benchmark running/total cycles. This is the expensive inner
+// loop of tuning, so results are memoized by parameter value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "heuristics/heuristic.hpp"
+#include "runtime/machine.hpp"
+#include "vm/vm.hpp"
+#include "workloads/suite.hpp"
+
+namespace ith::tuner {
+
+struct BenchmarkResult {
+  std::string name;
+  std::uint64_t running_cycles = 0;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t compile_cycles = 0;
+};
+
+struct EvalConfig {
+  rt::MachineModel machine = rt::pentium4_model();
+  vm::Scenario scenario = vm::Scenario::kAdapt;
+  int iterations = 2;          ///< the paper's "iterate at least twice"
+  vm::VmConfig vm_config{};    ///< scenario field is overwritten per run
+};
+
+class SuiteEvaluator {
+ public:
+  SuiteEvaluator(std::vector<wl::Workload> suite, EvalConfig config);
+
+  /// Runs every benchmark under the Figure 3/4 heuristic with `params`.
+  /// Memoized; the returned reference stays valid for this object's life.
+  const std::vector<BenchmarkResult>& evaluate(const heur::InlineParams& params);
+
+  /// Runs every benchmark under an arbitrary heuristic (not memoized).
+  std::vector<BenchmarkResult> evaluate_heuristic(heur::InlineHeuristic& h) const;
+
+  /// Results under the shipped default parameters (computed lazily once;
+  /// the denominator for normalized figures and the balance factor).
+  const std::vector<BenchmarkResult>& default_results();
+
+  const std::vector<wl::Workload>& suite() const { return suite_; }
+  const EvalConfig& config() const { return config_; }
+  std::size_t cache_size() const;
+
+ private:
+  std::vector<wl::Workload> suite_;
+  EvalConfig config_;
+  std::map<std::array<int, 5>, std::vector<BenchmarkResult>> cache_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace ith::tuner

@@ -1,0 +1,65 @@
+#include "tuner/fitness.hpp"
+
+#include "support/error.hpp"
+#include "support/statistics.hpp"
+#include "tuner/parameter_space.hpp"
+
+namespace ith::tuner {
+
+const char* goal_name(Goal g) {
+  switch (g) {
+    case Goal::kRunning: return "running";
+    case Goal::kTotal: return "total";
+    case Goal::kBalance: return "balance";
+  }
+  return "?";
+}
+
+double benchmark_metric(Goal goal, const BenchmarkResult& candidate,
+                        const BenchmarkResult& with_default) {
+  ITH_CHECK(with_default.running_cycles > 0 && with_default.total_cycles > 0,
+            "default-heuristic baseline has zero time for " + with_default.name);
+  switch (goal) {
+    case Goal::kRunning:
+      return static_cast<double>(candidate.running_cycles) /
+             static_cast<double>(with_default.running_cycles);
+    case Goal::kTotal:
+      return static_cast<double>(candidate.total_cycles) /
+             static_cast<double>(with_default.total_cycles);
+    case Goal::kBalance: {
+      // factor = Total(s_def) / Running(s_def); metric = factor * Running + Total,
+      // normalized by its own value under the default heuristic
+      // (factor * Running_def + Total_def = 2 * Total_def).
+      const double factor = static_cast<double>(with_default.total_cycles) /
+                            static_cast<double>(with_default.running_cycles);
+      const double raw = factor * static_cast<double>(candidate.running_cycles) +
+                         static_cast<double>(candidate.total_cycles);
+      return raw / (2.0 * static_cast<double>(with_default.total_cycles));
+    }
+  }
+  throw Error("unknown goal");
+}
+
+double suite_fitness(Goal goal, const std::vector<BenchmarkResult>& candidate,
+                     const std::vector<BenchmarkResult>& with_default) {
+  ITH_CHECK(candidate.size() == with_default.size() && !candidate.empty(),
+            "fitness: result vectors must be parallel and non-empty");
+  std::vector<double> metrics;
+  metrics.reserve(candidate.size());
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    ITH_CHECK(candidate[i].name == with_default[i].name, "fitness: benchmark order mismatch");
+    metrics.push_back(benchmark_metric(goal, candidate[i], with_default[i]));
+  }
+  return geomean(metrics);
+}
+
+ga::FitnessFn make_fitness(SuiteEvaluator& evaluator, Goal goal) {
+  // Force the baseline once up front so concurrent fitness calls only read.
+  const std::vector<BenchmarkResult>& defaults = evaluator.default_results();
+  return [&evaluator, &defaults, goal](const ga::Genome& g) {
+    const heur::InlineParams params = params_from_genome(g);
+    return suite_fitness(goal, evaluator.evaluate(params), defaults);
+  };
+}
+
+}  // namespace ith::tuner

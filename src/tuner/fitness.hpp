@@ -1,0 +1,41 @@
+// The paper's fitness functions (section 3.1):
+//
+//   Perf(S) = |S|-th root of prod_{s in S} Perf(s)        (geometric mean)
+//
+// with Perf(s) one of:
+//   Running  — running time of s
+//   Total    — total (running + compile) time of s
+//   Balance  — factor * Running(s) + Total(s),
+//              factor = Total(s_def) / Running(s_def) under the default
+//              heuristic, so both terms carry comparable weight.
+//
+// Each benchmark's metric is normalized by its default-heuristic value
+// before the geomean; this changes the fitness only by a constant factor
+// (geomean is multiplicative) but keeps values interpretable (1.0 == as
+// good as the default).
+#pragma once
+
+#include "ga/ga.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace ith::tuner {
+
+enum class Goal { kRunning, kTotal, kBalance };
+
+const char* goal_name(Goal g);
+
+/// Perf(s) for one benchmark under `goal`, given its default-heuristic
+/// measurements (used for the balance factor).
+double benchmark_metric(Goal goal, const BenchmarkResult& candidate,
+                        const BenchmarkResult& with_default);
+
+/// The full Perf(S) fitness: geometric mean of normalized per-benchmark
+/// metrics. Lower is better; 1.0 matches the default heuristic.
+double suite_fitness(Goal goal, const std::vector<BenchmarkResult>& candidate,
+                     const std::vector<BenchmarkResult>& with_default);
+
+/// Wraps a SuiteEvaluator as a GA fitness function over inline-parameter
+/// genomes (4 or 5 genes). The evaluator must outlive the returned callable.
+ga::FitnessFn make_fitness(SuiteEvaluator& evaluator, Goal goal);
+
+}  // namespace ith::tuner

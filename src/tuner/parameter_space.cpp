@@ -1,0 +1,34 @@
+#include "tuner/parameter_space.hpp"
+
+#include "support/error.hpp"
+
+namespace ith::tuner {
+
+ga::GenomeSpace inline_param_space(bool include_hot_gene) {
+  std::vector<ga::GeneSpec> genes;
+  const auto& ranges = heur::param_ranges();
+  const std::size_t n = include_hot_gene ? ranges.size() : ranges.size() - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    genes.push_back(ga::GeneSpec{ranges[i].name, ranges[i].lo, ranges[i].hi});
+  }
+  return ga::GenomeSpace(std::move(genes));
+}
+
+heur::InlineParams params_from_genome(const ga::Genome& g) {
+  ITH_CHECK(g.size() == 4 || g.size() == 5, "inline-parameter genome must have 4 or 5 genes");
+  heur::InlineParams p = heur::default_params();
+  p.callee_max_size = g[0];
+  p.always_inline_size = g[1];
+  p.max_inline_depth = g[2];
+  p.caller_max_size = g[3];
+  if (g.size() == 5) p.hot_callee_max_size = g[4];
+  return p;
+}
+
+ga::Genome genome_from_params(const heur::InlineParams& p, bool include_hot_gene) {
+  ga::Genome g = {p.callee_max_size, p.always_inline_size, p.max_inline_depth, p.caller_max_size};
+  if (include_hot_gene) g.push_back(p.hot_callee_max_size);
+  return g;
+}
+
+}  // namespace ith::tuner

@@ -1,0 +1,24 @@
+// Genome <-> InlineParams mapping over the Table 1 search space.
+//
+// Under the Opt scenario no call site is ever profiled hot, so
+// HOT_CALLEE_MAX_SIZE is dead ("NA" in Table 4) and the genome drops to four
+// genes — searching a dead gene only adds noise.
+#pragma once
+
+#include "ga/genome.hpp"
+#include "heuristics/inline_params.hpp"
+
+namespace ith::tuner {
+
+/// The Table 1 search space. `include_hot_gene` = false for Opt-scenario
+/// tuning (4 genes), true for Adapt (5 genes).
+ga::GenomeSpace inline_param_space(bool include_hot_gene);
+
+/// Decodes a genome (4 or 5 genes, Table 1 order). A 4-gene genome keeps the
+/// default HOT_CALLEE_MAX_SIZE (it is never consulted under Opt).
+heur::InlineParams params_from_genome(const ga::Genome& g);
+
+/// Encodes parameters as a genome of the requested arity.
+ga::Genome genome_from_params(const heur::InlineParams& p, bool include_hot_gene);
+
+}  // namespace ith::tuner

@@ -1,0 +1,68 @@
+#include "tuner/report.hpp"
+
+#include <ostream>
+
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/statistics.hpp"
+
+namespace ith::tuner {
+
+std::vector<ComparisonRow> compare_results(const std::vector<BenchmarkResult>& candidate,
+                                           const std::vector<BenchmarkResult>& baseline) {
+  ITH_CHECK(candidate.size() == baseline.size() && !candidate.empty(),
+            "compare_results: parallel non-empty vectors required");
+  std::vector<ComparisonRow> rows;
+  rows.reserve(candidate.size());
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    ITH_CHECK(candidate[i].name == baseline[i].name, "compare_results: benchmark order mismatch");
+    ITH_CHECK(baseline[i].running_cycles > 0 && baseline[i].total_cycles > 0,
+              "compare_results: zero baseline for " + baseline[i].name);
+    rows.push_back(ComparisonRow{
+        candidate[i].name,
+        static_cast<double>(candidate[i].running_cycles) /
+            static_cast<double>(baseline[i].running_cycles),
+        static_cast<double>(candidate[i].total_cycles) /
+            static_cast<double>(baseline[i].total_cycles)});
+  }
+  return rows;
+}
+
+ComparisonRow average_row(const std::vector<ComparisonRow>& rows) {
+  ITH_CHECK(!rows.empty(), "average of no rows");
+  std::vector<double> running, total;
+  running.reserve(rows.size());
+  total.reserve(rows.size());
+  for (const ComparisonRow& r : rows) {
+    running.push_back(r.running_ratio);
+    total.push_back(r.total_ratio);
+  }
+  return ComparisonRow{"average", mean(running), mean(total)};
+}
+
+Table comparison_table(const std::vector<ComparisonRow>& rows) {
+  Table t({"benchmark", "running (norm)", "total (norm)", "running red.", "total red."});
+  for (const ComparisonRow& r : rows) {
+    t.add_row({r.name, cell_ratio(r.running_ratio), cell_ratio(r.total_ratio),
+               cell_percent(percent_reduction(r.running_ratio)),
+               cell_percent(percent_reduction(r.total_ratio))});
+  }
+  const ComparisonRow avg = average_row(rows);
+  t.add_rule();
+  t.add_row({avg.name, cell_ratio(avg.running_ratio), cell_ratio(avg.total_ratio),
+             cell_percent(percent_reduction(avg.running_ratio)),
+             cell_percent(percent_reduction(avg.total_ratio))});
+  return t;
+}
+
+void write_comparison_csv(std::ostream& os, const std::vector<ComparisonRow>& rows) {
+  CsvWriter csv(os);
+  csv.write_row({"benchmark", "running_norm", "total_norm"});
+  for (const ComparisonRow& r : rows) {
+    csv.write_row({r.name, cell(r.running_ratio, 6), cell(r.total_ratio, 6)});
+  }
+  const ComparisonRow avg = average_row(rows);
+  csv.write_row({avg.name, cell(avg.running_ratio, 6), cell(avg.total_ratio, 6)});
+}
+
+}  // namespace ith::tuner

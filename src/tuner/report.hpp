@@ -1,0 +1,37 @@
+// Figure/table builders: turn evaluator output into the normalized
+// "tuned vs default" rows the paper's figures plot (bars below 1.0 are
+// improvements) and the average rows of Table 5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace ith::tuner {
+
+struct ComparisonRow {
+  std::string name;
+  double running_ratio = 1.0;  ///< candidate running / baseline running
+  double total_ratio = 1.0;    ///< candidate total / baseline total
+};
+
+/// Per-benchmark ratios of `candidate` over `baseline` (parallel vectors).
+std::vector<ComparisonRow> compare_results(const std::vector<BenchmarkResult>& candidate,
+                                           const std::vector<BenchmarkResult>& baseline);
+
+/// Arithmetic means of the ratio columns (how the paper's "avg" bars and
+/// Table 5 entries are computed).
+ComparisonRow average_row(const std::vector<ComparisonRow>& rows);
+
+/// Renders rows as the paper's figure data: one row per benchmark plus an
+/// average row, columns "Running" and "Total" as normalized ratios.
+Table comparison_table(const std::vector<ComparisonRow>& rows);
+
+/// Writes the same data (plus the average row) as CSV with header
+/// `benchmark,running_norm,total_norm` — the machine-readable series for
+/// replotting the paper's figures.
+void write_comparison_csv(std::ostream& os, const std::vector<ComparisonRow>& rows);
+
+}  // namespace ith::tuner

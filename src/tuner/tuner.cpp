@@ -1,0 +1,29 @@
+#include "tuner/tuner.hpp"
+
+#include "tuner/parameter_space.hpp"
+
+namespace ith::tuner {
+
+TuneResult tune(SuiteEvaluator& evaluator, Goal goal, ga::GaConfig ga_config) {
+  const bool include_hot = evaluator.config().scenario == vm::Scenario::kAdapt;
+  ga::GenomeSpace space = inline_param_space(include_hot);
+  ga::GeneticAlgorithm algo(space, make_fitness(evaluator, goal), ga_config);
+  TuneResult result;
+  result.ga = algo.run();
+  result.best = params_from_genome(result.ga.best);
+  result.best_fitness = result.ga.best_fitness;
+  return result;
+}
+
+ga::GaConfig default_ga_config(int generations, std::uint64_t seed) {
+  ga::GaConfig cfg;
+  cfg.population = 20;
+  cfg.generations = generations;
+  cfg.seed = seed;
+  cfg.threads = 1;
+  cfg.memoize = true;
+  cfg.patience = 10;
+  return cfg;
+}
+
+}  // namespace ith::tuner

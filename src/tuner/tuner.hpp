@@ -1,0 +1,28 @@
+// Tuner: the paper's off-line step. Given a training suite, a compilation
+// scenario/architecture (the evaluator) and an optimization goal, run the
+// genetic algorithm over the Table 1 space and return the tuned parameters
+// that would be "shipped with the compiler".
+#pragma once
+
+#include "ga/ga.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/fitness.hpp"
+
+namespace ith::tuner {
+
+struct TuneResult {
+  heur::InlineParams best;
+  double best_fitness = 0.0;  ///< normalized Perf(S); < 1.0 beats the default
+  ga::GaResult ga;
+};
+
+/// Runs the GA. `ga_config.seed_individuals` may be used to inject the
+/// default parameters into the initial population.
+TuneResult tune(SuiteEvaluator& evaluator, Goal goal, ga::GaConfig ga_config);
+
+/// Convenience: a GA configuration scaled for the bench harnesses.
+/// Population 20 (the paper's), `generations` as given, memoized,
+/// single-threaded (evaluations already saturate one core), patience 10.
+ga::GaConfig default_ga_config(int generations, std::uint64_t seed);
+
+}  // namespace ith::tuner

@@ -1,0 +1,219 @@
+#include "vm/vm.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ith::vm {
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kAdapt: return "Adapt";
+    case Scenario::kOpt: return "Opt";
+  }
+  return "?";
+}
+
+VirtualMachine::VirtualMachine(const bc::Program& prog, const rt::MachineModel& machine,
+                               heur::InlineHeuristic& heuristic, VmConfig config)
+    : prog_(prog),
+      machine_(machine),
+      heuristic_(heuristic),
+      config_(config),
+      current_(prog.num_methods()),
+      opt_compile_count_(prog.num_methods(), 0),
+      profile_(prog.num_methods()) {
+  // Whole-program heuristics (the knapsack oracle) see the program once per
+  // VM session, before any compilation.
+  heuristic_.prepare(prog_);
+  if (config_.simulate_icache) {
+    icache_ = std::make_unique<rt::ICache>(machine_.icache_bytes, machine_.icache_line_bytes,
+                                           machine_.icache_assoc);
+  }
+  // The private-base conversion is only accessible in class scope, so it
+  // must happen here rather than inside make_unique.
+  rt::CodeSource& self = *this;
+  interp_ = std::make_unique<rt::Interpreter>(prog_, machine_, self, icache_.get(),
+                                              config_.interp_options);
+}
+
+std::unique_ptr<rt::CompiledMethod> VirtualMachine::compile_baseline(bc::MethodId id) {
+  auto cm = std::make_unique<rt::CompiledMethod>();
+  cm->body = prog_.method(id);
+  cm->tier = rt::Tier::kBaseline;
+  cm->method_id = id;
+  cm->origin.resize(cm->body.size());
+  for (std::size_t pc = 0; pc < cm->body.size(); ++pc) {
+    cm->origin[pc] = {id, static_cast<std::int32_t>(pc)};
+  }
+  cm->finalize();
+
+  ITH_ASSERT(live_iter_ != nullptr, "compilation outside a run");
+  live_iter_->compile_cycles += machine_.baseline_compile_cycles(cm->size_words());
+  ++live_iter_->baseline_compiles;
+  ++live_result_->methods_baseline_compiled;
+  return cm;
+}
+
+std::unique_ptr<rt::CompiledMethod> VirtualMachine::compile_opt(bc::MethodId id, rt::Tier tier) {
+  // Under Adapt the optimizer consults the live profile; under Opt there is
+  // no profile (everything is compiled on first invocation), so every site
+  // takes the Figure 3 path — which is why HOT_CALLEE_MAX_SIZE is "NA" for
+  // Opt in Table 4.
+  opt::SiteOracle oracle = opt::cold_site;
+  if (config_.scenario == Scenario::kAdapt) {
+    const rt::ProfileData& profile = profile_;
+    const std::uint64_t hot_threshold = config_.hot_site_threshold;
+    oracle = [&profile, hot_threshold](bc::MethodId m, std::int32_t pc) {
+      opt::SiteProfile sp;
+      if (m >= 0 && pc >= 0) {
+        sp.count = profile.site_count(m, pc);
+        sp.is_hot = sp.count >= hot_threshold;
+      }
+      return sp;
+    };
+  }
+
+  const opt::Optimizer optimizer(prog_, heuristic_, oracle, config_.opt_options,
+                                 config_.inline_limits);
+  opt::OptimizeResult result = optimizer.optimize(id);
+
+  auto cm = std::make_unique<rt::CompiledMethod>();
+  cm->body = std::move(result.body.method);
+  cm->tier = tier;
+  cm->method_id = id;
+  cm->origin.reserve(result.body.meta.size());
+  for (const opt::InstrMeta& m : result.body.meta) {
+    cm->origin.emplace_back(m.origin_method, m.origin_pc);
+  }
+  cm->finalize();
+
+  ITH_ASSERT(live_iter_ != nullptr, "compilation outside a run");
+  live_iter_->compile_cycles += tier == rt::Tier::kOpt
+                                    ? machine_.opt_compile_cycles(cm->size_words())
+                                    : machine_.mid_compile_cycles(cm->size_words());
+  ++live_iter_->opt_compiles;
+  ++live_result_->methods_opt_compiled;
+
+  auto& agg = live_result_->opt_stats;
+  agg.inline_stats.sites_considered += result.stats.inline_stats.sites_considered;
+  agg.inline_stats.sites_inlined += result.stats.inline_stats.sites_inlined;
+  agg.inline_stats.sites_refused_by_heuristic += result.stats.inline_stats.sites_refused_by_heuristic;
+  agg.inline_stats.sites_refused_structural += result.stats.inline_stats.sites_refused_structural;
+  agg.inline_stats.max_depth_reached =
+      std::max(agg.inline_stats.max_depth_reached, result.stats.inline_stats.max_depth_reached);
+  agg.folds += result.stats.folds;
+  agg.copyprops += result.stats.copyprops;
+  agg.dead_stores += result.stats.dead_stores;
+  agg.branch_simplifications += result.stats.branch_simplifications;
+  agg.algebraic_simplifications += result.stats.algebraic_simplifications;
+  agg.compare_fusions += result.stats.compare_fusions;
+  agg.tail_calls_eliminated += result.stats.tail_calls_eliminated;
+  agg.unreachable_removed += result.stats.unreachable_removed;
+  agg.instructions_compacted += result.stats.instructions_compacted;
+  return cm;
+}
+
+void VirtualMachine::install(bc::MethodId id, std::unique_ptr<rt::CompiledMethod> cm) {
+  // Code placement: fresh address region, line-aligned so methods do not
+  // share cache lines.
+  const std::uint64_t line = machine_.icache_line_bytes;
+  next_code_addr_ = (next_code_addr_ + line - 1) / line * line;
+  cm->code_base = next_code_addr_;
+  next_code_addr_ += static_cast<std::uint64_t>(cm->size_words()) * machine_.bytes_per_word;
+  live_result_->code_words_emitted += cm->size_words();
+
+  auto& slot = current_[static_cast<std::size_t>(id)];
+  if (slot != nullptr) {
+    // Frames already executing the old version keep it alive via retired_.
+    retired_.push_back(std::move(slot));
+  }
+  slot = std::move(cm);
+}
+
+const rt::CompiledMethod& VirtualMachine::invoke(bc::MethodId id) {
+  profile_.record_invocation(id);
+  auto& slot = current_[static_cast<std::size_t>(id)];
+  if (slot == nullptr) {
+    install(id, config_.scenario == Scenario::kOpt ? compile_opt(id, rt::Tier::kOpt)
+                                               : compile_baseline(id));
+  } else {
+    maybe_recompile(id);
+  }
+  return *current_[static_cast<std::size_t>(id)];
+}
+
+void VirtualMachine::on_back_edge(bc::MethodId id) {
+  profile_.record_back_edge(id);
+  // Hot-loop detection: recompile as soon as the loop crosses the threshold.
+  // By default there is no on-stack replacement (matching Jikes RVM 2.3.3):
+  // activations already running continue in the old code and the next
+  // invocation picks up the optimized version. With config_.enable_osr the
+  // interpreter additionally transfers the live frame at the loop header
+  // via osr_replacement() below.
+  maybe_recompile(id);
+}
+
+const rt::CompiledMethod* VirtualMachine::osr_replacement(const rt::CompiledMethod& current,
+                                                          std::size_t) {
+  if (!config_.enable_osr) return nullptr;
+  const auto& slot = current_[static_cast<std::size_t>(current.method_id)];
+  if (slot == nullptr || slot.get() == &current || slot->tier <= current.tier) return nullptr;
+  return slot.get();
+}
+
+void VirtualMachine::on_call_site(bc::MethodId origin_method, std::int32_t origin_pc) {
+  profile_.record_call_site(origin_method, origin_pc);
+}
+
+void VirtualMachine::maybe_recompile(bc::MethodId id) {
+  if (config_.scenario != Scenario::kAdapt) return;
+  auto& slot = current_[static_cast<std::size_t>(id)];
+  if (slot == nullptr) return;
+  int& count = opt_compile_count_[static_cast<std::size_t>(id)];
+  const std::uint64_t score = profile_.hot_score(id);
+  rt::Tier target;
+  if (count == 0) {
+    if (score < config_.hot_method_threshold) return;
+    // First promotion: O1 unless the ladder is collapsed.
+    target = config_.rehot_multiplier == 0 ? rt::Tier::kOpt : rt::Tier::kMidOpt;
+  } else if (count == 1 && config_.rehot_multiplier > 0) {
+    // Full O2 promotion: by now the profile has seen enough call-site
+    // traffic that hot sites are actually marked hot.
+    if (score < config_.hot_method_threshold * config_.rehot_multiplier) return;
+    target = rt::Tier::kOpt;
+  } else {
+    return;  // already at the top level
+  }
+  ++count;
+  install(id, compile_opt(id, target));
+  ++live_result_->recompilations;
+}
+
+RunResult VirtualMachine::run(int iterations) {
+  ITH_CHECK(iterations >= 1, "need at least one iteration");
+  RunResult result;
+  live_result_ = &result;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    result.iterations.push_back(IterationStats{});
+    live_iter_ = &result.iterations.back();
+    interp_->reset_globals();  // fresh benchmark input; code/profile/caches stay warm
+    live_iter_->exec = interp_->run();
+  }
+  live_iter_ = nullptr;
+  live_result_ = nullptr;
+
+  const IterationStats& first = result.iterations.front();
+  result.total_cycles = first.exec.cycles + first.compile_cycles;
+  result.running_cycles = first.exec.cycles;
+  for (std::size_t i = 1; i < result.iterations.size(); ++i) {
+    result.running_cycles = std::min(result.running_cycles, result.iterations[i].exec.cycles);
+  }
+  for (const IterationStats& it : result.iterations) {
+    result.compile_cycles_all += it.compile_cycles;
+  }
+  return result;
+}
+
+}  // namespace ith::vm

@@ -1,0 +1,32 @@
+// Individual benchmark-program constructors. Exposed for tests; normal
+// clients go through make_workload()/make_suite() in suite.hpp.
+//
+// `run_scale` multiplies the benchmark's hot-loop trip counts (its "input
+// size"): 1.0 is the calibrated default; larger values make the program
+// more running-time dominated, smaller ones more compile-dominated. Static
+// code is unaffected.
+#pragma once
+
+#include "workloads/suite.hpp"
+
+namespace ith::wl {
+
+// SPECjvm98 stand-ins (training suite, Table 2).
+Workload make_compress(double run_scale = 1.0);
+Workload make_jess(double run_scale = 1.0);
+Workload make_db(double run_scale = 1.0);
+Workload make_javac(double run_scale = 1.0);
+Workload make_mpegaudio(double run_scale = 1.0);
+Workload make_raytrace(double run_scale = 1.0);
+Workload make_jack(double run_scale = 1.0);
+
+// DaCapo+JBB stand-ins (test suite, Table 3).
+Workload make_antlr(double run_scale = 1.0);
+Workload make_fop(double run_scale = 1.0);
+Workload make_jython(double run_scale = 1.0);
+Workload make_pmd(double run_scale = 1.0);
+Workload make_ps(double run_scale = 1.0);
+Workload make_ipsixql(double run_scale = 1.0);
+Workload make_pseudojbb(double run_scale = 1.0);
+
+}  // namespace ith::wl

@@ -1,0 +1,187 @@
+#include "workloads/shapes.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ith::wl {
+
+void emit_expr(bc::MethodBuilder& mb, Pcg32& rng, const std::vector<int>& readable_slots,
+               int approx_len, bool use_globals) {
+  int depth = 0;
+  int emitted = 0;
+  // Push operands and reduce with binary ops until the budget is spent and
+  // exactly one value remains.
+  while (emitted < approx_len || depth != 1) {
+    const bool must_reduce = depth >= 4 || (emitted >= approx_len && depth > 1);
+    const bool can_reduce = depth >= 2;
+    if (can_reduce && (must_reduce || rng.chance(0.55))) {
+      const std::uint32_t pick = rng.bounded(100);
+      if (pick < 40) {
+        mb.add();
+      } else if (pick < 65) {
+        mb.sub();
+      } else if (pick < 80) {
+        mb.mul();
+      } else if (pick < 88) {
+        mb.cmplt();
+      } else if (pick < 94) {
+        mb.div();
+      } else {
+        mb.mod();
+      }
+      --depth;
+      ++emitted;
+      continue;
+    }
+    // Push something.
+    const std::uint32_t pick = rng.bounded(100);
+    if (!readable_slots.empty() && pick < 55) {
+      mb.load(readable_slots[rng.bounded(static_cast<std::uint32_t>(readable_slots.size()))]);
+      ++depth;
+      ++emitted;
+    } else if (use_globals && pick < 75) {
+      mb.const_(rng.range(0, 255)).gload();
+      ++depth;
+      emitted += 2;
+    } else {
+      mb.const_(rng.range(1, 64));
+      ++depth;
+      ++emitted;
+    }
+  }
+}
+
+void make_leaf(bc::ProgramBuilder& pb, const std::string& name, int nargs, int body_len, Pcg32& rng,
+               bool use_globals) {
+  ITH_CHECK(body_len >= 1, "leaf body must be non-empty");
+  auto& mb = pb.method(name, nargs, nargs);
+  std::vector<int> args;
+  for (int i = 0; i < nargs; ++i) args.push_back(i);
+
+  if (use_globals) {
+    // One global write per call keeps the method observable (never fully
+    // foldable away).
+    mb.const_(rng.range(0, 255));
+    emit_expr(mb, rng, args, std::max(1, body_len / 3), use_globals);
+    mb.gstore();
+    emit_expr(mb, rng, args, std::max(1, (2 * body_len) / 3), use_globals);
+  } else {
+    emit_expr(mb, rng, args, body_len, use_globals);
+  }
+  mb.ret();
+}
+
+std::string make_chain(bc::ProgramBuilder& pb, const std::string& name, int levels, int nargs,
+                       int level_len, const std::string& leaf, Pcg32& rng) {
+  ITH_CHECK(levels >= 1, "chain needs at least one level");
+  ITH_CHECK(nargs >= 1, "chain methods take at least one argument");
+  std::vector<int> args;
+  for (int i = 0; i < nargs; ++i) args.push_back(i);
+
+  // Build from the bottom up so calls resolve to already-declared methods.
+  std::string next = leaf;
+  for (int level = levels - 1; level >= 0; --level) {
+    const std::string mname = name + "_" + std::to_string(level);
+    auto& mb = pb.method(mname, nargs, nargs);
+    const int chunk = std::max(1, level_len / (nargs + 2));
+    for (int j = 0; j < nargs; ++j) {
+      emit_expr(mb, rng, args, chunk);  // j-th argument for the next level
+    }
+    mb.call(next, nargs);
+    emit_expr(mb, rng, args, chunk);
+    mb.add().ret();
+    next = mname;
+  }
+  return name + "_0";
+}
+
+void make_dispatcher(bc::ProgramBuilder& pb, const std::string& name,
+                     const std::vector<std::string>& callees) {
+  ITH_CHECK(!callees.empty(), "dispatcher needs callees");
+  auto& mb = pb.method(name, 2, 2);
+  const auto n = static_cast<std::int64_t>(callees.size());
+  for (std::size_t k = 0; k + 1 < callees.size(); ++k) {
+    const std::string next = name + "_n" + std::to_string(k);
+    mb.load(0).const_(n).mod().const_(static_cast<std::int64_t>(k)).cmpeq().jz(next);
+    mb.load(0).load(1).call(callees[k], 2).ret();
+    mb.label(next);
+  }
+  // Last callee doubles as the default branch (covers negative selectors).
+  mb.load(0).load(1).call(callees.back(), 2).ret();
+}
+
+void make_recursive(bc::ProgramBuilder& pb, const std::string& name, int body_len, Pcg32& rng) {
+  auto& mb = pb.method(name, 1, 1);
+  mb.load(0).const_(1).cmplt().jz("rec");
+  mb.ret_const(1);
+  mb.label("rec");
+  emit_expr(mb, rng, {0}, std::max(1, body_len));
+  mb.load(0).const_(1).sub().call(name, 1);
+  mb.add().ret();
+}
+
+void make_cold_blob(bc::ProgramBuilder& pb, const std::string& name, int body_len, int ncalls,
+                    const std::vector<std::string>& callable, Pcg32& rng) {
+  ITH_CHECK(ncalls == 0 || !callable.empty(), "cold blob calls need callable methods");
+  auto& mb = pb.method(name, 1, 3);
+  const int chunk = std::max(1, body_len / (ncalls + 1));
+  mb.const_(0).store(2);
+  for (int c = 0; c < ncalls; ++c) {
+    emit_expr(mb, rng, {0, 2}, chunk);
+    mb.call(callable[rng.bounded(static_cast<std::uint32_t>(callable.size()))], 1);
+    mb.store(2);
+  }
+  emit_expr(mb, rng, {0, 2}, chunk);
+  mb.load(2).add().ret();
+}
+
+std::string make_cond_chain(bc::ProgramBuilder& pb, const std::string& name, int levels,
+                            int level_len, const std::string& leaf, std::int64_t modulus,
+                            Pcg32& rng) {
+  ITH_CHECK(levels >= 1, "conditional chain needs at least one level");
+  ITH_CHECK(modulus >= 2, "modulus must be >= 2 so the deep path is the rare one");
+  std::string next = leaf;
+  for (int level = levels - 1; level >= 0; --level) {
+    const std::string mname = name + "_" + std::to_string(level);
+    // Kept deliberately lean: each level must land between ALWAYS_INLINE_SIZE
+    // and CALLEE_MAX_SIZE at the defaults, so MAX_INLINE_DEPTH (not callee
+    // size) is the parameter that decides how far the chain is flattened.
+    auto& mb = pb.method(mname, 2, 2);
+    mb.load(0).const_(modulus).mod().jz("deep");
+    emit_expr(mb, rng, {0, 1}, std::max(1, level_len));  // common case: stop here
+    mb.ret();
+    mb.label("deep");
+    mb.load(0).const_(modulus).div();
+    mb.load(1);
+    mb.call(next, 2);
+    mb.ret();
+    next = mname;
+  }
+  return name + "_0";
+}
+
+void make_mid(bc::ProgramBuilder& pb, const std::string& name, int nargs, int body_len, int ncalls,
+              const std::vector<std::string>& callees1, Pcg32& rng) {
+  ITH_CHECK(ncalls == 0 || !callees1.empty(), "mid method calls need callees");
+  auto& mb = pb.method(name, nargs, nargs);
+  std::vector<int> args;
+  for (int i = 0; i < nargs; ++i) args.push_back(i);
+  const int chunk = std::max(1, body_len / (ncalls + 1));
+  emit_expr(mb, rng, args, chunk);
+  for (int c = 0; c < ncalls; ++c) {
+    // The running value becomes the callee's argument; its result continues.
+    mb.call(callees1[rng.bounded(static_cast<std::uint32_t>(callees1.size()))], 1);
+    if (c + 1 < ncalls) {
+      emit_expr(mb, rng, args, chunk);
+      mb.add();
+    }
+  }
+  if (ncalls > 0) {
+    emit_expr(mb, rng, args, std::max(1, chunk / 2));
+    mb.add();
+  }
+  mb.ret();
+}
+
+}  // namespace ith::wl

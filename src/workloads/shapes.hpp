@@ -1,0 +1,86 @@
+// Program-shaping combinators.
+//
+// The benchmark programs substitute for SPECjvm98 / DaCapo (see DESIGN.md):
+// what the inlining trade-off cares about is a program's *shape* — method
+// size distribution, call-chain depth, call-site fan-out, loop hotness skew,
+// and the ratio of run length to code volume. These helpers generate those
+// shapes deterministically from a seeded RNG.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/builder.hpp"
+#include "support/rng.hpp"
+
+namespace ith::wl {
+
+/// Appends ~approx_len instructions of arithmetic over the given readable
+/// local slots and the global array, leaving exactly one value on the
+/// operand stack. Deterministic for a given RNG state.
+void emit_expr(bc::MethodBuilder& mb, Pcg32& rng, const std::vector<int>& readable_slots,
+               int approx_len, bool use_globals = false);
+
+/// A leaf method: computes over its arguments (~body_len instructions) and
+/// returns a value. Optionally touches the global array.
+void make_leaf(bc::ProgramBuilder& pb, const std::string& name, int nargs, int body_len,
+               Pcg32& rng, bool use_globals = false);
+
+/// A linear call chain `name_0 -> name_1 -> ... -> name_{levels-1} -> leaf`.
+/// Every level does ~level_len instructions of its own work around the call.
+/// Returns the top method's name (`name_0`). All levels take `nargs` args.
+std::string make_chain(bc::ProgramBuilder& pb, const std::string& name, int levels, int nargs,
+                       int level_len, const std::string& leaf, Pcg32& rng);
+
+/// A dispatcher: selects one of `callees` by `arg0 mod callees.size()` via a
+/// compare/branch ladder and tail-calls it with (arg0, arg1). All callees
+/// must take two arguments.
+void make_dispatcher(bc::ProgramBuilder& pb, const std::string& name,
+                     const std::vector<std::string>& callees);
+
+/// A self-recursive method computing a fold over [0, arg0) with ~body_len
+/// instructions of work per level. Recursion depth equals its argument.
+void make_recursive(bc::ProgramBuilder& pb, const std::string& name, int body_len, Pcg32& rng);
+
+/// Appends a counted loop to `mb`: for (i = 0; i < iters; ++i) body.
+/// `emit_body` is invoked once to emit the loop body, which must leave the
+/// operand stack unchanged. `counter_slot` and `acc_slot` must be distinct
+/// scratch locals.
+template <typename BodyFn>
+void emit_counted_loop(bc::MethodBuilder& mb, const std::string& label_prefix, int counter_slot,
+                       std::int64_t iters, BodyFn&& emit_body) {
+  mb.const_(0).store(counter_slot);
+  mb.label(label_prefix + "_head");
+  mb.load(counter_slot).const_(iters).cmplt().jz(label_prefix + "_done");
+  emit_body();
+  mb.load(counter_slot).const_(1).add().store(counter_slot);
+  mb.jmp(label_prefix + "_head");
+  mb.label(label_prefix + "_done");
+}
+
+/// A "cold blob": a method with a large straight-line body, meant to be
+/// invoked once. These carry the compile-time load that makes overly
+/// aggressive heuristics expensive on DaCapo-like programs.
+void make_cold_blob(bc::ProgramBuilder& pb, const std::string& name, int body_len, int ncalls,
+                    const std::vector<std::string>& callable, Pcg32& rng);
+
+/// A mid-tier method: ~body_len instructions of its own work plus `ncalls`
+/// calls to single-argument callees (each call feeds the running value
+/// through the callee). This is the "method calling getters/helpers" layer
+/// that makes default-heuristic inlining compound through call depth.
+void make_mid(bc::ProgramBuilder& pb, const std::string& name, int nargs, int body_len, int ncalls,
+              const std::vector<std::string>& callees1, Pcg32& rng);
+
+/// A *conditional* call chain: level i does ~level_len instructions of work
+/// and calls level i+1 only when `arg0 % modulus == 0` (passing arg0 /
+/// modulus down). Dynamic call frequency decays geometrically with depth
+/// while the static chain is full-length — the rete-network shape that
+/// makes deep inlining pay static cost for vanishing dynamic benefit
+/// (the paper's "depth 5 is worst for jess" effect). Returns the top
+/// method's name. All levels take two arguments.
+std::string make_cond_chain(bc::ProgramBuilder& pb, const std::string& name, int levels,
+                            int level_len, const std::string& leaf, std::int64_t modulus,
+                            Pcg32& rng);
+
+}  // namespace ith::wl

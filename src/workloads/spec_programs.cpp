@@ -1,0 +1,356 @@
+// SPECjvm98 stand-in programs (the paper's training suite, Table 2).
+//
+// Each program reproduces the *shape* that matters to the inlining
+// trade-off; the comment on each constructor records the characterization
+// it models. Iteration counts are calibrated so SPEC-like programs are
+// running-time dominated (the suite the default heuristic was tuned for).
+
+#include "workloads/programs.hpp"
+
+#include "workloads/shapes.hpp"
+
+namespace ith::wl {
+
+namespace {
+
+/// Standard entry: acc = 0; for (i = 0; i < iters; ++i) body; halt(acc).
+/// Slot 0 is the loop counter, slot 1 the accumulator.
+template <typename BodyFn>
+void make_main(bc::ProgramBuilder& pb, std::int64_t iters, BodyFn&& body) {
+  auto& m = pb.method("main", 0, 3);
+  m.const_(0).store(1);
+  emit_counted_loop(m, "main", 0, iters, [&] { body(m); });
+  m.load(1).halt();
+  pb.entry("main");
+}
+
+
+/// Applies the run_scale "input size" multiplier to a trip count.
+std::int64_t scaled(std::int64_t iters, double run_scale) {
+  const auto v = static_cast<std::int64_t>(static_cast<double>(iters) * run_scale);
+  return v < 1 ? 1 : v;
+}
+
+/// A cold startup section: `blobs` one-shot methods built over a small pool
+/// of inlinable helpers, chained from an "init" method. Every SPEC program
+/// gets one (real benchmarks load dictionaries/tables/scenes at startup);
+/// under Opt this code is compiled with full optimization even though it
+/// runs once — the compile-time exposure behind Figure 1(a)'s average
+/// total-time degradation.
+std::string add_cold_init(bc::ProgramBuilder& pb, Pcg32& rng, int blobs, int blob_len,
+                          int calls_per_blob) {
+  std::vector<std::string> helpers;
+  for (int i = 0; i < 6; ++i) {
+    const std::string name = "chelp" + std::to_string(i);
+    make_leaf(pb, name, 1, 6 + static_cast<int>(rng.bounded(8)), rng);
+    helpers.push_back(name);
+  }
+  std::vector<std::string> cold;
+  for (int b = 0; b < blobs; ++b) {
+    const std::string name = "cold" + std::to_string(b);
+    make_cold_blob(pb, name,
+                   blob_len + static_cast<int>(rng.bounded(static_cast<std::uint32_t>(blob_len / 2))),
+                   calls_per_blob, helpers, rng);
+    cold.push_back(name);
+  }
+  auto& init = pb.method("cold_init", 0, 1);
+  init.const_(1).store(0);
+  for (const std::string& b : cold) init.load(0).call(b, 1).store(0);
+  init.load(0).ret();
+  return "cold_init";
+}
+
+/// Standard entry with a cold-init phase before the hot loop.
+template <typename BodyFn>
+void make_main_with_init(bc::ProgramBuilder& pb, const std::string& init_name, std::int64_t iters,
+                         BodyFn&& body) {
+  auto& m = pb.method("main", 0, 3);
+  m.call(init_name, 0).store(1);
+  emit_counted_loop(m, "main", 0, iters, [&] { body(m); });
+  m.load(1).halt();
+  pb.entry("main");
+}
+
+}  // namespace
+
+// compress: tight numeric kernel over a global buffer, very few methods,
+// long-running. The archetypal "Opt wins" program: negligible code volume,
+// everything hot.
+Workload make_compress(double run_scale) {
+  Pcg32 rng(0xC0313255u, 11);
+  bc::ProgramBuilder pb("compress", 4096);
+
+  make_leaf(pb, "hash", 2, 10, rng, /*use_globals=*/true);
+  make_leaf(pb, "encode", 2, 9, rng);
+  make_chain(pb, "stage", /*levels=*/3, 2, 10, "hash", rng);
+  make_chain(pb, "emit", /*levels=*/2, 2, 9, "encode", rng);
+
+  // kernel(block): one compression block.
+  auto& k = pb.method("kernel", 1, 3);
+  k.const_(0).store(2);
+  emit_counted_loop(k, "k", 1, 32, [&] {
+    k.load(0).load(1).call("stage_0", 2);
+    k.load(2).add().store(2);
+    // Non-call kernel arithmetic: real compressors do most of their work
+    // between calls, which bounds what inlining can win.
+    emit_expr(k, rng, {0, 1, 2}, 26, true);
+    k.load(2).add().store(2);
+    k.load(1).load(0).call("emit_0", 2);
+    k.load(2).add().store(2);
+  });
+  k.load(2).ret();
+
+  const std::string init = add_cold_init(pb, rng, 2, 60, 5);  // tiny dictionary setup
+  make_main_with_init(pb, init, scaled(500, run_scale), [](bc::MethodBuilder& m) {
+    m.load(0).call("kernel", 1);
+    m.load(1).add().store(1);
+  });
+  return {"compress", "Java version of 129.compress from SPEC 95", "specjvm98", pb.build()};
+}
+
+// jess: expert-system shell — many small-to-medium "rule" methods reached
+// through dispatchers and deep match chains. Call-bound; the paper's case
+// where MAX_INLINE_DEPTH=5 is the *worst* choice and Adapt beats Opt.
+Workload make_jess(double run_scale) {
+  Pcg32 rng(0x1E550001u, 13);
+  bc::ProgramBuilder pb("jess", 1024);
+
+  std::vector<std::string> rules;
+  for (int r = 0; r < 24; ++r) {
+    const std::string name = "rule" + std::to_string(r);
+    // Rule sizes straddle the CALLEE_MAX_SIZE default (23 words).
+    make_leaf(pb, name, 2, 6 + static_cast<int>(rng.bounded(12)), rng, r % 5 == 0);
+    rules.push_back(name);
+  }
+  make_dispatcher(pb, "fire_a", {rules.begin(), rules.begin() + 8});
+  make_dispatcher(pb, "fire_b", {rules.begin() + 8, rules.begin() + 16});
+  make_dispatcher(pb, "fire_c", {rules.begin() + 16, rules.end()});
+
+  // Deep match chains ending in the dispatchers. They are *conditional*:
+  // each level descends only for a fraction of inputs (rete networks take
+  // deep paths rarely), so inlining past depth ~2 adds static code and
+  // compile time for almost no dynamic benefit — the reason Figure 2(b)
+  // shows depth 5 as the worst choice for jess.
+  make_cond_chain(pb, "match_a", /*levels=*/4, 1, "fire_a", /*modulus=*/3, rng);
+  make_cond_chain(pb, "match_b", /*levels=*/4, 1, "fire_b", /*modulus=*/3, rng);
+  make_cond_chain(pb, "match_c", /*levels=*/4, 1, "fire_c", /*modulus=*/3, rng);
+
+  // Rete-network construction: one-shot setup code. This is what makes the
+  // Opt scenario pay (it optimizes code that runs once) and Adapt win on
+  // jess, the paper's Figure 2(b) observation.
+  std::vector<std::string> setup_helpers;
+  for (int i = 0; i < 10; ++i) {
+    const std::string name = "node" + std::to_string(i);
+    make_leaf(pb, name, 1, 6 + static_cast<int>(rng.bounded(8)), rng);
+    setup_helpers.push_back(name);
+  }
+  std::vector<std::string> setup;
+  for (int b = 0; b < 20; ++b) {
+    const std::string name = "build" + std::to_string(b);
+    make_cold_blob(pb, name, 140 + static_cast<int>(rng.bounded(100)), 8, setup_helpers, rng);
+    setup.push_back(name);
+  }
+  auto& init = pb.method("init", 0, 1);
+  init.const_(1).store(0);
+  for (const std::string& b : setup) init.load(0).call(b, 1).store(0);
+  init.load(0).ret();
+
+  auto& m = pb.method("main", 0, 3);
+  m.call("init", 0).store(1);
+  emit_counted_loop(m, "main", 0, scaled(6000, run_scale), [&] {
+    m.load(0).load(1).call("match_a_0", 2).store(1);
+    emit_expr(m, rng, {0, 1}, 22, true);  // working-memory bookkeeping
+    m.load(1).add().store(1);
+    m.load(0).const_(7).add().load(1).call("match_b_0", 2);
+    m.load(1).add().store(1);
+    m.load(1).load(0).call("match_c_0", 2).store(1);
+  });
+  m.load(1).halt();
+  pb.entry("main");
+  return {"jess", "Java expert system shell", "specjvm98", pb.build()};
+}
+
+// db: in-memory database — global-array reads/writes inside medium methods,
+// index-lookup chains. Moderately call-bound, data-dependent.
+Workload make_db(double run_scale) {
+  Pcg32 rng(0xDB000017u, 17);
+  bc::ProgramBuilder pb("db", 8192);
+
+  make_leaf(pb, "cmp_key", 2, 8, rng, true);
+  make_leaf(pb, "read_rec", 2, 11, rng, true);
+  make_leaf(pb, "write_rec", 2, 12, rng, true);
+  make_leaf(pb, "hash_key", 2, 7, rng);
+  make_chain(pb, "index", /*levels=*/3, 2, 9, "cmp_key", rng);
+  make_dispatcher(pb, "op", {"read_rec", "write_rec", "read_rec", "cmp_key"});
+
+  auto& q = pb.method("query", 2, 3);
+  q.load(0).load(1).call("index_0", 2).store(2);
+  q.load(2).load(0).call("hash_key", 2);
+  q.load(2).add().store(2);
+  q.load(0).load(2).call("op", 2);
+  q.load(2).add().ret();
+
+  const std::string init = add_cold_init(pb, rng, 10, 160, 9);  // index construction
+  make_main_with_init(pb, init, scaled(6000, run_scale), [&rng](bc::MethodBuilder& m) {
+    m.load(0).load(1).call("query", 2);
+    m.load(1).add().store(1);
+    emit_expr(m, rng, {0, 1}, 20, true);  // result-set bookkeeping
+    m.load(1).add().store(1);
+  });
+  return {"db", "Builds and operates on an in-memory database", "specjvm98", pb.build()};
+}
+
+// javac: a compiler — the code-richest SPEC program. Large method bodies,
+// one-shot "pass" blobs, and a hot parse loop. Compile time is a visible
+// share of total time even in the training suite.
+Workload make_javac(double run_scale) {
+  Pcg32 rng(0x7A9AC003u, 19);
+  bc::ProgramBuilder pb("javac", 4096);
+
+  std::vector<std::string> helpers;
+  for (int i = 0; i < 18; ++i) {
+    const std::string name = "sym" + std::to_string(i);
+    make_leaf(pb, name, 1, 6 + static_cast<int>(rng.bounded(9)), rng, i % 4 == 0);
+    helpers.push_back(name);
+  }
+  std::vector<std::string> tok2;
+  for (int i = 0; i < 10; ++i) {
+    const std::string name = "tok" + std::to_string(i);
+    make_leaf(pb, name, 2, 6 + static_cast<int>(rng.bounded(9)), rng);
+    tok2.push_back(name);
+  }
+  make_dispatcher(pb, "reduce", tok2);
+  make_chain(pb, "parse", /*levels=*/4, 2, 10, "reduce", rng);
+
+  // One-shot compiler passes: big bodies, each invoked exactly once.
+  std::vector<std::string> passes;
+  for (int p = 0; p < 14; ++p) {
+    const std::string name = "pass" + std::to_string(p);
+    make_cold_blob(pb, name, 130 + static_cast<int>(rng.bounded(120)), 8, helpers, rng);
+    passes.push_back(name);
+  }
+  auto& init = pb.method("init", 0, 1);
+  init.const_(1).store(0);
+  for (const std::string& p : passes) init.load(0).call(p, 1).store(0);
+  init.load(0).ret();
+
+  auto& m = pb.method("main", 0, 3);
+  m.call("init", 0).store(1);
+  emit_counted_loop(m, "main", 0, scaled(5500, run_scale), [&] {
+    m.load(0).load(1).call("parse_0", 2);
+    m.load(1).add().store(1);
+    emit_expr(m, rng, {0, 1}, 18, true);  // AST bookkeeping between reductions
+    m.load(1).add().store(1);
+  });
+  m.load(1).halt();
+  pb.entry("main");
+  return {"javac", "Java source to bytecode compiler in JDK 1.0.2", "specjvm98", pb.build()};
+}
+
+// mpegaudio: numeric filter banks — a kernel applying several medium-size
+// filters per sample. Long-running; aggressive inlining of all filter
+// bodies into the kernel is where I-cache pressure first appears.
+Workload make_mpegaudio(double run_scale) {
+  Pcg32 rng(0x3E6A0D10u, 23);
+  bc::ProgramBuilder pb("mpegaudio", 2048);
+
+  std::vector<std::string> filters;
+  for (int f = 0; f < 14; ++f) {
+    const std::string name = "filter" + std::to_string(f);
+    make_leaf(pb, name, 2, 9 + static_cast<int>(rng.bounded(8)), rng, f % 3 == 0);
+    filters.push_back(name);
+  }
+
+  auto& frame = pb.method("frame", 1, 3);
+  frame.const_(0).store(2);
+  emit_counted_loop(frame, "f", 1, 12, [&] {
+    for (int f = 0; f < 4; ++f) {
+      frame.load(0).load(1).call(filters[static_cast<std::size_t>(f) * 3], 2);
+      frame.load(2).add().store(2);
+      emit_expr(frame, rng, {0, 1, 2}, 9);  // windowing arithmetic between filters
+      frame.load(2).add().store(2);
+    }
+  });
+  frame.load(2).ret();
+
+  auto& dec = pb.method("decode", 2, 3);
+  dec.load(0).call("frame", 1).store(2);
+  dec.load(1).load(2).call(filters[1], 2);
+  dec.load(2).add().ret();
+
+  const std::string init = add_cold_init(pb, rng, 10, 150, 9);  // huffman/window tables
+  make_main_with_init(pb, init, scaled(2200, run_scale), [](bc::MethodBuilder& m) {
+    m.load(0).load(1).call("decode", 2);
+    m.load(1).add().store(1);
+  });
+  return {"mpegaudio", "Decodes an MPEG-3 audio file", "specjvm98", pb.build()};
+}
+
+// raytrace: recursive ray tracing over tiny vector-math methods — the
+// biggest running-time winner from inlining (27% in the paper's Fig 5a):
+// small hot callees everywhere.
+Workload make_raytrace(double run_scale) {
+  Pcg32 rng(0x4A77ACEDu, 29);
+  bc::ProgramBuilder pb("raytrace", 2048);
+
+  make_leaf(pb, "dot", 2, 8, rng);
+  make_leaf(pb, "madd", 2, 9, rng);
+  make_leaf(pb, "norm", 2, 10, rng);
+  make_leaf(pb, "refl", 2, 12, rng);
+  make_chain(pb, "shade", /*levels=*/3, 2, 10, "dot", rng);
+  make_recursive(pb, "bounce", 14, rng);
+
+  auto& tr = pb.method("trace_ray", 2, 3);
+  tr.load(0).load(1).call("madd", 2).store(2);
+  tr.load(2).load(1).call("norm", 2);
+  tr.load(2).add().store(2);
+  tr.load(0).load(2).call("shade_0", 2);
+  tr.load(2).add().store(2);
+  tr.const_(7).call("bounce", 1);
+  tr.load(2).add().store(2);
+  tr.load(2).load(0).call("refl", 2);
+  tr.load(2).add().ret();
+
+  const std::string init = add_cold_init(pb, rng, 8, 140, 9);  // scene loading
+  make_main_with_init(pb, init, scaled(5000, run_scale), [&rng](bc::MethodBuilder& m) {
+    m.load(0).load(1).call("trace_ray", 2);
+    m.load(1).add().store(1);
+    emit_expr(m, rng, {0, 1}, 16, true);  // framebuffer update per ray
+    m.load(1).add().store(1);
+  });
+  return {"raytrace", "A raytracer working on a scene with a dinosaur (single-threaded mtrt)",
+          "specjvm98", pb.build()};
+}
+
+// jack: parser generator — token scanners behind dispatchers, shallow
+// chains, very many short invocations.
+Workload make_jack(double run_scale) {
+  Pcg32 rng(0x7ACC0007u, 31);
+  bc::ProgramBuilder pb("jack", 1024);
+
+  std::vector<std::string> tokens;
+  for (int t = 0; t < 16; ++t) {
+    const std::string name = "tok" + std::to_string(t);
+    make_leaf(pb, name, 2, 7 + static_cast<int>(rng.bounded(9)), rng);
+    tokens.push_back(name);
+  }
+  make_dispatcher(pb, "scan", {tokens.begin(), tokens.begin() + 8});
+  make_dispatcher(pb, "emit", {tokens.begin() + 8, tokens.end()});
+  make_chain(pb, "prod", /*levels=*/3, 2, 9, "scan", rng);
+
+  auto& line = pb.method("line", 2, 3);
+  line.load(0).load(1).call("prod_0", 2).store(2);
+  line.load(2).load(0).call("emit", 2);
+  line.load(2).add().ret();
+
+  const std::string init = add_cold_init(pb, rng, 10, 150, 9);  // grammar loading
+  make_main_with_init(pb, init, scaled(7000, run_scale), [&rng](bc::MethodBuilder& m) {
+    m.load(0).load(1).call("line", 2);
+    m.load(1).add().store(1);
+    emit_expr(m, rng, {0, 1}, 16);  // token-buffer bookkeeping
+    m.load(1).add().store(1);
+  });
+  return {"jack", "A Java parser generator with lexical analysis", "specjvm98", pb.build()};
+}
+
+}  // namespace ith::wl

@@ -1,0 +1,52 @@
+#include "workloads/suite.hpp"
+
+#include <functional>
+#include <map>
+
+#include "support/error.hpp"
+#include "workloads/programs.hpp"
+
+namespace ith::wl {
+
+const std::vector<std::string>& spec_names() {
+  static const std::vector<std::string> kNames = {"compress", "jess",     "db",  "javac",
+                                                  "mpegaudio", "raytrace", "jack"};
+  return kNames;
+}
+
+const std::vector<std::string>& dacapo_names() {
+  static const std::vector<std::string> kNames = {"antlr", "fop",     "jython",   "pmd",
+                                                  "ps",    "ipsixql", "pseudojbb"};
+  return kNames;
+}
+
+Workload make_workload(const std::string& name, double run_scale) {
+  ITH_CHECK(run_scale > 0.0, "run_scale must be positive");
+  using Maker = Workload (*)(double);
+  static const std::map<std::string, Maker> kMakers = {
+      {"compress", &make_compress}, {"jess", &make_jess},
+      {"db", &make_db},             {"javac", &make_javac},
+      {"mpegaudio", &make_mpegaudio}, {"raytrace", &make_raytrace},
+      {"jack", &make_jack},         {"antlr", &make_antlr},
+      {"fop", &make_fop},           {"jython", &make_jython},
+      {"pmd", &make_pmd},           {"ps", &make_ps},
+      {"ipsixql", &make_ipsixql},   {"pseudojbb", &make_pseudojbb},
+  };
+  const auto it = kMakers.find(name);
+  ITH_CHECK(it != kMakers.end(), "unknown workload: " + name);
+  return it->second(run_scale);
+}
+
+std::vector<Workload> make_suite(const std::string& suite, double run_scale) {
+  std::vector<Workload> out;
+  if (suite == "specjvm98" || suite == "all") {
+    for (const std::string& n : spec_names()) out.push_back(make_workload(n, run_scale));
+  }
+  if (suite == "dacapo+jbb" || suite == "all") {
+    for (const std::string& n : dacapo_names()) out.push_back(make_workload(n, run_scale));
+  }
+  ITH_CHECK(!out.empty(), "unknown suite: " + suite + " (use specjvm98, dacapo+jbb, or all)");
+  return out;
+}
+
+}  // namespace ith::wl

@@ -1,0 +1,33 @@
+// Workload registry: the training suite (SPECjvm98 stand-ins) and the test
+// suite (DaCapo+JBB stand-ins), per Tables 2 and 3 of the paper. Each
+// program is generated deterministically; see DESIGN.md for the shape each
+// one models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bytecode/program.hpp"
+
+namespace ith::wl {
+
+struct Workload {
+  std::string name;
+  std::string description;  ///< the paper's one-line characterization
+  std::string suite;        ///< "specjvm98" or "dacapo+jbb"
+  bc::Program program;
+};
+
+/// Benchmark names in the paper's order.
+const std::vector<std::string>& spec_names();     // compress ... jack (7)
+const std::vector<std::string>& dacapo_names();   // antlr ... pseudojbb (7)
+
+/// Builds one benchmark program by name; throws ith::Error for unknown
+/// names. `run_scale` multiplies hot-loop trip counts (the "input size");
+/// 1.0 is the calibrated default used in the paper reproduction.
+Workload make_workload(const std::string& name, double run_scale = 1.0);
+
+/// Builds a whole suite: "specjvm98", "dacapo+jbb", or "all".
+std::vector<Workload> make_suite(const std::string& suite, double run_scale = 1.0);
+
+}  // namespace ith::wl

@@ -1,0 +1,81 @@
+#include "workloads/synthetic.hpp"
+
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "workloads/shapes.hpp"
+
+namespace ith::wl {
+
+bc::Program make_synthetic(const SyntheticSpec& spec) {
+  ITH_CHECK(spec.n_leaves >= 1, "synthetic program needs at least one leaf");
+  ITH_CHECK(spec.leaf_min_len >= 1 && spec.leaf_max_len >= spec.leaf_min_len,
+            "bad leaf length range");
+  Pcg32 rng(spec.seed, 0x5e6);
+  bc::ProgramBuilder pb("synthetic", spec.globals);
+
+  std::vector<std::string> leaves2, leaves1;
+  for (int i = 0; i < spec.n_leaves; ++i) {
+    const std::string name = "leaf" + std::to_string(i);
+    const int nargs = (i % 2 == 0) ? 2 : 1;
+    const int len = spec.leaf_min_len +
+                    static_cast<int>(rng.bounded(
+                        static_cast<std::uint32_t>(spec.leaf_max_len - spec.leaf_min_len + 1)));
+    make_leaf(pb, name, nargs, len, rng, i % 4 == 0 && spec.globals > 0);
+    (nargs == 2 ? leaves2 : leaves1).push_back(name);
+  }
+  if (leaves2.empty()) {
+    make_leaf(pb, "leaf_extra", 2, spec.leaf_min_len, rng);
+    leaves2.push_back("leaf_extra");
+  }
+  if (leaves1.empty()) {
+    make_leaf(pb, "leaf_extra1", 1, spec.leaf_min_len, rng);
+    leaves1.push_back("leaf_extra1");
+  }
+
+  std::vector<std::string> tops;
+  for (int c = 0; c < spec.n_chains; ++c) {
+    tops.push_back(make_chain(pb, "chain" + std::to_string(c), spec.chain_levels, 2,
+                              spec.chain_len,
+                              leaves2[static_cast<std::size_t>(c) % leaves2.size()], rng));
+  }
+  for (int d = 0; d < spec.n_dispatchers; ++d) {
+    std::vector<std::string> targets;
+    for (std::size_t k = 0; k < 6 && k < leaves2.size(); ++k) {
+      targets.push_back(leaves2[(static_cast<std::size_t>(d) + k) % leaves2.size()]);
+    }
+    make_dispatcher(pb, "disp" + std::to_string(d), targets);
+    tops.push_back("disp" + std::to_string(d));
+  }
+  for (int r = 0; r < spec.n_recursive; ++r) {
+    make_recursive(pb, "rec" + std::to_string(r), 8 + r, rng);
+  }
+
+  std::vector<std::string> blobs;
+  for (int b = 0; b < spec.n_blobs; ++b) {
+    const std::string name = "blob" + std::to_string(b);
+    make_cold_blob(pb, name, spec.blob_len, 4, leaves1, rng);
+    blobs.push_back(name);
+  }
+
+  auto& m = pb.method("main", 0, 3);
+  m.const_(0).store(1);
+  for (const std::string& b : blobs) m.load(1).call(b, 1).store(1);
+  if (tops.empty()) tops.push_back(leaves2.front());
+  emit_counted_loop(m, "main", 0, spec.hot_iters, [&] {
+    for (int c = 0; c < spec.calls_per_iter; ++c) {
+      m.load(0).load(1).call(tops[static_cast<std::size_t>(c) % tops.size()], 2);
+      m.load(1).add().store(1);
+    }
+    for (int r = 0; r < spec.n_recursive; ++r) {
+      m.const_(5).call("rec" + std::to_string(r), 1);
+      m.load(1).add().store(1);
+    }
+  });
+  m.load(1).halt();
+  pb.entry("main");
+  return pb.build();
+}
+
+}  // namespace ith::wl

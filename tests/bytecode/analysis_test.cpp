@@ -1,0 +1,164 @@
+#include "bytecode/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bytecode/builder.hpp"
+#include "testing.hpp"
+#include "workloads/suite.hpp"
+
+namespace ith::bc {
+namespace {
+
+// a -> b -> c, a -> c, plus unreachable d; c is a leaf.
+Program diamond_program() {
+  ProgramBuilder pb("diamond");
+  pb.method("c", 1, 1).load(0).const_(1).add().ret();
+  pb.method("b", 1, 1).load(0).call("c", 1).ret();
+  pb.method("d", 1, 1).load(0).ret();  // never called
+  auto& a = pb.method("main", 0, 0);
+  a.const_(1).call("b", 1);
+  a.const_(2).call("c", 1);
+  a.add().halt();
+  pb.entry("main");
+  return pb.build();
+}
+
+TEST(CallGraph, EdgesAndMultiplicity) {
+  const Program p = diamond_program();
+  const CallGraph cg(p);
+  const MethodId main = p.find_method("main"), b = p.find_method("b"), c = p.find_method("c");
+  EXPECT_EQ(cg.callees(main), (std::vector<MethodId>{std::min(b, c), std::max(b, c)}));
+  EXPECT_EQ(cg.callees(c), std::vector<MethodId>{});
+  EXPECT_EQ(cg.callers(c), (std::vector<MethodId>{std::min(b, main), std::max(b, main)}));
+  EXPECT_EQ(cg.multiplicity(main, b), 1u);
+  EXPECT_EQ(cg.multiplicity(main, c), 1u);
+  EXPECT_EQ(cg.multiplicity(b, main), 0u);
+}
+
+TEST(CallGraph, MultiplicityCountsRepeatSites) {
+  ProgramBuilder pb("multi");
+  pb.method("f", 1, 1).load(0).ret();
+  auto& m = pb.method("main", 0, 0);
+  m.const_(1).call("f", 1);
+  m.const_(2).call("f", 1).add();
+  m.const_(3).call("f", 1).add();
+  m.halt();
+  pb.entry("main");
+  const Program p = pb.build();
+  const CallGraph cg(p);
+  EXPECT_EQ(cg.multiplicity(p.entry(), p.find_method("f")), 3u);
+  EXPECT_EQ(cg.callees(p.entry()).size(), 1u) << "edges are collapsed";
+}
+
+TEST(CallGraph, ReachabilityExcludesDeadMethods) {
+  const Program p = diamond_program();
+  const CallGraph cg(p);
+  const auto reach = cg.reachable_from_entry();
+  EXPECT_EQ(reach.size(), 3u);
+  for (MethodId m : reach) {
+    EXPECT_NE(p.method(m).name(), "d");
+  }
+}
+
+TEST(CallGraph, SccsSeparateAcyclicMethods) {
+  const Program p = diamond_program();
+  const CallGraph cg(p);
+  const auto comps = cg.sccs();
+  EXPECT_EQ(comps.size(), p.num_methods()) << "acyclic graph: singleton SCCs";
+  for (const auto& c : comps) EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(CallGraph, SelfRecursionDetected) {
+  const Program p = ith::test::make_fib_program();
+  const CallGraph cg(p);
+  EXPECT_TRUE(cg.is_recursive(p.find_method("fib")));
+  EXPECT_FALSE(cg.is_recursive(p.entry()));
+}
+
+TEST(CallGraph, MutualRecursionDetected) {
+  ProgramBuilder pb("mutual");
+  auto& even = pb.method("even", 1, 1);
+  even.load(0).jz("yes");
+  even.load(0).const_(1).sub().call("odd", 1).ret();
+  even.label("yes").ret_const(1);
+  auto& odd = pb.method("odd", 1, 1);
+  odd.load(0).jz("no");
+  odd.load(0).const_(1).sub().call("even", 1).ret();
+  odd.label("no").ret_const(0);
+  pb.method("main", 0, 0).const_(10).call("even", 1).halt();
+  pb.entry("main");
+  const Program p = pb.build();
+  EXPECT_EQ(ith::test::run_exit_value(p), 1);
+
+  const CallGraph cg(p);
+  EXPECT_TRUE(cg.is_recursive(p.find_method("even")));
+  EXPECT_TRUE(cg.is_recursive(p.find_method("odd")));
+  EXPECT_FALSE(cg.is_recursive(p.entry()));
+  // even & odd share one SCC.
+  std::size_t big = 0;
+  for (const auto& c : cg.sccs()) {
+    if (c.size() == 2) ++big;
+  }
+  EXPECT_EQ(big, 1u);
+}
+
+TEST(CallGraph, MaxCallDepth) {
+  const Program p = diamond_program();
+  const CallGraph cg(p);
+  EXPECT_EQ(cg.max_call_depth(), 3u);  // main -> b -> c
+}
+
+TEST(CallGraph, MaxCallDepthWithCycleCountsSccOnce) {
+  const Program p = ith::test::make_fib_program();
+  const CallGraph cg(p);
+  EXPECT_EQ(cg.max_call_depth(), 2u);  // main -> {fib}
+}
+
+TEST(CallGraph, DotOutputMentionsEveryMethod) {
+  const Program p = diamond_program();
+  std::ostringstream os;
+  CallGraph(p).to_dot(os);
+  const std::string dot = os.str();
+  for (const Method& m : p.methods()) {
+    EXPECT_NE(dot.find(m.name()), std::string::npos) << m.name();
+  }
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Metrics, CountsMatchHandComputation) {
+  const Program p = diamond_program();
+  const ProgramMetrics m = compute_metrics(p);
+  EXPECT_EQ(m.num_methods, 4u);
+  EXPECT_EQ(m.reachable_methods, 3u);
+  EXPECT_EQ(m.call_sites, 3u);
+  EXPECT_EQ(m.leaf_methods, 2u);  // c and d
+  EXPECT_EQ(m.recursive_methods, 0u);
+  EXPECT_EQ(m.max_call_depth, 3u);
+  EXPECT_EQ(m.always_inline_band + m.conditional_band + m.too_big_band, m.num_methods);
+  EXPECT_GT(m.estimated_words, 0u);
+  EXPECT_GE(m.max_method_words, m.min_method_words);
+}
+
+TEST(Metrics, WorkloadsHaveCalibratedShape) {
+  // The suites are engineered so a meaningful share of methods falls in the
+  // default heuristic's "conditional" band — otherwise tuning CALLEE/DEPTH
+  // would be a no-op (see EXPERIMENTS.md's calibration record).
+  for (const char* name : {"jess", "antlr", "pseudojbb"}) {
+    const ProgramMetrics m = compute_metrics(wl::make_workload(name).program);
+    EXPECT_GT(m.conditional_band, m.num_methods / 10) << name;
+    EXPECT_GT(m.too_big_band, 0u) << name;
+  }
+}
+
+TEST(Metrics, ToStringContainsKeyNumbers) {
+  const ProgramMetrics m = compute_metrics(diamond_program());
+  const std::string s = metrics_to_string(m);
+  EXPECT_NE(s.find("methods: 4"), std::string::npos) << s;
+  EXPECT_NE(s.find("call sites: 3"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace ith::bc

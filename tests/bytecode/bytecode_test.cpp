@@ -1,0 +1,227 @@
+// Tests for the IR: instruction metadata, Method/Program containers,
+// the builder DSL, and the size estimator.
+#include <gtest/gtest.h>
+
+#include "bytecode/builder.hpp"
+#include "bytecode/instruction.hpp"
+#include "bytecode/size_estimator.hpp"
+#include "support/error.hpp"
+#include "testing.hpp"
+
+namespace ith::bc {
+namespace {
+
+// --- Instruction metadata ---------------------------------------------------
+
+TEST(OpInfo, EveryOpcodeHasMetadata) {
+  for (int i = 0; i < kNumOps; ++i) {
+    const OpInfo& info = op_info(static_cast<Op>(i));
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_GE(info.machine_words, 0);
+  }
+}
+
+TEST(OpInfo, NamesAreUniqueAndRoundTrip) {
+  for (int i = 0; i < kNumOps; ++i) {
+    const Op op = static_cast<Op>(i);
+    Op parsed;
+    ASSERT_TRUE(op_from_name(op_info(op).name, parsed)) << op_info(op).name;
+    EXPECT_EQ(parsed, op);
+  }
+}
+
+TEST(OpInfo, UnknownNameRejected) {
+  Op op;
+  EXPECT_FALSE(op_from_name("frobnicate", op));
+}
+
+TEST(StackEffect, CallDependsOnArity) {
+  EXPECT_EQ(stack_effect(Instruction{Op::kCall, 0, 0}), 1);   // push result
+  EXPECT_EQ(stack_effect(Instruction{Op::kCall, 0, 2}), -1);  // pop 2, push 1
+  EXPECT_EQ(stack_effect(Instruction{Op::kCall, 0, 5}), -4);
+}
+
+TEST(StackEffect, CommonOps) {
+  EXPECT_EQ(stack_effect(Instruction{Op::kConst, 1, 0}), 1);
+  EXPECT_EQ(stack_effect(Instruction{Op::kAdd, 0, 0}), -1);
+  EXPECT_EQ(stack_effect(Instruction{Op::kGStore, 0, 0}), -2);
+  EXPECT_EQ(stack_effect(Instruction{Op::kPop, 0, 0}), -1);
+  EXPECT_EQ(stack_effect(Instruction{Op::kNop, 0, 0}), 0);
+}
+
+TEST(OpInfo, TerminatorsMarked) {
+  EXPECT_TRUE(op_info(Op::kJmp).is_terminator);
+  EXPECT_TRUE(op_info(Op::kRet).is_terminator);
+  EXPECT_TRUE(op_info(Op::kHalt).is_terminator);
+  EXPECT_FALSE(op_info(Op::kJz).is_terminator);
+  EXPECT_FALSE(op_info(Op::kAdd).is_terminator);
+}
+
+TEST(OpInfo, BranchesMarked) {
+  EXPECT_TRUE(op_info(Op::kJmp).is_branch);
+  EXPECT_TRUE(op_info(Op::kJz).is_branch);
+  EXPECT_TRUE(op_info(Op::kJnz).is_branch);
+  EXPECT_FALSE(op_info(Op::kCall).is_branch);  // callee ids are not pcs
+}
+
+// --- Method -------------------------------------------------------------------
+
+TEST(Method, LocalsMustCoverArgs) {
+  EXPECT_THROW(Method("m", 3, 2), Error);
+  Method m("m", 2, 2);
+  EXPECT_THROW(m.set_num_locals(1), Error);
+  m.set_num_locals(5);
+  EXPECT_EQ(m.num_locals(), 5);
+}
+
+TEST(Method, CallSitesFound) {
+  Method m("m", 0, 0);
+  m.append({Op::kConst, 1, 0});
+  m.append({Op::kCall, 0, 0});
+  m.append({Op::kPop, 0, 0});
+  m.append({Op::kCall, 0, 0});
+  m.append({Op::kHalt, 0, 0});
+  EXPECT_EQ(m.call_sites(), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Method, BackEdgeCount) {
+  Method m("m", 0, 1);
+  m.append({Op::kConst, 0, 0});   // 0
+  m.append({Op::kJz, 0, 0});      // 1: backward (target 0)
+  m.append({Op::kJmp, 3, 0});     // 2: forward... target 3 > 2
+  m.append({Op::kHalt, 0, 0});    // 3
+  EXPECT_EQ(m.back_edge_count(), 1u);
+}
+
+// --- Program --------------------------------------------------------------------
+
+TEST(Program, DuplicateMethodNameRejected) {
+  Program p("p");
+  p.add_method(Method("m", 0, 0));
+  EXPECT_THROW(p.add_method(Method("m", 1, 1)), Error);
+}
+
+TEST(Program, FindMethodByName) {
+  Program p("p");
+  const MethodId a = p.add_method(Method("a", 0, 0));
+  const MethodId b = p.add_method(Method("b", 0, 0));
+  EXPECT_EQ(p.find_method("a"), a);
+  EXPECT_EQ(p.find_method("b"), b);
+  EXPECT_THROW(p.find_method("c"), ith::Error);
+  EXPECT_TRUE(p.has_method("a"));
+  EXPECT_FALSE(p.has_method("c"));
+}
+
+TEST(Program, MethodIdBoundsChecked) {
+  Program p("p");
+  p.add_method(Method("a", 0, 0));
+  EXPECT_THROW(p.method(-1), ith::Error);
+  EXPECT_THROW(p.method(1), ith::Error);
+}
+
+TEST(Program, TotalCodeSizeSums) {
+  const Program p = ith::test::make_add_program();
+  std::size_t expected = 0;
+  for (const Method& m : p.methods()) expected += m.size();
+  EXPECT_EQ(p.total_code_size(), expected);
+}
+
+// --- Builder --------------------------------------------------------------------
+
+TEST(Builder, BuildsRunnableProgram) {
+  const Program p = ith::test::make_add_program();
+  EXPECT_EQ(ith::test::run_exit_value(p), 5);
+}
+
+TEST(Builder, UndefinedLabelRejected) {
+  ProgramBuilder pb("p");
+  pb.method("main", 0, 0).jmp("nowhere");
+  pb.entry("main");
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(Builder, DuplicateLabelRejected) {
+  ProgramBuilder pb("p");
+  auto& m = pb.method("main", 0, 0);
+  m.label("l");
+  EXPECT_THROW(m.label("l"), Error);
+}
+
+TEST(Builder, UnknownCalleeRejected) {
+  ProgramBuilder pb("p");
+  pb.method("main", 0, 0).call("ghost", 0).halt();
+  pb.entry("main");
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(Builder, MissingEntryRejected) {
+  ProgramBuilder pb("p");
+  pb.method("main", 0, 0).halt();
+  EXPECT_THROW(pb.build(), Error);
+}
+
+TEST(Builder, ReopeningMethodAppends) {
+  ProgramBuilder pb("p");
+  pb.method("main", 0, 0).const_(1);
+  pb.method("main", 0, 0).halt();  // same signature: continues the body
+  pb.entry("main");
+  const Program p = pb.build();
+  EXPECT_EQ(p.method(p.entry()).size(), 2u);
+}
+
+TEST(Builder, ReopeningWithDifferentSignatureRejected) {
+  ProgramBuilder pb("p");
+  pb.method("main", 0, 0);
+  EXPECT_THROW(pb.method("main", 1, 1), Error);
+}
+
+TEST(Builder, ConstImmediateRangeChecked) {
+  ProgramBuilder pb("p");
+  auto& m = pb.method("main", 0, 0);
+  EXPECT_THROW(m.const_(5'000'000'000LL), Error);
+  m.const_(2'000'000'000LL);  // fits in 32 bits
+}
+
+TEST(Builder, ForwardAndBackwardLabels) {
+  // while (i < 3) ++i; return i  — exercises both label directions.
+  ProgramBuilder pb("p");
+  auto& m = pb.method("main", 0, 1);
+  m.const_(0).store(0);
+  m.label("head");
+  m.load(0).const_(3).cmplt().jz("exit");
+  m.load(0).const_(1).add().store(0);
+  m.jmp("head");
+  m.label("exit");
+  m.load(0).halt();
+  pb.entry("main");
+  EXPECT_EQ(ith::test::run_exit_value(pb.build()), 3);
+}
+
+// --- Size estimator ---------------------------------------------------------------
+
+TEST(SizeEstimator, MethodSizeIncludesFrameOverhead) {
+  Method m("m", 0, 0);
+  m.append({Op::kConst, 1, 0});
+  m.append({Op::kRet, 0, 0});
+  EXPECT_EQ(estimated_method_size(m),
+            kFrameOverheadWords + op_info(Op::kConst).machine_words + op_info(Op::kRet).machine_words);
+}
+
+TEST(SizeEstimator, CallsAreExpensive) {
+  EXPECT_GT(estimated_words({Op::kCall, 0, 0}), estimated_words({Op::kAdd, 0, 0}));
+}
+
+TEST(SizeEstimator, PopAndNopAreFree) {
+  EXPECT_EQ(estimated_words({Op::kPop, 0, 0}), 0);
+  EXPECT_EQ(estimated_words({Op::kNop, 0, 0}), 0);
+}
+
+TEST(SizeEstimator, ProgramSizeSumsMethods) {
+  const Program p = ith::test::make_loop_program();
+  std::size_t sum = 0;
+  for (const Method& m : p.methods()) sum += static_cast<std::size_t>(estimated_method_size(m));
+  EXPECT_EQ(estimated_program_size(p), sum);
+}
+
+}  // namespace
+}  // namespace ith::bc

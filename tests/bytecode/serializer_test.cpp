@@ -1,0 +1,112 @@
+#include "bytecode/serializer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "testing.hpp"
+#include "workloads/suite.hpp"
+
+namespace ith::bc {
+namespace {
+
+TEST(Serializer, RoundTripsFixtures) {
+  for (const Program& p : {ith::test::make_add_program(), ith::test::make_loop_program(),
+                           ith::test::make_fib_program(), ith::test::make_globals_program()}) {
+    const std::string text = dump_program(p);
+    const Program back = parse_program(text);
+    EXPECT_EQ(back, p) << text;
+  }
+}
+
+TEST(Serializer, RoundTripsEveryWorkload) {
+  for (const std::string& name : wl::spec_names()) {
+    const Program p = wl::make_workload(name).program;
+    EXPECT_EQ(parse_program(dump_program(p)), p) << name;
+  }
+  for (const std::string& name : wl::dacapo_names()) {
+    const Program p = wl::make_workload(name).program;
+    EXPECT_EQ(parse_program(dump_program(p)), p) << name;
+  }
+}
+
+TEST(Serializer, PreservesSemantics) {
+  const Program p = ith::test::make_fib_program(12);
+  const Program back = parse_program(dump_program(p));
+  EXPECT_EQ(ith::test::run_exit_value(back), ith::test::run_exit_value(p));
+}
+
+TEST(Serializer, ParsesHandWrittenAssembly) {
+  const std::string text = R"(
+program name=demo globals=8 entry=main
+# a comment line
+method helper args=1 locals=1 {
+  load 0
+  const 2
+  mul
+  ret
+}
+method main args=0 locals=0 {
+  const 21
+  call helper 1
+  halt
+}
+)";
+  const Program p = parse_program(text);
+  EXPECT_EQ(p.name(), "demo");
+  EXPECT_EQ(p.globals_size(), 8u);
+  EXPECT_EQ(ith::test::run_exit_value(p), 42);
+}
+
+TEST(Serializer, RejectsUnknownOpcode) {
+  const std::string text =
+      "program name=x globals=0 entry=main\nmethod main args=0 locals=0 {\n  zap 1\n}\n";
+  EXPECT_THROW(parse_program(text), Error);
+}
+
+TEST(Serializer, RejectsUnknownCallee) {
+  const std::string text =
+      "program name=x globals=0 entry=main\nmethod main args=0 locals=0 {\n  call ghost 0\n  halt\n}\n";
+  EXPECT_THROW(parse_program(text), Error);
+}
+
+TEST(Serializer, RejectsMissingHeader) {
+  EXPECT_THROW(parse_program("method main args=0 locals=0 {\n  halt\n}\n"), Error);
+}
+
+TEST(Serializer, RejectsUnterminatedMethod) {
+  const std::string text = "program name=x globals=0 entry=main\nmethod main args=0 locals=0 {\n  halt\n";
+  EXPECT_THROW(parse_program(text), Error);
+}
+
+TEST(Serializer, RejectsTrailingTokens) {
+  const std::string text =
+      "program name=x globals=0 entry=main\nmethod main args=0 locals=0 {\n  halt extra\n}\n";
+  EXPECT_THROW(parse_program(text), Error);
+}
+
+TEST(Serializer, RejectsUnknownEntry) {
+  const std::string text =
+      "program name=x globals=0 entry=nosuch\nmethod main args=0 locals=0 {\n  halt\n}\n";
+  EXPECT_THROW(parse_program(text), Error);
+}
+
+TEST(Serializer, ParserVerifiesResult) {
+  // Structurally parseable but semantically broken (stack underflow).
+  const std::string text =
+      "program name=x globals=0 entry=main\nmethod main args=0 locals=0 {\n  add\n  halt\n}\n";
+  EXPECT_THROW(parse_program(text), Error);
+}
+
+TEST(Serializer, ErrorsCarryLineNumbers) {
+  const std::string text =
+      "program name=x globals=0 entry=main\nmethod main args=0 locals=0 {\n  zap\n}\n";
+  try {
+    parse_program(text);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace ith::bc

@@ -1,0 +1,329 @@
+// Genetic-algorithm library tests: genome space, operators, the GA driver
+// (convergence, memoization, elitism, determinism), and the search baselines.
+#include "ga/ga.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "ga/baselines.hpp"
+#include "support/error.hpp"
+
+namespace ith::ga {
+namespace {
+
+GenomeSpace small_space() {
+  return GenomeSpace({{"a", 0, 100}, {"b", -10, 10}, {"c", 1, 1000}});
+}
+
+// A smooth minimization target with minimum at (30, -5, 400).
+double sphere(const Genome& g) {
+  const double dx = g[0] - 30, dy = g[1] + 5, dz = (g[2] - 400) / 10.0;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+// --- GenomeSpace ----------------------------------------------------------------
+
+TEST(GenomeSpace, RandomGenomesAreValid) {
+  const GenomeSpace s = small_space();
+  Pcg32 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(s.valid(s.random(rng)));
+  }
+}
+
+TEST(GenomeSpace, ClampAndValidate) {
+  const GenomeSpace s = small_space();
+  Genome g = {500, -50, 0};
+  EXPECT_FALSE(s.valid(g));
+  s.clamp(g);
+  EXPECT_EQ(g, (Genome{100, -10, 1}));
+  EXPECT_TRUE(s.valid(g));
+  EXPECT_FALSE(s.valid(Genome{1, 1}));  // wrong arity
+}
+
+TEST(GenomeSpace, Cardinality) {
+  const GenomeSpace s = small_space();
+  EXPECT_DOUBLE_EQ(s.cardinality(), 101.0 * 21.0 * 1000.0);
+}
+
+TEST(GenomeSpace, RejectsEmptyOrInvertedRanges) {
+  EXPECT_THROW(GenomeSpace({}), Error);
+  EXPECT_THROW(GenomeSpace({{"x", 5, 4}}), Error);
+}
+
+// --- Operators --------------------------------------------------------------------
+
+TEST(Crossover, ChildGenesComeFromParents) {
+  Pcg32 rng(2);
+  const Genome a = {1, 2, 3, 4, 5}, b = {10, 20, 30, 40, 50};
+  for (const CrossoverKind kind :
+       {CrossoverKind::kOnePoint, CrossoverKind::kTwoPoint, CrossoverKind::kUniform}) {
+    for (int i = 0; i < 50; ++i) {
+      const Genome child = crossover(a, b, kind, rng);
+      ASSERT_EQ(child.size(), a.size());
+      for (std::size_t k = 0; k < child.size(); ++k) {
+        EXPECT_TRUE(child[k] == a[k] || child[k] == b[k]);
+      }
+    }
+  }
+}
+
+TEST(Crossover, OnePointPrefixFromFirstParent) {
+  Pcg32 rng(3);
+  const Genome a = {1, 1, 1, 1}, b = {2, 2, 2, 2};
+  const Genome child = crossover(a, b, CrossoverKind::kOnePoint, rng);
+  EXPECT_EQ(child.front(), 1) << "one-point children start with parent a";
+}
+
+TEST(Crossover, MismatchedArityRejected) {
+  Pcg32 rng(1);
+  EXPECT_THROW(crossover({1}, {1, 2}, CrossoverKind::kUniform, rng), Error);
+}
+
+TEST(Mutate, ZeroProbabilityChangesNothing) {
+  const GenomeSpace s = small_space();
+  Pcg32 rng(4);
+  Genome g = {50, 0, 500};
+  mutate(g, s, MutationKind::kReset, 0.0, rng);
+  EXPECT_EQ(g, (Genome{50, 0, 500}));
+}
+
+TEST(Mutate, FullProbabilityStaysInRange) {
+  const GenomeSpace s = small_space();
+  Pcg32 rng(5);
+  for (const MutationKind kind : {MutationKind::kReset, MutationKind::kGaussian}) {
+    for (int i = 0; i < 100; ++i) {
+      Genome g = {50, 0, 500};
+      mutate(g, s, kind, 1.0, rng);
+      EXPECT_TRUE(s.valid(g));
+    }
+  }
+}
+
+TEST(Mutate, GaussianMovesLocally) {
+  const GenomeSpace s = GenomeSpace({{"x", 0, 1000}});
+  Pcg32 rng(6);
+  double total_move = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    Genome g = {500};
+    mutate(g, s, MutationKind::kGaussian, 1.0, rng);
+    total_move += std::abs(g[0] - 500);
+  }
+  EXPECT_LT(total_move / n, 250.0) << "gaussian steps should be local, not uniform redraws";
+}
+
+TEST(Selection, TournamentPrefersFitter) {
+  Pcg32 rng(7);
+  const std::vector<double> fitness = {10.0, 1.0, 5.0, 8.0};
+  int best_wins = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (tournament_select(fitness, 3, rng) == 1) ++best_wins;
+  }
+  EXPECT_GT(best_wins, 250) << "the best individual should win most tournaments of size 3";
+}
+
+TEST(Selection, TournamentSizeOneIsUniform) {
+  Pcg32 rng(8);
+  const std::vector<double> fitness = {10.0, 1.0};
+  int picks0 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (tournament_select(fitness, 1, rng) == 0) ++picks0;
+  }
+  EXPECT_NEAR(picks0, 500, 100);
+}
+
+TEST(Selection, RoulettePrefersFitter) {
+  Pcg32 rng(9);
+  const std::vector<double> fitness = {10.0, 1.0, 9.0};
+  std::vector<int> picks(3, 0);
+  for (int i = 0; i < 2000; ++i) ++picks[roulette_select(fitness, rng)];
+  EXPECT_GT(picks[1], picks[0]);
+  EXPECT_GT(picks[1], picks[2]);
+}
+
+// --- GeneticAlgorithm ---------------------------------------------------------------
+
+TEST(Ga, ConvergesOnSphere) {
+  GaConfig cfg;
+  cfg.population = 20;
+  cfg.generations = 60;
+  cfg.seed = 42;
+  GeneticAlgorithm algo(small_space(), sphere, cfg);
+  const GaResult r = algo.run();
+  EXPECT_LT(r.best_fitness, 30.0) << "GA should get close to the optimum";
+  EXPECT_TRUE(small_space().valid(r.best));
+}
+
+TEST(Ga, BeatsInitialGeneration) {
+  GaConfig cfg;
+  cfg.generations = 30;
+  cfg.seed = 1;
+  GeneticAlgorithm algo(small_space(), sphere, cfg);
+  const GaResult r = algo.run();
+  EXPECT_LT(r.best_fitness, r.history.front().best);
+}
+
+TEST(Ga, DeterministicForSeed) {
+  GaConfig cfg;
+  cfg.generations = 15;
+  cfg.seed = 7;
+  GeneticAlgorithm a(small_space(), sphere, cfg);
+  GeneticAlgorithm b(small_space(), sphere, cfg);
+  const GaResult ra = a.run(), rb = b.run();
+  EXPECT_EQ(ra.best, rb.best);
+  EXPECT_DOUBLE_EQ(ra.best_fitness, rb.best_fitness);
+}
+
+TEST(Ga, DifferentSeedsExploreDifferently) {
+  GaConfig cfg;
+  cfg.generations = 5;
+  cfg.seed = 1;
+  GeneticAlgorithm a(small_space(), sphere, cfg);
+  cfg.seed = 2;
+  GeneticAlgorithm b(small_space(), sphere, cfg);
+  EXPECT_NE(a.run().history.front().best_genome, b.run().history.front().best_genome);
+}
+
+TEST(Ga, MemoizationAvoidsReevaluation) {
+  std::atomic<int> calls{0};
+  auto counting = [&calls](const Genome& g) {
+    calls.fetch_add(1);
+    return sphere(g);
+  };
+  GaConfig cfg;
+  cfg.generations = 40;
+  cfg.seed = 3;
+  cfg.memoize = true;
+  GeneticAlgorithm algo(small_space(), counting, cfg);
+  const GaResult r = algo.run();
+  EXPECT_EQ(static_cast<std::size_t>(calls.load()), r.evaluations);
+  EXPECT_GT(r.cache_hits, 0u) << "elites alone guarantee repeat genomes";
+  EXPECT_LT(r.evaluations, static_cast<std::size_t>(cfg.population * cfg.generations));
+}
+
+TEST(Ga, ElitismPreservesBestAcrossGenerations) {
+  GaConfig cfg;
+  cfg.generations = 25;
+  cfg.seed = 4;
+  cfg.elites = 2;
+  GeneticAlgorithm algo(small_space(), sphere, cfg);
+  const GaResult r = algo.run();
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_LE(r.history[i].best, r.history[i - 1].best + 1e-12)
+        << "with elitism the generation best never regresses";
+  }
+}
+
+TEST(Ga, PatienceStopsEarly) {
+  GaConfig cfg;
+  cfg.generations = 500;
+  cfg.seed = 5;
+  cfg.patience = 5;
+  GeneticAlgorithm algo(small_space(), sphere, cfg);
+  const GaResult r = algo.run();
+  EXPECT_LT(r.history.size(), 500u);
+}
+
+TEST(Ga, SeedIndividualsEnterInitialPopulation) {
+  const Genome seed_genome = {30, -5, 400};  // the optimum
+  GaConfig cfg;
+  cfg.generations = 1;
+  cfg.seed_individuals = {seed_genome};
+  GeneticAlgorithm algo(small_space(), sphere, cfg);
+  const GaResult r = algo.run();
+  EXPECT_DOUBLE_EQ(r.best_fitness, 0.0);
+  EXPECT_EQ(r.best, seed_genome);
+}
+
+TEST(Ga, InvalidSeedIndividualRejected) {
+  GaConfig cfg;
+  cfg.seed_individuals = {{9999, 0, 1}};
+  EXPECT_THROW(GeneticAlgorithm(small_space(), sphere, cfg), Error);
+}
+
+TEST(Ga, ConfigValidation) {
+  GaConfig cfg;
+  cfg.population = 1;
+  EXPECT_THROW(GeneticAlgorithm(small_space(), sphere, cfg), Error);
+  cfg = GaConfig{};
+  cfg.elites = cfg.population;
+  EXPECT_THROW(GeneticAlgorithm(small_space(), sphere, cfg), Error);
+  cfg = GaConfig{};
+  cfg.crossover_rate = 1.5;
+  EXPECT_THROW(GeneticAlgorithm(small_space(), sphere, cfg), Error);
+  EXPECT_THROW(GeneticAlgorithm(small_space(), nullptr, GaConfig{}), Error);
+}
+
+TEST(Ga, ProgressCallbackSeesEveryGeneration) {
+  GaConfig cfg;
+  cfg.generations = 10;
+  cfg.patience = 0;
+  GeneticAlgorithm algo(small_space(), sphere, cfg);
+  int called = 0;
+  algo.set_progress([&called](const GenerationStats& gs) {
+    EXPECT_EQ(gs.generation, called);
+    ++called;
+  });
+  algo.run();
+  EXPECT_EQ(called, 10);
+}
+
+TEST(Ga, ParallelEvaluationMatchesSerial) {
+  GaConfig cfg;
+  cfg.generations = 10;
+  cfg.seed = 11;
+  cfg.threads = 1;
+  GeneticAlgorithm serial(small_space(), sphere, cfg);
+  cfg.threads = 4;
+  GeneticAlgorithm parallel(small_space(), sphere, cfg);
+  const GaResult rs = serial.run(), rp = parallel.run();
+  EXPECT_EQ(rs.best, rp.best);
+  EXPECT_DOUBLE_EQ(rs.best_fitness, rp.best_fitness);
+}
+
+TEST(Ga, RouletteSelectionAlsoConverges) {
+  GaConfig cfg;
+  cfg.generations = 60;
+  cfg.seed = 12;
+  cfg.selection = SelectionKind::kRoulette;
+  GeneticAlgorithm algo(small_space(), sphere, cfg);
+  EXPECT_LT(algo.run().best_fitness, 100.0);
+}
+
+// --- Baselines -------------------------------------------------------------------------
+
+TEST(RandomSearch, RespectsBudgetAndImproves) {
+  const SearchResult r = random_search(small_space(), sphere, 300, 1);
+  EXPECT_EQ(r.evaluations, 300u);
+  EXPECT_EQ(r.trajectory.size(), 300u);
+  EXPECT_LE(r.trajectory.back(), r.trajectory.front());
+  for (std::size_t i = 1; i < r.trajectory.size(); ++i) {
+    EXPECT_LE(r.trajectory[i], r.trajectory[i - 1]) << "anytime curve is monotone";
+  }
+}
+
+TEST(HillClimb, RespectsBudgetAndImproves) {
+  const SearchResult r = hill_climb(small_space(), sphere, 300, 1);
+  EXPECT_GE(r.evaluations, 300u);
+  EXPECT_LE(r.trajectory.back(), r.trajectory.front());
+}
+
+TEST(HillClimb, BeatsRandomOnSmoothLandscape) {
+  double hc_sum = 0, rs_sum = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    hc_sum += hill_climb(small_space(), sphere, 200, seed).best_fitness;
+    rs_sum += random_search(small_space(), sphere, 200, seed).best_fitness;
+  }
+  EXPECT_LT(hc_sum, rs_sum) << "local search should beat random sampling on a sphere";
+}
+
+TEST(Baselines, ZeroBudgetRejected) {
+  EXPECT_THROW(random_search(small_space(), sphere, 0, 1), Error);
+  EXPECT_THROW(hill_climb(small_space(), sphere, 0, 1), Error);
+}
+
+}  // namespace
+}  // namespace ith::ga

@@ -1,0 +1,86 @@
+#include "heuristics/profile_directed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "testing.hpp"
+#include "vm/vm.hpp"
+#include "workloads/suite.hpp"
+
+namespace ith::heur {
+namespace {
+
+InlineRequest site(std::uint64_t count, int callee_size, int depth = 0) {
+  InlineRequest r;
+  r.site_count = count;
+  r.is_hot = count > 0;
+  r.callee_size = callee_size;
+  r.depth = depth;
+  return r;
+}
+
+TEST(ProfileDirected, ColdSitesNeverInlined) {
+  ProfileDirectedHeuristic h;
+  EXPECT_FALSE(h.should_inline(site(0, 1)));
+}
+
+TEST(ProfileDirected, BenefitMustCoverCost) {
+  // benefit = count * 12, cost = 60 * size: break-even at count = 5 * size.
+  ProfileDirectedHeuristic h(12.0, 60.0);
+  EXPECT_TRUE(h.should_inline(site(100, 20)));   // 1200 >= 1200
+  EXPECT_FALSE(h.should_inline(site(99, 20)));   // 1188 < 1200
+  EXPECT_TRUE(h.should_inline(site(5, 1)));
+  EXPECT_FALSE(h.should_inline(site(4, 1)));
+}
+
+TEST(ProfileDirected, HugeCountsSwallowBigCallees) {
+  ProfileDirectedHeuristic h;
+  EXPECT_TRUE(h.should_inline(site(1'000'000, 400)));
+}
+
+TEST(ProfileDirected, DepthCapHolds) {
+  ProfileDirectedHeuristic h(12.0, 60.0, /*depth_cap=*/3);
+  EXPECT_TRUE(h.should_inline(site(100000, 10, 3)));
+  EXPECT_FALSE(h.should_inline(site(100000, 10, 4)));
+}
+
+TEST(ProfileDirected, RejectsBadWeights) {
+  EXPECT_THROW(ProfileDirectedHeuristic(0.0, 1.0), ith::Error);
+  EXPECT_THROW(ProfileDirectedHeuristic(1.0, -1.0), ith::Error);
+  EXPECT_THROW(ProfileDirectedHeuristic(1.0, 1.0, -1), ith::Error);
+}
+
+TEST(ProfileDirected, UnderAdaptBeatsNeverInlineOnRunningTime) {
+  // End-to-end: with live profiles it should recover much of the inlining
+  // benefit on a loop-dominated program.
+  const wl::Workload w = wl::make_workload("compress");
+  const rt::MachineModel machine = rt::pentium4_model();
+  auto running_with = [&](InlineHeuristic& h) {
+    vm::VmConfig cfg;
+    cfg.scenario = vm::Scenario::kAdapt;
+    vm::VirtualMachine m(w.program, machine, h, cfg);
+    return m.run(2).running_cycles;
+  };
+  ProfileDirectedHeuristic pd;
+  NeverInlineHeuristic never;
+  EXPECT_LT(running_with(pd), running_with(never));
+}
+
+TEST(ProfileDirected, UnderOptDegeneratesToNeverInline) {
+  // No profile exists under Opt; the heuristic must not inline anything,
+  // matching its documented cold-code behaviour.
+  const wl::Workload w = wl::make_workload("raytrace");
+  const rt::MachineModel machine = rt::pentium4_model();
+  auto total_with = [&](InlineHeuristic& h) {
+    vm::VmConfig cfg;
+    cfg.scenario = vm::Scenario::kOpt;
+    vm::VirtualMachine m(w.program, machine, h, cfg);
+    return m.run(2).total_cycles;
+  };
+  ProfileDirectedHeuristic pd;
+  NeverInlineHeuristic never;
+  EXPECT_EQ(total_with(pd), total_with(never));
+}
+
+}  // namespace
+}  // namespace ith::heur

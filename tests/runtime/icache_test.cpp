@@ -1,0 +1,87 @@
+#include "runtime/icache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace ith::rt {
+namespace {
+
+TEST(ICache, FirstTouchMissesThenHits) {
+  ICache c(1024, 64, 2);
+  EXPECT_FALSE(c.probe(0));
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_TRUE(c.probe(63));   // same line
+  EXPECT_FALSE(c.probe(64));  // next line
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(ICache, GeometryValidation) {
+  EXPECT_THROW(ICache(100, 64, 2), Error);   // not divisible into sets
+  EXPECT_THROW(ICache(1024, 60, 2), Error);  // line not power of two
+  EXPECT_THROW(ICache(64, 64, 2), Error);    // smaller than one set
+  EXPECT_NO_THROW(ICache(1024, 64, 2));
+}
+
+TEST(ICache, SetCountComputed) {
+  ICache c(8192, 64, 4);
+  EXPECT_EQ(c.num_sets(), 32u);
+  EXPECT_EQ(c.associativity(), 4u);
+  EXPECT_EQ(c.line_bytes(), 64u);
+}
+
+TEST(ICache, LruEvictsOldestWay) {
+  // Direct-map-like pressure on one set of a 2-way cache: addresses that
+  // alias to set 0 are multiples of sets*line.
+  ICache c(1024, 64, 2);  // 8 sets
+  const std::uint64_t stride = 8 * 64;
+  EXPECT_FALSE(c.probe(0 * stride));
+  EXPECT_FALSE(c.probe(1 * stride));
+  EXPECT_TRUE(c.probe(0 * stride));   // refresh way 0
+  EXPECT_FALSE(c.probe(2 * stride));  // evicts line 1 (older)
+  EXPECT_TRUE(c.probe(0 * stride));   // still resident
+  EXPECT_FALSE(c.probe(1 * stride));  // was evicted
+}
+
+TEST(ICache, CapacityMissBehaviour) {
+  ICache c(1024, 64, 2);  // 16 lines capacity
+  for (std::uint64_t line = 0; line < 32; ++line) {
+    c.probe(line * 64);
+  }
+  EXPECT_EQ(c.misses(), 32u);  // working set double the capacity: all miss
+  c.reset_counters();
+  for (std::uint64_t line = 0; line < 8; ++line) {
+    c.probe(line * 64);
+    c.probe(line * 64);
+  }
+  EXPECT_EQ(c.hits(), 8u);  // small working set: second touches hit
+}
+
+TEST(ICache, FlushInvalidatesEverything) {
+  ICache c(1024, 64, 2);
+  c.probe(0);
+  EXPECT_TRUE(c.probe(0));
+  c.flush();
+  EXPECT_FALSE(c.probe(0));
+}
+
+TEST(ICache, ResetCountersKeepsContents) {
+  ICache c(1024, 64, 2);
+  c.probe(0);
+  c.reset_counters();
+  EXPECT_EQ(c.probes(), 0u);
+  EXPECT_TRUE(c.probe(0)) << "contents survive counter reset";
+}
+
+TEST(ICache, DistinctTagsSameSetCoexistUpToAssoc) {
+  ICache c(2048, 64, 4);  // 8 sets, 4 ways
+  const std::uint64_t stride = 8 * 64;
+  for (std::uint64_t i = 0; i < 4; ++i) c.probe(i * stride);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(c.probe(i * stride)) << "way " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ith::rt

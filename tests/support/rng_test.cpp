@@ -1,0 +1,164 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ith {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(123, 7), b(123, 7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(123, 7), b(124, 7);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, DifferentStreamsDiverge) {
+  Pcg32 a(123, 7), b(123, 8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BoundedStaysInBound) {
+  Pcg32 rng(1);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32, BoundedOneAlwaysZero) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Pcg32, BoundedRejectsZero) {
+  Pcg32 rng(1);
+  EXPECT_THROW(rng.bounded(0), Error);
+}
+
+TEST(Pcg32, RangeInclusiveBounds) {
+  Pcg32 rng(2);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u) << "all values of a small range should appear";
+}
+
+TEST(Pcg32, RangeSingleton) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.range(42, 42), 42);
+}
+
+TEST(Pcg32, RangeRejectsInverted) {
+  Pcg32 rng(1);
+  EXPECT_THROW(rng.range(2, 1), Error);
+}
+
+TEST(Pcg32, RangeWideSpan) {
+  Pcg32 rng(4);
+  const std::int64_t lo = -5'000'000'000LL, hi = 5'000'000'000LL;
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t v = rng.range(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformMeanNearHalf) {
+  Pcg32 rng(6);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Pcg32, ChanceExtremes) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Pcg32, ChanceApproximatesProbability) {
+  Pcg32 rng(8);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Pcg32, GaussianMomentsRoughlyStandard) {
+  Pcg32 rng(9);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.1);
+}
+
+TEST(Pcg32, SplitProducesIndependentStream) {
+  Pcg32 parent(11);
+  Pcg32 child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, SplitIsDeterministic) {
+  Pcg32 p1(11), p2(11);
+  Pcg32 c1 = p1.split(), c2 = p2.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Pcg32, UniformIntervalScaled) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace ith

@@ -1,0 +1,112 @@
+#include "support/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ith {
+namespace {
+
+TEST(Mean, Basic) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Mean, SingleElement) {
+  const std::vector<double> v = {7.5};
+  EXPECT_DOUBLE_EQ(mean(v), 7.5);
+}
+
+TEST(Mean, EmptyThrows) {
+  const std::vector<double> v;
+  EXPECT_THROW(mean(v), Error);
+}
+
+TEST(Geomean, Basic) {
+  const std::vector<double> v = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+}
+
+TEST(Geomean, MatchesPaperFormula) {
+  // |S|-th root of the product.
+  const std::vector<double> v = {2.0, 8.0, 4.0};
+  EXPECT_NEAR(geomean(v), std::cbrt(2.0 * 8.0 * 4.0), 1e-12);
+}
+
+TEST(Geomean, ScaleInvariantRatio) {
+  // geomean(k*x) == k * geomean(x): why normalizing by the default
+  // heuristic doesn't change the GA's ranking.
+  const std::vector<double> x = {1.5, 0.7, 2.2, 0.9};
+  std::vector<double> kx;
+  for (double v : x) kx.push_back(3.0 * v);
+  EXPECT_NEAR(geomean(kx), 3.0 * geomean(x), 1e-12);
+}
+
+TEST(Geomean, RejectsNonPositive) {
+  const std::vector<double> v = {1.0, 0.0};
+  EXPECT_THROW(geomean(v), Error);
+  const std::vector<double> w = {1.0, -2.0};
+  EXPECT_THROW(geomean(w), Error);
+}
+
+TEST(Geomean, LessSensitiveToOutliersThanMean) {
+  const std::vector<double> v = {1.0, 1.0, 1.0, 100.0};
+  EXPECT_LT(geomean(v), mean(v));
+}
+
+TEST(Stddev, KnownValue) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(v), 2.138089935299395, 1e-12);  // sample stddev
+}
+
+TEST(Stddev, RequiresTwoSamples) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(stddev(v), Error);
+}
+
+TEST(Median, OddAndEven) {
+  const std::vector<double> odd = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(MinMax, Basic) {
+  const std::vector<double> v = {3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_of(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 3.0);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, VarianceZeroWithOneSample) {
+  RunningStats rs;
+  rs.add(5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, EmptyMeanThrows) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), Error);
+}
+
+TEST(PercentReduction, Basic) {
+  EXPECT_NEAR(percent_reduction(0.83), 17.0, 1e-9);
+  EXPECT_NEAR(percent_reduction(1.0), 0.0, 1e-9);
+  EXPECT_NEAR(percent_reduction(1.05), -5.0, 1e-9);  // degradation is negative
+}
+
+}  // namespace
+}  // namespace ith

@@ -1,0 +1,256 @@
+// Workload-suite tests: every benchmark program verifies, runs, terminates,
+// is deterministic, and has the shape its paper counterpart is meant to model.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+#include "bytecode/size_estimator.hpp"
+#include "bytecode/verifier.hpp"
+#include "testing.hpp"
+#include "workloads/programs.hpp"
+#include "workloads/shapes.hpp"
+#include "workloads/suite.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace ith::wl {
+namespace {
+
+// --- Registry -----------------------------------------------------------------
+
+TEST(Suite, NamesMatchPaperTables) {
+  EXPECT_EQ(spec_names(), (std::vector<std::string>{"compress", "jess", "db", "javac", "mpegaudio",
+                                                    "raytrace", "jack"}));
+  EXPECT_EQ(dacapo_names(), (std::vector<std::string>{"antlr", "fop", "jython", "pmd", "ps",
+                                                      "ipsixql", "pseudojbb"}));
+}
+
+TEST(Suite, MakeSuiteSelections) {
+  EXPECT_EQ(make_suite("specjvm98").size(), 7u);
+  EXPECT_EQ(make_suite("dacapo+jbb").size(), 7u);
+  EXPECT_EQ(make_suite("all").size(), 14u);
+  EXPECT_THROW(make_suite("nope"), ith::Error);
+  EXPECT_THROW(make_workload("nope"), ith::Error);
+}
+
+// --- Per-benchmark properties ----------------------------------------------------
+
+class WorkloadProperties : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadProperties, VerifiesAndRuns) {
+  const Workload w = make_workload(GetParam());
+  EXPECT_EQ(w.name, GetParam());
+  EXPECT_FALSE(w.description.empty());
+  ASSERT_NO_THROW(bc::verify_program(w.program));
+  // Runs to completion (bounded) with a deterministic exit value.
+  const std::int64_t v1 = ith::test::run_exit_value(w.program);
+  const std::int64_t v2 = ith::test::run_exit_value(make_workload(GetParam()).program);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST_P(WorkloadProperties, GenerationIsDeterministic) {
+  const Workload a = make_workload(GetParam());
+  const Workload b = make_workload(GetParam());
+  EXPECT_EQ(a.program, b.program);
+}
+
+TEST_P(WorkloadProperties, HasCallSites) {
+  const Workload w = make_workload(GetParam());
+  std::size_t sites = 0;
+  for (const auto& m : w.program.methods()) sites += m.call_sites().size();
+  EXPECT_GT(sites, 5u) << "inlining needs call sites to act on";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadProperties,
+                         ::testing::Values("compress", "jess", "db", "javac", "mpegaudio",
+                                           "raytrace", "jack", "antlr", "fop", "jython", "pmd",
+                                           "ps", "ipsixql", "pseudojbb"));
+
+// --- Suite-level shape -------------------------------------------------------------
+
+TEST(SuiteShape, DacapoIsCodeRicherThanSpec) {
+  std::size_t spec_words = 0, dacapo_words = 0, spec_methods = 0, dacapo_methods = 0;
+  for (const Workload& w : make_suite("specjvm98")) {
+    spec_words += bc::estimated_program_size(w.program);
+    spec_methods += w.program.num_methods();
+  }
+  for (const Workload& w : make_suite("dacapo+jbb")) {
+    dacapo_words += bc::estimated_program_size(w.program);
+    dacapo_methods += w.program.num_methods();
+  }
+  EXPECT_GT(dacapo_words, 2 * spec_words);
+  EXPECT_GT(dacapo_methods, 2 * spec_methods);
+}
+
+TEST(SuiteShape, SuiteTagsAreConsistent) {
+  for (const Workload& w : make_suite("specjvm98")) EXPECT_EQ(w.suite, "specjvm98");
+  for (const Workload& w : make_suite("dacapo+jbb")) EXPECT_EQ(w.suite, "dacapo+jbb");
+}
+
+// --- Shape combinators --------------------------------------------------------------
+
+TEST(Shapes, EmitExprLeavesOneValue) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Pcg32 rng(seed);
+    bc::ProgramBuilder pb("t", 16);
+    auto& m = pb.method("main", 0, 2);
+    m.const_(3).store(0).const_(4).store(1);
+    emit_expr(m, rng, {0, 1}, 1 + static_cast<int>(seed % 17), seed % 3 == 0);
+    m.halt();
+    pb.entry("main");
+    const bc::Program p = pb.build();  // build verifies: depth discipline holds
+    EXPECT_NO_THROW(ith::test::run_exit_value(p)) << "seed " << seed;
+  }
+}
+
+TEST(Shapes, LeafRespectsApproximateLength) {
+  Pcg32 rng(7);
+  bc::ProgramBuilder pb("t", 0);
+  make_leaf(pb, "leaf", 2, 30, rng);
+  pb.method("main", 0, 0).const_(1).const_(2).call("leaf", 2).halt();
+  pb.entry("main");
+  const bc::Program p = pb.build();
+  const std::size_t n = p.method(p.find_method("leaf")).size();
+  EXPECT_GE(n, 25u);
+  EXPECT_LE(n, 45u);
+}
+
+TEST(Shapes, ChainHasRequestedDepth) {
+  Pcg32 rng(7);
+  bc::ProgramBuilder pb("t", 0);
+  make_leaf(pb, "leaf", 2, 8, rng);
+  const std::string top = make_chain(pb, "c", 4, 2, 10, "leaf", rng);
+  EXPECT_EQ(top, "c_0");
+  pb.method("main", 0, 0).const_(1).const_(2).call(top, 2).halt();
+  pb.entry("main");
+  const bc::Program p = pb.build();
+  // c_0 -> c_1 -> c_2 -> c_3 -> leaf all exist.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(p.has_method("c_" + std::to_string(i)));
+  EXPECT_NO_THROW(ith::test::run_exit_value(p));
+}
+
+TEST(Shapes, DispatcherSelectsByModulo) {
+  bc::ProgramBuilder pb("t", 0);
+  pb.method("ret10", 2, 2).const_(10).ret();
+  pb.method("ret20", 2, 2).const_(20).ret();
+  pb.method("ret30", 2, 2).const_(30).ret();
+  make_dispatcher(pb, "disp", {"ret10", "ret20", "ret30"});
+  auto& m = pb.method("main", 0, 0);
+  m.const_(0).const_(0).call("disp", 2);
+  m.const_(1).const_(0).call("disp", 2).add();
+  m.const_(2).const_(0).call("disp", 2).add();
+  m.const_(5).const_(0).call("disp", 2).add();   // 5 mod 3 == 2 -> 30
+  m.const_(-1).const_(0).call("disp", 2).add();  // negative -> default (last)
+  m.halt();
+  pb.entry("main");
+  EXPECT_EQ(ith::test::run_exit_value(pb.build()), 10 + 20 + 30 + 30 + 30);
+}
+
+TEST(Shapes, RecursiveTerminates) {
+  Pcg32 rng(3);
+  bc::ProgramBuilder pb("t", 0);
+  make_recursive(pb, "rec", 6, rng);
+  pb.method("main", 0, 0).const_(10).call("rec", 1).halt();
+  pb.entry("main");
+  EXPECT_NO_THROW(ith::test::run_exit_value(pb.build()));
+}
+
+TEST(Shapes, ColdBlobCallsOnlyGivenCallees) {
+  Pcg32 rng(5);
+  bc::ProgramBuilder pb("t", 0);
+  make_leaf(pb, "a", 1, 6, rng);
+  make_leaf(pb, "b", 1, 6, rng);
+  make_cold_blob(pb, "blob", 60, 4, {"a", "b"}, rng);
+  pb.method("main", 0, 0).const_(1).call("blob", 1).halt();
+  pb.entry("main");
+  const bc::Program p = pb.build();
+  const bc::Method& blob = p.method(p.find_method("blob"));
+  EXPECT_EQ(blob.call_sites().size(), 4u);
+  EXPECT_NO_THROW(ith::test::run_exit_value(p));
+}
+
+TEST(Shapes, MidFeedsValueThroughCallees) {
+  Pcg32 rng(5);
+  bc::ProgramBuilder pb("t", 0);
+  make_leaf(pb, "u", 1, 5, rng);
+  make_mid(pb, "mid", 2, 12, 2, {"u"}, rng);
+  pb.method("main", 0, 0).const_(3).const_(4).call("mid", 2).halt();
+  pb.entry("main");
+  const bc::Program p = pb.build();
+  EXPECT_EQ(p.method(p.find_method("mid")).call_sites().size(), 2u);
+  EXPECT_NO_THROW(ith::test::run_exit_value(p));
+}
+
+// --- run_scale (input size) --------------------------------------------------------
+
+TEST(RunScale, ScalesDynamicWorkNotStaticCode) {
+  const Workload small = make_workload("compress", 0.5);
+  const Workload base = make_workload("compress", 1.0);
+  const Workload big = make_workload("compress", 2.0);
+  // Static shape identical.
+  EXPECT_EQ(small.program.num_methods(), base.program.num_methods());
+  EXPECT_EQ(big.program.total_code_size(), base.program.total_code_size());
+  // Dynamic work scales (measured by functional execution instruction count).
+  const rt::MachineModel machine = rt::pentium4_model();
+  auto instructions = [&machine](const bc::Program& p) {
+    ith::test::IdentitySource source(p);
+    rt::Interpreter interp(p, machine, source, nullptr);
+    return interp.run().instructions;
+  };
+  const auto s = instructions(small.program);
+  const auto b = instructions(base.program);
+  const auto g = instructions(big.program);
+  EXPECT_LT(s, b);
+  EXPECT_LT(b, g);
+  EXPECT_NEAR(static_cast<double>(g) / static_cast<double>(b), 2.0, 0.25);
+}
+
+TEST(RunScale, DefaultEqualsScaleOne) {
+  EXPECT_EQ(make_workload("jess").program, make_workload("jess", 1.0).program);
+}
+
+TEST(RunScale, RejectsNonPositive) {
+  EXPECT_THROW(make_workload("jess", 0.0), ith::Error);
+  EXPECT_THROW(make_workload("jess", -1.0), ith::Error);
+}
+
+TEST(RunScale, TinyScaleStillRuns) {
+  for (const Workload& w : make_suite("all", 0.01)) {
+    EXPECT_NO_THROW(ith::test::run_exit_value(w.program)) << w.name;
+  }
+}
+
+// --- Synthetic generator (property sweep) ----------------------------------------
+
+class SyntheticSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SyntheticSweep, GeneratedProgramsAreWellFormed) {
+  SyntheticSpec spec;
+  spec.seed = GetParam();
+  spec.n_leaves = 4 + static_cast<int>(GetParam() % 9);
+  spec.n_chains = static_cast<int>(GetParam() % 4);
+  spec.n_dispatchers = static_cast<int>(GetParam() % 3);
+  spec.n_blobs = static_cast<int>(GetParam() % 3);
+  spec.n_recursive = static_cast<int>(GetParam() % 2);
+  spec.hot_iters = 5 + static_cast<std::int64_t>(GetParam() % 20);
+  const bc::Program p = make_synthetic(spec);
+  ASSERT_NO_THROW(bc::verify_program(p));
+  EXPECT_EQ(ith::test::run_exit_value(p), ith::test::run_exit_value(make_synthetic(spec)))
+      << "generation and execution must be deterministic";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16,
+                                           17, 18, 19, 20));
+
+TEST(Synthetic, RejectsBadSpecs) {
+  SyntheticSpec spec;
+  spec.n_leaves = 0;
+  EXPECT_THROW(make_synthetic(spec), ith::Error);
+  spec = SyntheticSpec{};
+  spec.leaf_min_len = 10;
+  spec.leaf_max_len = 5;
+  EXPECT_THROW(make_synthetic(spec), ith::Error);
+}
+
+}  // namespace
+}  // namespace ith::wl

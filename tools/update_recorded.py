@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Regenerates the recorded Table-4 parameter values in bench/common.cpp
+from a fresh run of bench/table4_tuned_params (see EXPERIMENTS.md)."""
+import re, subprocess, sys, os
+
+gens = os.environ.get("ITH_GA_GENERATIONS", "60")
+out = subprocess.run(["./build/bench/table4_tuned_params"], capture_output=True, text=True,
+                     env={**os.environ, "ITH_GA_GENERATIONS": gens}).stdout
+vals = re.findall(r"\[CALLEE_MAX_SIZE=(\d+), ALWAYS_INLINE_SIZE=(\d+), MAX_INLINE_DEPTH=(\d+), "
+                  r"CALLER_MAX_SIZE=(\d+), HOT_CALLEE_MAX_SIZE=(\d+)\]",
+                  out.split("Recorded values")[1])
+assert len(vals) == 5, out
+labels = ["Adapt        ", "Opt:Bal      ", "Opt:Tot      ", "Adapt (PPC)  ", "Opt:Bal (PPC)"]
+lines = "".join(f"      /* {labels[i]}*/ make_params({', '.join(vals[i])}),\n" for i in range(5))
+src = open("bench/common.cpp").read()
+start = src.index("      /* Adapt        */")
+end = src.index("  };", start)
+open("bench/common.cpp", "w").write(src[:start] + lines + src[end:])
+print("recorded:")
+print(lines)
