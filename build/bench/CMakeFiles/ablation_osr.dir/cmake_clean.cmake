@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_osr.dir/ablation_osr.cpp.o"
+  "CMakeFiles/ablation_osr.dir/ablation_osr.cpp.o.d"
+  "ablation_osr"
+  "ablation_osr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_osr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

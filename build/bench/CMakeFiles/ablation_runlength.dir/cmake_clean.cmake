@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_runlength.dir/ablation_runlength.cpp.o"
+  "CMakeFiles/ablation_runlength.dir/ablation_runlength.cpp.o.d"
+  "ablation_runlength"
+  "ablation_runlength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_runlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_per_program.dir/fig10_per_program.cpp.o"
+  "CMakeFiles/fig10_per_program.dir/fig10_per_program.cpp.o.d"
+  "fig10_per_program"
+  "fig10_per_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_per_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

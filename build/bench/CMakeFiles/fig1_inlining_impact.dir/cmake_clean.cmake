@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_inlining_impact.dir/fig1_inlining_impact.cpp.o"
+  "CMakeFiles/fig1_inlining_impact.dir/fig1_inlining_impact.cpp.o.d"
+  "fig1_inlining_impact"
+  "fig1_inlining_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_inlining_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

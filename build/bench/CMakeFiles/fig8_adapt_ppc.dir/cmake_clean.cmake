@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_adapt_ppc.dir/fig8_adapt_ppc.cpp.o"
+  "CMakeFiles/fig8_adapt_ppc.dir/fig8_adapt_ppc.cpp.o.d"
+  "fig8_adapt_ppc"
+  "fig8_adapt_ppc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_adapt_ppc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_optbal_ppc.dir/fig9_optbal_ppc.cpp.o"
+  "CMakeFiles/fig9_optbal_ppc.dir/fig9_optbal_ppc.cpp.o.d"
+  "fig9_optbal_ppc"
+  "fig9_optbal_ppc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_optbal_ppc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

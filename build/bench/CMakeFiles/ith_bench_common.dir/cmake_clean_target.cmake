@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libith_bench_common.a"
+)

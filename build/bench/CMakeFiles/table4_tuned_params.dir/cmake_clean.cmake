@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_tuned_params.dir/table4_tuned_params.cpp.o"
+  "CMakeFiles/table4_tuned_params.dir/table4_tuned_params.cpp.o.d"
+  "table4_tuned_params"
+  "table4_tuned_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_tuned_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_summary.dir/table5_summary.cpp.o"
+  "CMakeFiles/table5_summary.dir/table5_summary.cpp.o.d"
+  "table5_summary"
+  "table5_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

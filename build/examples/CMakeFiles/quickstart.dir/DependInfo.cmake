@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuner/CMakeFiles/ith_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ith_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ith_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ith_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ith_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/ith_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/ith_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/ith_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ith_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_scenario.dir/tune_scenario.cpp.o"
+  "CMakeFiles/tune_scenario.dir/tune_scenario.cpp.o.d"
+  "tune_scenario"
+  "tune_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

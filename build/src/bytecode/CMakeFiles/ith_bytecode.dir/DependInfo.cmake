@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/analysis.cpp" "src/bytecode/CMakeFiles/ith_bytecode.dir/analysis.cpp.o" "gcc" "src/bytecode/CMakeFiles/ith_bytecode.dir/analysis.cpp.o.d"
+  "/root/repo/src/bytecode/binary.cpp" "src/bytecode/CMakeFiles/ith_bytecode.dir/binary.cpp.o" "gcc" "src/bytecode/CMakeFiles/ith_bytecode.dir/binary.cpp.o.d"
+  "/root/repo/src/bytecode/builder.cpp" "src/bytecode/CMakeFiles/ith_bytecode.dir/builder.cpp.o" "gcc" "src/bytecode/CMakeFiles/ith_bytecode.dir/builder.cpp.o.d"
+  "/root/repo/src/bytecode/instruction.cpp" "src/bytecode/CMakeFiles/ith_bytecode.dir/instruction.cpp.o" "gcc" "src/bytecode/CMakeFiles/ith_bytecode.dir/instruction.cpp.o.d"
+  "/root/repo/src/bytecode/method.cpp" "src/bytecode/CMakeFiles/ith_bytecode.dir/method.cpp.o" "gcc" "src/bytecode/CMakeFiles/ith_bytecode.dir/method.cpp.o.d"
+  "/root/repo/src/bytecode/program.cpp" "src/bytecode/CMakeFiles/ith_bytecode.dir/program.cpp.o" "gcc" "src/bytecode/CMakeFiles/ith_bytecode.dir/program.cpp.o.d"
+  "/root/repo/src/bytecode/serializer.cpp" "src/bytecode/CMakeFiles/ith_bytecode.dir/serializer.cpp.o" "gcc" "src/bytecode/CMakeFiles/ith_bytecode.dir/serializer.cpp.o.d"
+  "/root/repo/src/bytecode/size_estimator.cpp" "src/bytecode/CMakeFiles/ith_bytecode.dir/size_estimator.cpp.o" "gcc" "src/bytecode/CMakeFiles/ith_bytecode.dir/size_estimator.cpp.o.d"
+  "/root/repo/src/bytecode/verifier.cpp" "src/bytecode/CMakeFiles/ith_bytecode.dir/verifier.cpp.o" "gcc" "src/bytecode/CMakeFiles/ith_bytecode.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ith_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_bytecode.dir/analysis.cpp.o"
+  "CMakeFiles/ith_bytecode.dir/analysis.cpp.o.d"
+  "CMakeFiles/ith_bytecode.dir/binary.cpp.o"
+  "CMakeFiles/ith_bytecode.dir/binary.cpp.o.d"
+  "CMakeFiles/ith_bytecode.dir/builder.cpp.o"
+  "CMakeFiles/ith_bytecode.dir/builder.cpp.o.d"
+  "CMakeFiles/ith_bytecode.dir/instruction.cpp.o"
+  "CMakeFiles/ith_bytecode.dir/instruction.cpp.o.d"
+  "CMakeFiles/ith_bytecode.dir/method.cpp.o"
+  "CMakeFiles/ith_bytecode.dir/method.cpp.o.d"
+  "CMakeFiles/ith_bytecode.dir/program.cpp.o"
+  "CMakeFiles/ith_bytecode.dir/program.cpp.o.d"
+  "CMakeFiles/ith_bytecode.dir/serializer.cpp.o"
+  "CMakeFiles/ith_bytecode.dir/serializer.cpp.o.d"
+  "CMakeFiles/ith_bytecode.dir/size_estimator.cpp.o"
+  "CMakeFiles/ith_bytecode.dir/size_estimator.cpp.o.d"
+  "CMakeFiles/ith_bytecode.dir/verifier.cpp.o"
+  "CMakeFiles/ith_bytecode.dir/verifier.cpp.o.d"
+  "libith_bytecode.a"
+  "libith_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

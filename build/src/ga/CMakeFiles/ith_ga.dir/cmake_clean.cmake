@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_ga.dir/baselines.cpp.o"
+  "CMakeFiles/ith_ga.dir/baselines.cpp.o.d"
+  "CMakeFiles/ith_ga.dir/ga.cpp.o"
+  "CMakeFiles/ith_ga.dir/ga.cpp.o.d"
+  "CMakeFiles/ith_ga.dir/genome.cpp.o"
+  "CMakeFiles/ith_ga.dir/genome.cpp.o.d"
+  "CMakeFiles/ith_ga.dir/operators.cpp.o"
+  "CMakeFiles/ith_ga.dir/operators.cpp.o.d"
+  "libith_ga.a"
+  "libith_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heuristics/heuristic.cpp" "src/heuristics/CMakeFiles/ith_heuristics.dir/heuristic.cpp.o" "gcc" "src/heuristics/CMakeFiles/ith_heuristics.dir/heuristic.cpp.o.d"
+  "/root/repo/src/heuristics/inline_params.cpp" "src/heuristics/CMakeFiles/ith_heuristics.dir/inline_params.cpp.o" "gcc" "src/heuristics/CMakeFiles/ith_heuristics.dir/inline_params.cpp.o.d"
+  "/root/repo/src/heuristics/knapsack.cpp" "src/heuristics/CMakeFiles/ith_heuristics.dir/knapsack.cpp.o" "gcc" "src/heuristics/CMakeFiles/ith_heuristics.dir/knapsack.cpp.o.d"
+  "/root/repo/src/heuristics/profile_directed.cpp" "src/heuristics/CMakeFiles/ith_heuristics.dir/profile_directed.cpp.o" "gcc" "src/heuristics/CMakeFiles/ith_heuristics.dir/profile_directed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/ith_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ith_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

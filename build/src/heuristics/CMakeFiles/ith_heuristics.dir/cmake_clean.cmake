@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_heuristics.dir/heuristic.cpp.o"
+  "CMakeFiles/ith_heuristics.dir/heuristic.cpp.o.d"
+  "CMakeFiles/ith_heuristics.dir/inline_params.cpp.o"
+  "CMakeFiles/ith_heuristics.dir/inline_params.cpp.o.d"
+  "CMakeFiles/ith_heuristics.dir/knapsack.cpp.o"
+  "CMakeFiles/ith_heuristics.dir/knapsack.cpp.o.d"
+  "CMakeFiles/ith_heuristics.dir/profile_directed.cpp.o"
+  "CMakeFiles/ith_heuristics.dir/profile_directed.cpp.o.d"
+  "libith_heuristics.a"
+  "libith_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

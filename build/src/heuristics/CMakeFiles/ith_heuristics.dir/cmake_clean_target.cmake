@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libith_heuristics.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/annotated.cpp" "src/opt/CMakeFiles/ith_opt.dir/annotated.cpp.o" "gcc" "src/opt/CMakeFiles/ith_opt.dir/annotated.cpp.o.d"
+  "/root/repo/src/opt/inliner.cpp" "src/opt/CMakeFiles/ith_opt.dir/inliner.cpp.o" "gcc" "src/opt/CMakeFiles/ith_opt.dir/inliner.cpp.o.d"
+  "/root/repo/src/opt/optimizer.cpp" "src/opt/CMakeFiles/ith_opt.dir/optimizer.cpp.o" "gcc" "src/opt/CMakeFiles/ith_opt.dir/optimizer.cpp.o.d"
+  "/root/repo/src/opt/passes.cpp" "src/opt/CMakeFiles/ith_opt.dir/passes.cpp.o" "gcc" "src/opt/CMakeFiles/ith_opt.dir/passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/ith_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/ith_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ith_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

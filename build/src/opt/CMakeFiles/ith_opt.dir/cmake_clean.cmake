@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_opt.dir/annotated.cpp.o"
+  "CMakeFiles/ith_opt.dir/annotated.cpp.o.d"
+  "CMakeFiles/ith_opt.dir/inliner.cpp.o"
+  "CMakeFiles/ith_opt.dir/inliner.cpp.o.d"
+  "CMakeFiles/ith_opt.dir/optimizer.cpp.o"
+  "CMakeFiles/ith_opt.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ith_opt.dir/passes.cpp.o"
+  "CMakeFiles/ith_opt.dir/passes.cpp.o.d"
+  "libith_opt.a"
+  "libith_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

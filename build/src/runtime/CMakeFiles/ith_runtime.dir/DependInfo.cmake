@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/compiled.cpp" "src/runtime/CMakeFiles/ith_runtime.dir/compiled.cpp.o" "gcc" "src/runtime/CMakeFiles/ith_runtime.dir/compiled.cpp.o.d"
+  "/root/repo/src/runtime/icache.cpp" "src/runtime/CMakeFiles/ith_runtime.dir/icache.cpp.o" "gcc" "src/runtime/CMakeFiles/ith_runtime.dir/icache.cpp.o.d"
+  "/root/repo/src/runtime/interpreter.cpp" "src/runtime/CMakeFiles/ith_runtime.dir/interpreter.cpp.o" "gcc" "src/runtime/CMakeFiles/ith_runtime.dir/interpreter.cpp.o.d"
+  "/root/repo/src/runtime/machine.cpp" "src/runtime/CMakeFiles/ith_runtime.dir/machine.cpp.o" "gcc" "src/runtime/CMakeFiles/ith_runtime.dir/machine.cpp.o.d"
+  "/root/repo/src/runtime/profile.cpp" "src/runtime/CMakeFiles/ith_runtime.dir/profile.cpp.o" "gcc" "src/runtime/CMakeFiles/ith_runtime.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/ith_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ith_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

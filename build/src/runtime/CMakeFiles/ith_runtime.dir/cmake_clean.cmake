@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_runtime.dir/compiled.cpp.o"
+  "CMakeFiles/ith_runtime.dir/compiled.cpp.o.d"
+  "CMakeFiles/ith_runtime.dir/icache.cpp.o"
+  "CMakeFiles/ith_runtime.dir/icache.cpp.o.d"
+  "CMakeFiles/ith_runtime.dir/interpreter.cpp.o"
+  "CMakeFiles/ith_runtime.dir/interpreter.cpp.o.d"
+  "CMakeFiles/ith_runtime.dir/machine.cpp.o"
+  "CMakeFiles/ith_runtime.dir/machine.cpp.o.d"
+  "CMakeFiles/ith_runtime.dir/profile.cpp.o"
+  "CMakeFiles/ith_runtime.dir/profile.cpp.o.d"
+  "libith_runtime.a"
+  "libith_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

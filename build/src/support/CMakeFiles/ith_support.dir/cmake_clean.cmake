@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_support.dir/cli.cpp.o"
+  "CMakeFiles/ith_support.dir/cli.cpp.o.d"
+  "CMakeFiles/ith_support.dir/csv.cpp.o"
+  "CMakeFiles/ith_support.dir/csv.cpp.o.d"
+  "CMakeFiles/ith_support.dir/env.cpp.o"
+  "CMakeFiles/ith_support.dir/env.cpp.o.d"
+  "CMakeFiles/ith_support.dir/rng.cpp.o"
+  "CMakeFiles/ith_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ith_support.dir/statistics.cpp.o"
+  "CMakeFiles/ith_support.dir/statistics.cpp.o.d"
+  "CMakeFiles/ith_support.dir/table.cpp.o"
+  "CMakeFiles/ith_support.dir/table.cpp.o.d"
+  "CMakeFiles/ith_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/ith_support.dir/thread_pool.cpp.o.d"
+  "libith_support.a"
+  "libith_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_tuner.dir/evaluator.cpp.o"
+  "CMakeFiles/ith_tuner.dir/evaluator.cpp.o.d"
+  "CMakeFiles/ith_tuner.dir/fitness.cpp.o"
+  "CMakeFiles/ith_tuner.dir/fitness.cpp.o.d"
+  "CMakeFiles/ith_tuner.dir/parameter_space.cpp.o"
+  "CMakeFiles/ith_tuner.dir/parameter_space.cpp.o.d"
+  "CMakeFiles/ith_tuner.dir/report.cpp.o"
+  "CMakeFiles/ith_tuner.dir/report.cpp.o.d"
+  "CMakeFiles/ith_tuner.dir/tuner.cpp.o"
+  "CMakeFiles/ith_tuner.dir/tuner.cpp.o.d"
+  "libith_tuner.a"
+  "libith_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

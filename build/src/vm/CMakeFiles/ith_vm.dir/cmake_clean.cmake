@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_vm.dir/vm.cpp.o"
+  "CMakeFiles/ith_vm.dir/vm.cpp.o.d"
+  "libith_vm.a"
+  "libith_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

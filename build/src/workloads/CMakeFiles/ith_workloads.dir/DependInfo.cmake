@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/dacapo_programs.cpp" "src/workloads/CMakeFiles/ith_workloads.dir/dacapo_programs.cpp.o" "gcc" "src/workloads/CMakeFiles/ith_workloads.dir/dacapo_programs.cpp.o.d"
+  "/root/repo/src/workloads/shapes.cpp" "src/workloads/CMakeFiles/ith_workloads.dir/shapes.cpp.o" "gcc" "src/workloads/CMakeFiles/ith_workloads.dir/shapes.cpp.o.d"
+  "/root/repo/src/workloads/spec_programs.cpp" "src/workloads/CMakeFiles/ith_workloads.dir/spec_programs.cpp.o" "gcc" "src/workloads/CMakeFiles/ith_workloads.dir/spec_programs.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/ith_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/ith_workloads.dir/suite.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/ith_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/ith_workloads.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/ith_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ith_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_workloads.dir/dacapo_programs.cpp.o"
+  "CMakeFiles/ith_workloads.dir/dacapo_programs.cpp.o.d"
+  "CMakeFiles/ith_workloads.dir/shapes.cpp.o"
+  "CMakeFiles/ith_workloads.dir/shapes.cpp.o.d"
+  "CMakeFiles/ith_workloads.dir/spec_programs.cpp.o"
+  "CMakeFiles/ith_workloads.dir/spec_programs.cpp.o.d"
+  "CMakeFiles/ith_workloads.dir/suite.cpp.o"
+  "CMakeFiles/ith_workloads.dir/suite.cpp.o.d"
+  "CMakeFiles/ith_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/ith_workloads.dir/synthetic.cpp.o.d"
+  "libith_workloads.a"
+  "libith_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_bytecode_test.dir/bytecode/analysis_test.cpp.o"
+  "CMakeFiles/ith_bytecode_test.dir/bytecode/analysis_test.cpp.o.d"
+  "CMakeFiles/ith_bytecode_test.dir/bytecode/binary_test.cpp.o"
+  "CMakeFiles/ith_bytecode_test.dir/bytecode/binary_test.cpp.o.d"
+  "CMakeFiles/ith_bytecode_test.dir/bytecode/bytecode_test.cpp.o"
+  "CMakeFiles/ith_bytecode_test.dir/bytecode/bytecode_test.cpp.o.d"
+  "CMakeFiles/ith_bytecode_test.dir/bytecode/serializer_test.cpp.o"
+  "CMakeFiles/ith_bytecode_test.dir/bytecode/serializer_test.cpp.o.d"
+  "CMakeFiles/ith_bytecode_test.dir/bytecode/verifier_test.cpp.o"
+  "CMakeFiles/ith_bytecode_test.dir/bytecode/verifier_test.cpp.o.d"
+  "ith_bytecode_test"
+  "ith_bytecode_test.pdb"
+  "ith_bytecode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_bytecode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_ga_test.dir/ga/ga_test.cpp.o"
+  "CMakeFiles/ith_ga_test.dir/ga/ga_test.cpp.o.d"
+  "ith_ga_test"
+  "ith_ga_test.pdb"
+  "ith_ga_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_ga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

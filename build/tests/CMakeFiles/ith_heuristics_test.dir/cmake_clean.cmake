@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_heuristics_test.dir/heuristics/heuristics_test.cpp.o"
+  "CMakeFiles/ith_heuristics_test.dir/heuristics/heuristics_test.cpp.o.d"
+  "CMakeFiles/ith_heuristics_test.dir/heuristics/profile_directed_test.cpp.o"
+  "CMakeFiles/ith_heuristics_test.dir/heuristics/profile_directed_test.cpp.o.d"
+  "ith_heuristics_test"
+  "ith_heuristics_test.pdb"
+  "ith_heuristics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

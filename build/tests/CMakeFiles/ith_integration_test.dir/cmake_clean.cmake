@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_integration_test.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/ith_integration_test.dir/integration/pipeline_test.cpp.o.d"
+  "ith_integration_test"
+  "ith_integration_test.pdb"
+  "ith_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_opt_test.dir/opt/extra_passes_test.cpp.o"
+  "CMakeFiles/ith_opt_test.dir/opt/extra_passes_test.cpp.o.d"
+  "CMakeFiles/ith_opt_test.dir/opt/inliner_test.cpp.o"
+  "CMakeFiles/ith_opt_test.dir/opt/inliner_test.cpp.o.d"
+  "CMakeFiles/ith_opt_test.dir/opt/optimizer_test.cpp.o"
+  "CMakeFiles/ith_opt_test.dir/opt/optimizer_test.cpp.o.d"
+  "CMakeFiles/ith_opt_test.dir/opt/pass_equivalence_test.cpp.o"
+  "CMakeFiles/ith_opt_test.dir/opt/pass_equivalence_test.cpp.o.d"
+  "CMakeFiles/ith_opt_test.dir/opt/passes_test.cpp.o"
+  "CMakeFiles/ith_opt_test.dir/opt/passes_test.cpp.o.d"
+  "ith_opt_test"
+  "ith_opt_test.pdb"
+  "ith_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

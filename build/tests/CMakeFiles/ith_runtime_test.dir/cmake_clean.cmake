@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_runtime_test.dir/runtime/icache_test.cpp.o"
+  "CMakeFiles/ith_runtime_test.dir/runtime/icache_test.cpp.o.d"
+  "CMakeFiles/ith_runtime_test.dir/runtime/interpreter_test.cpp.o"
+  "CMakeFiles/ith_runtime_test.dir/runtime/interpreter_test.cpp.o.d"
+  "CMakeFiles/ith_runtime_test.dir/runtime/machine_test.cpp.o"
+  "CMakeFiles/ith_runtime_test.dir/runtime/machine_test.cpp.o.d"
+  "CMakeFiles/ith_runtime_test.dir/runtime/opcode_matrix_test.cpp.o"
+  "CMakeFiles/ith_runtime_test.dir/runtime/opcode_matrix_test.cpp.o.d"
+  "CMakeFiles/ith_runtime_test.dir/runtime/osr_test.cpp.o"
+  "CMakeFiles/ith_runtime_test.dir/runtime/osr_test.cpp.o.d"
+  "ith_runtime_test"
+  "ith_runtime_test.pdb"
+  "ith_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

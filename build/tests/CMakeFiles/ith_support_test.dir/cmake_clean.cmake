@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_support_test.dir/support/misc_test.cpp.o"
+  "CMakeFiles/ith_support_test.dir/support/misc_test.cpp.o.d"
+  "CMakeFiles/ith_support_test.dir/support/rng_test.cpp.o"
+  "CMakeFiles/ith_support_test.dir/support/rng_test.cpp.o.d"
+  "CMakeFiles/ith_support_test.dir/support/statistics_test.cpp.o"
+  "CMakeFiles/ith_support_test.dir/support/statistics_test.cpp.o.d"
+  "ith_support_test"
+  "ith_support_test.pdb"
+  "ith_support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_tuner_test.dir/tuner/tuner_test.cpp.o"
+  "CMakeFiles/ith_tuner_test.dir/tuner/tuner_test.cpp.o.d"
+  "ith_tuner_test"
+  "ith_tuner_test.pdb"
+  "ith_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_vm_test.dir/vm/vm_test.cpp.o"
+  "CMakeFiles/ith_vm_test.dir/vm/vm_test.cpp.o.d"
+  "ith_vm_test"
+  "ith_vm_test.pdb"
+  "ith_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ith_workloads_test.dir/workloads/workloads_test.cpp.o"
+  "CMakeFiles/ith_workloads_test.dir/workloads/workloads_test.cpp.o.d"
+  "ith_workloads_test"
+  "ith_workloads_test.pdb"
+  "ith_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ith_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

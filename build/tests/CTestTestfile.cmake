@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ith_support_test[1]_include.cmake")
+include("/root/repo/build/tests/ith_bytecode_test[1]_include.cmake")
+include("/root/repo/build/tests/ith_heuristics_test[1]_include.cmake")
+include("/root/repo/build/tests/ith_opt_test[1]_include.cmake")
+include("/root/repo/build/tests/ith_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/ith_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/ith_workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/ith_ga_test[1]_include.cmake")
+include("/root/repo/build/tests/ith_tuner_test[1]_include.cmake")
+include("/root/repo/build/tests/ith_integration_test[1]_include.cmake")
