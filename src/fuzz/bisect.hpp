@@ -1,0 +1,42 @@
+// Pass bisection: name the guilty pass for a divergence.
+//
+// Given a program the oracle reports divergent, re-runs the differential
+// check with each enabled OptimizerOptions flag toggled off individually.
+// A flag whose removal makes the divergence disappear is recorded as
+// guilty; several flags can be guilty at once when passes interact (one
+// pass creating the shape another miscompiles).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bytecode/program.hpp"
+#include "fuzz/oracle.hpp"
+#include "opt/optimizer.hpp"
+
+namespace ith::fuzz {
+
+/// One toggleable optimizer pass flag.
+struct PassToggle {
+  const char* name;
+  bool opt::OptimizerOptions::* field;
+};
+
+/// All bisectable flags, in OptimizerOptions declaration order.
+const std::vector<PassToggle>& pass_toggles();
+
+struct BisectResult {
+  /// Divergence confirmed under the oracle's full options before toggling.
+  bool reproduced = false;
+  /// Flags whose individual removal eliminates the divergence.
+  std::vector<std::string> guilty;
+  /// Set when every single-flag toggle still diverges (bug outside the
+  /// scalar passes, or only reproducible with a pass *combination*).
+  bool unresolved = false;
+
+  std::string to_string() const;
+};
+
+BisectResult bisect_passes(const bc::Program& prog, const DifferentialOracle& oracle);
+
+}  // namespace ith::fuzz

@@ -1,0 +1,73 @@
+// Fuzzing campaign driver: the orchestration layer behind the fuzz_vm CLI
+// and the smoke-fuzz ctest target.
+//
+// A campaign replays the regression corpus (checked-in minimal .mbc repros
+// plus the built-in hand-written edge cases), then walks a seed range:
+// generate an adversarial program, run the four-tier differential oracle,
+// and on divergence bisect the guilty pass, shrink a minimal repro, and
+// (optionally) write it to the corpus directory as a .mbc file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bytecode/program.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace ith::fuzz {
+
+struct CampaignConfig {
+  std::uint64_t seed_begin = 1;
+  std::uint64_t seed_end = 100;          ///< inclusive
+  double time_budget_seconds = 0;        ///< 0 = unbounded
+  std::string corpus_dir;                ///< replay *.mbc from here; write repros here
+  GeneratorSpec gen;                     ///< seed field overridden per iteration
+  OracleConfig oracle;                   ///< seed field overridden per iteration
+  bool bisect = true;
+  bool shrink = true;
+  bool write_repros = true;
+  std::ostream* log = nullptr;           ///< per-seed progress (optional)
+};
+
+/// One divergence the campaign found, fully triaged.
+struct FuzzFinding {
+  std::uint64_t seed = 0;
+  std::string divergence;                ///< oracle verdict summary
+  std::vector<std::string> guilty;       ///< bisected pass names (may be empty)
+  bc::Program shrunk;                    ///< minimal repro (original if !shrink)
+  std::size_t shrunk_instructions = 0;
+  std::string repro_path;                ///< written .mbc, if any
+};
+
+struct CampaignReport {
+  std::uint64_t seeds_run = 0;
+  std::size_t corpus_replayed = 0;
+  std::size_t total_instructions_generated = 0;
+  std::size_t reference_budget_skips = 0;  ///< seeds too hot to fuzz
+  bool budget_exhausted = false;
+  std::vector<FuzzFinding> findings;
+
+  bool clean() const { return findings.empty(); }
+};
+
+CampaignReport run_campaign(const CampaignConfig& config);
+
+/// Hand-written regression edge cases every campaign replays: an
+/// empty-body-equivalent leaf (two-instruction constant return), a
+/// max-stack boundary tower, and a self-recursive inline candidate.
+std::vector<std::pair<std::string, bc::Program>> builtin_edge_cases();
+
+/// Loads every *.mbc program in `dir` (sorted by filename). Missing or
+/// empty directories load zero entries; a malformed file throws.
+std::vector<std::pair<std::string, bc::Program>> load_corpus(const std::string& dir);
+
+/// Serializes `prog` to `<dir>/<stem>.mbc`, creating `dir` if needed.
+/// Returns the written path.
+std::string write_corpus_entry(const std::string& dir, const std::string& stem,
+                               const bc::Program& prog);
+
+}  // namespace ith::fuzz

@@ -1,0 +1,449 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bytecode/builder.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace ith::fuzz {
+
+namespace {
+
+constexpr std::int64_t kMax32 = std::numeric_limits<std::int32_t>::max();
+constexpr std::int64_t kMin32 = std::numeric_limits<std::int32_t>::min();
+
+/// Signature of a generated method, fixed before any body is emitted so
+/// call sites (including forward and mutual recursion) can be generated
+/// against the full method table.
+struct MethodPlan {
+  std::string name;
+  int num_args = 1;  // arg 0 is always the fuel counter
+};
+
+/// Emits one method body from the grammar. Local slot layout:
+///   [0, num_args)                  arguments (arg 0 = fuel; entry: slot 0
+///                                  is a pseudo-fuel local it initializes)
+///   [general_lo, general_hi)      general slots, free for store statements
+///   [ctrl_lo, ctrl_hi)            control slots: loop counters and
+///                                  dispatcher selectors, allocated as a
+///                                  stack so nested blocks never clobber an
+///                                  enclosing block's counter
+class BodyGen {
+ public:
+  BodyGen(bc::MethodBuilder& mb, const GeneratorSpec& spec, Pcg32 rng,
+          const std::vector<MethodPlan>& plans, bool is_entry, int num_args, int general_lo,
+          int general_hi, int ctrl_lo, int ctrl_hi)
+      : mb_(mb),
+        spec_(spec),
+        rng_(rng),
+        plans_(plans),
+        is_entry_(is_entry),
+        num_args_(num_args),
+        general_lo_(general_lo),
+        general_hi_(general_hi),
+        ctrl_lo_(ctrl_lo),
+        ctrl_next_(ctrl_lo),
+        ctrl_hi_(ctrl_hi),
+        calls_left_(spec.max_calls_per_body) {}
+
+  void emit_body() {
+    if (is_entry_) {
+      // Entry has no arguments: materialize the fuel counter in slot 0.
+      mb_.const_(rng_.range(spec_.min_fuel, spec_.max_fuel)).store(kFuelSlot);
+    } else {
+      // Fuel guard: fuel <= 0 returns a constant immediately, so every
+      // call chain (including mutual recursion) is bounded by entry fuel.
+      const std::string go = fresh_label("go");
+      mb_.load(kFuelSlot).const_(0).cmple().jz(go);
+      mb_.const_(small_const()).ret();
+      mb_.label(go);
+    }
+
+    const int stmts = static_cast<int>(rng_.range(spec_.min_stmts, spec_.max_stmts));
+    for (int i = 0; i < stmts; ++i) statement(0);
+
+    if (is_entry_) {
+      // Publish something observable (globals[k] = expr), then halt with an
+      // expression result on the stack.
+      mb_.const_(static_cast<std::int64_t>(rng_.bounded(static_cast<std::uint32_t>(
+          std::max<std::size_t>(spec_.globals, 1)))));
+      expression(2);
+      mb_.gstore();
+      expression(2);
+      mb_.halt();
+    } else {
+      expression(static_cast<int>(rng_.range(1, spec_.max_expr_depth)));
+      mb_.ret();
+    }
+  }
+
+ private:
+  static constexpr int kFuelSlot = 0;
+
+  std::string fresh_label(const char* tag) {
+    return std::string("L") + std::to_string(label_counter_++) + "_" + tag;
+  }
+
+  int general_slot() { return static_cast<int>(rng_.range(general_lo_, general_hi_ - 1)); }
+
+  /// Boundary-biased constant pool.
+  std::int64_t constant() {
+    switch (rng_.bounded(10)) {
+      case 0: return 0;
+      case 1: return 1;
+      case 2: return -1;
+      case 3: return kMax32;
+      case 4: return kMin32;
+      case 5: return kMax32 - 1;
+      case 6: return kMin32 + 1;
+      case 7: return rng_.range(-128, 127);
+      case 8: return rng_.range(-65536, 65535);
+      default: return rng_.range(kMin32, kMax32);
+    }
+  }
+
+  std::int64_t small_const() { return rng_.range(-7, 7); }
+
+  // --- expressions: net stack effect exactly +1 ---------------------------
+
+  void expression(int depth) {
+    if (depth <= 0) {
+      terminal();
+      return;
+    }
+    switch (rng_.bounded(10)) {
+      case 0:
+      case 1:
+        terminal();
+        break;
+      case 2: {  // unary negation
+        expression(depth - 1);
+        mb_.neg();
+        break;
+      }
+      case 3: {  // global load with computed index
+        expression(depth - 1);
+        mb_.gload();
+        break;
+      }
+      case 4: {  // conditional expression: branches at non-zero stack depth
+        const std::string other = fresh_label("else");
+        const std::string join = fresh_label("join");
+        expression(depth - 1);
+        mb_.jz(other);
+        expression(depth - 1);
+        mb_.jmp(join);
+        mb_.label(other);
+        expression(depth - 1);
+        mb_.label(join);
+        break;
+      }
+      case 5: {  // call (fuel-decremented), if budget remains
+        if (!call_expression(depth)) binary(depth);
+        break;
+      }
+      default:
+        binary(depth);
+        break;
+    }
+  }
+
+  void terminal() {
+    switch (rng_.bounded(4)) {
+      case 0:
+        mb_.load(general_slot());
+        break;
+      case 1:
+        if (num_args_ > 0 || is_entry_) {
+          mb_.load(static_cast<int>(rng_.bounded(
+              static_cast<std::uint32_t>(is_entry_ ? 1 : num_args_))));
+          break;
+        }
+        [[fallthrough]];
+      case 2:
+        mb_.const_(constant());
+        break;
+      default:
+        mb_.const_(constant()).gload();
+        break;
+    }
+  }
+
+  void binary(int depth) {
+    expression(depth - 1);
+    expression(depth - 1);
+    switch (rng_.bounded(9)) {
+      case 0: mb_.add(); break;
+      case 1: mb_.sub(); break;
+      case 2: mb_.mul(); break;
+      case 3: mb_.div(); break;
+      case 4: mb_.mod(); break;
+      case 5: mb_.cmplt(); break;
+      case 6: mb_.cmple(); break;
+      case 7: mb_.cmpeq(); break;
+      default: mb_.cmpne(); break;
+    }
+  }
+
+  bool call_expression(int depth) {
+    if (calls_left_ <= 0 || plans_.empty()) return false;
+    --calls_left_;
+    const auto& callee = plans_[rng_.bounded(static_cast<std::uint32_t>(plans_.size()))];
+    // Fuel argument: strictly smaller than our fuel, so chains terminate.
+    mb_.load(kFuelSlot).const_(1).sub();
+    for (int i = 1; i < callee.num_args; ++i) expression(std::max(depth - 2, 0));
+    mb_.call(callee.name, callee.num_args);
+    return true;
+  }
+
+  // --- statements: enter and leave at stack depth 0 -----------------------
+
+  void statement(int block_depth) {
+    const bool can_nest = block_depth < spec_.max_block_depth && ctrl_next_ < ctrl_hi_;
+    switch (rng_.bounded(can_nest ? 10 : 5)) {
+      case 0:  // local store
+        expression(static_cast<int>(rng_.range(1, spec_.max_expr_depth)));
+        mb_.store(general_slot());
+        break;
+      case 1: {  // global store: index then value
+        expression(1);
+        expression(static_cast<int>(rng_.range(1, spec_.max_expr_depth)));
+        mb_.gstore();
+        break;
+      }
+      case 2:  // evaluate for effect, discard
+        expression(static_cast<int>(rng_.range(1, spec_.max_expr_depth)));
+        mb_.pop();
+        break;
+      case 3:
+        mb_.nop();
+        break;
+      case 4:
+        if (spec_.allow_dead_regions) {
+          dead_region();
+          break;
+        }
+        mb_.nop();
+        break;
+      case 5:
+      case 6:
+        if_statement(block_depth);
+        break;
+      case 7:
+        loop_statement(block_depth);
+        break;
+      case 8:
+        ladder_statement();
+        break;
+      default:
+        dispatcher_statement(block_depth);
+        break;
+    }
+  }
+
+  /// A nested statement sequence (if/loop bodies).
+  void block(int block_depth) {
+    const int n = static_cast<int>(rng_.range(1, 3));
+    for (int i = 0; i < n; ++i) statement(block_depth);
+  }
+
+  void if_statement(int block_depth) {
+    const std::string other = fresh_label("ifelse");
+    const std::string end = fresh_label("ifend");
+    expression(2);
+    mb_.jz(other);
+    block(block_depth + 1);
+    mb_.jmp(end);
+    mb_.label(other);
+    if (rng_.chance(0.6)) {
+      block(block_depth + 1);
+    } else {
+      mb_.nop();
+    }
+    mb_.label(end);
+  }
+
+  void loop_statement(int block_depth) {
+    const int counter = ctrl_next_++;
+    const std::string head = fresh_label("head");
+    const std::string end = fresh_label("end");
+    mb_.const_(rng_.range(1, spec_.max_loop_trip)).store(counter);
+    mb_.label(head);
+    if (rng_.chance(0.5)) {
+      // Variant A: exit when the counter hits zero.
+      mb_.load(counter).jz(end);
+    } else {
+      // Variant B: exit when counter <= 0 (exercises cmple + jnz).
+      mb_.load(counter).const_(0).cmple().jnz(end);
+    }
+    block(block_depth + 1);
+    mb_.load(counter).const_(1).sub().store(counter);
+    mb_.jmp(head);
+    mb_.label(end);
+    --ctrl_next_;
+  }
+
+  /// Irreducible-looking trampoline: blocks are emitted in index order but
+  /// visited in a random permutation, so jumps criss-cross forwards and
+  /// backwards. Each block is visited exactly once, so the ladder
+  /// terminates.
+  void ladder_statement() {
+    const int k = static_cast<int>(rng_.range(3, 6));
+    std::vector<int> order(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) order[static_cast<std::size_t>(i)] = i;
+    for (int i = k - 1; i > 0; --i) {
+      std::swap(order[static_cast<std::size_t>(i)],
+                order[rng_.bounded(static_cast<std::uint32_t>(i + 1))]);
+    }
+    std::vector<std::string> labels;
+    labels.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) labels.push_back(fresh_label("rung"));
+    const std::string exit = fresh_label("exit");
+
+    mb_.jmp(labels[static_cast<std::size_t>(order[0])]);
+    for (int b = 0; b < k; ++b) {
+      mb_.label(labels[static_cast<std::size_t>(b)]);
+      simple_statement();
+      const auto pos = static_cast<std::size_t>(
+          std::find(order.begin(), order.end(), b) - order.begin());
+      mb_.jmp(pos + 1 < order.size() ? labels[static_cast<std::size_t>(order[pos + 1])] : exit);
+    }
+    mb_.label(exit);
+  }
+
+  /// Dispatcher chain: a selector local tested against consecutive
+  /// constants, each arm running a statement then jumping out.
+  void dispatcher_statement(int block_depth) {
+    const int sel = ctrl_next_++;
+    const std::string end = fresh_label("dend");
+    expression(2);
+    mb_.store(sel);
+    const int ways = static_cast<int>(rng_.range(2, 4));
+    for (int w = 0; w < ways; ++w) {
+      const std::string next = fresh_label("darm");
+      mb_.load(sel).const_(w).cmpeq().jz(next);
+      statement(block_depth + 1);
+      mb_.jmp(end);
+      mb_.label(next);
+    }
+    simple_statement();  // default arm
+    mb_.label(end);
+    --ctrl_next_;
+  }
+
+  /// A statement with no nested control flow (ladder rungs, default arms).
+  void simple_statement() {
+    switch (rng_.bounded(4)) {
+      case 0:
+        expression(1);
+        mb_.store(general_slot());
+        break;
+      case 1:
+        expression(1);
+        expression(1);
+        mb_.gstore();
+        break;
+      case 2:
+        expression(1);
+        mb_.pop();
+        break;
+      default:
+        mb_.nop();
+        break;
+    }
+  }
+
+  /// Unreachable region: a jump over instructions that only need pass-1
+  /// validity (operands in range). The verifier's stack-shape analysis
+  /// never visits them, so stack-underflowing sequences, stray returns and
+  /// halts are all legal here — exactly the shapes that stress unreachable
+  /// handling in the optimizer's passes.
+  void dead_region() {
+    const std::string skip = fresh_label("skip");
+    mb_.jmp(skip);
+    const int n = static_cast<int>(rng_.range(1, 5));
+    for (int i = 0; i < n; ++i) {
+      switch (rng_.bounded(10)) {
+        case 0: mb_.add(); break;
+        case 1: mb_.mul(); break;
+        case 2: mb_.pop(); break;
+        case 3: mb_.const_(constant()); break;
+        case 4: mb_.store(general_slot()); break;
+        case 5: mb_.ret(); break;
+        case 6: mb_.jmp(skip); break;
+        case 7: mb_.neg(); break;
+        case 8: mb_.gload(); break;
+        default: mb_.nop(); break;
+      }
+    }
+    mb_.label(skip);
+    // A label must bind to an emitted instruction; the region may be last in
+    // the body, so land on a nop.
+    mb_.nop();
+  }
+
+  bc::MethodBuilder& mb_;
+  const GeneratorSpec& spec_;
+  Pcg32 rng_;
+  const std::vector<MethodPlan>& plans_;
+  const bool is_entry_;
+  const int num_args_;
+  const int general_lo_;
+  const int general_hi_;
+  const int ctrl_lo_;
+  int ctrl_next_;
+  const int ctrl_hi_;
+  int calls_left_ = 0;
+  int label_counter_ = 0;
+};
+
+}  // namespace
+
+bc::Program generate_adversarial(const GeneratorSpec& spec) {
+  ITH_CHECK(spec.min_methods >= 1 && spec.max_methods >= spec.min_methods,
+            "generator: bad method count range");
+  ITH_CHECK(spec.min_fuel >= 1 && spec.max_fuel >= spec.min_fuel, "generator: bad fuel range");
+
+  Pcg32 rng(spec.seed, /*seq=*/0x66757a7aULL);  // "fuzz" stream, fixed for determinism
+
+  const int n_methods = static_cast<int>(rng.range(spec.min_methods, spec.max_methods));
+  std::vector<MethodPlan> plans;
+  plans.reserve(static_cast<std::size_t>(n_methods));
+  for (int i = 0; i < n_methods; ++i) {
+    plans.push_back(MethodPlan{"f" + std::to_string(i), static_cast<int>(rng.range(1, 3))});
+  }
+
+  bc::ProgramBuilder pb("adversarial_" + std::to_string(spec.seed), spec.globals);
+  const int n_ctrl = spec.max_block_depth + 2;
+
+  for (const MethodPlan& plan : plans) {
+    const int n_general = static_cast<int>(rng.range(2, 4));
+    const int general_lo = plan.num_args;
+    const int general_hi = general_lo + n_general;
+    const int num_locals = general_hi + n_ctrl;
+    auto& mb = pb.method(plan.name, plan.num_args, num_locals);
+    BodyGen gen(mb, spec, rng.split(), plans, /*is_entry=*/false, plan.num_args, general_lo,
+                general_hi, general_hi, general_hi + n_ctrl);
+    gen.emit_body();
+  }
+
+  {
+    const int n_general = static_cast<int>(rng.range(2, 4));
+    const int general_lo = 1;  // slot 0 = entry fuel
+    const int general_hi = general_lo + n_general;
+    const int num_locals = general_hi + n_ctrl;
+    auto& mb = pb.method("main", 0, num_locals);
+    BodyGen gen(mb, spec, rng.split(), plans, /*is_entry=*/true, 0, general_lo, general_hi,
+                general_hi, general_hi + n_ctrl);
+    gen.emit_body();
+  }
+
+  pb.entry("main");
+  return pb.build();  // verified: a throw here is a generator bug
+}
+
+}  // namespace ith::fuzz

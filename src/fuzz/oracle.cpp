@@ -1,0 +1,294 @@
+#include "fuzz/oracle.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "bytecode/verifier.hpp"
+#include "heuristics/heuristic.hpp"
+#include "runtime/interpreter.hpp"
+#include "runtime/machine.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "vm/vm.hpp"
+
+namespace ith::fuzz {
+
+const char* tier_name(TierKind t) {
+  switch (t) {
+    case TierKind::kReference: return "reference";
+    case TierKind::kO1: return "O1";
+    case TierKind::kO2: return "O2";
+    case TierKind::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::string OracleVerdict::summary() const {
+  if (reference_failed) return "reference failed: " + reference_error;
+  if (!diverged) return "ok";
+  std::ostringstream os;
+  os << divergences.size() << " divergence(s):";
+  for (const Divergence& d : divergences) os << " [" << tier_name(d.tier) << "] " << d.detail;
+  return os.str();
+}
+
+std::size_t apply_planted_bug(bc::Method& body, PlantedBug bug,
+                              const opt::OptimizerOptions& options) {
+  if (bug != PlantedBug::kFoldOverflow || !options.enable_folding) return 0;
+  constexpr std::int64_t kMax32 = std::numeric_limits<std::int32_t>::max();
+  constexpr std::int64_t kMin32 = std::numeric_limits<std::int32_t>::min();
+
+  auto& code = body.mutable_code();
+  std::size_t rewrites = 0;
+  for (std::size_t pc = 0; pc + 2 < code.size(); ++pc) {
+    if (code[pc].op != bc::Op::kConst || code[pc + 1].op != bc::Op::kConst ||
+        code[pc + 2].op != bc::Op::kAdd) {
+      continue;
+    }
+    // Only the overflow residue: sums that fit int32 were already folded by
+    // the sound pass, and folding them here would be correct anyway.
+    const std::int64_t sum = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(code[pc].a)) +
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(code[pc + 1].a)));
+    if (sum >= kMin32 && sum <= kMax32) continue;
+    // Keep the miscompilation deterministic: skip triples a branch lands in.
+    bool branch_target_inside = false;
+    for (const bc::Instruction& insn : code) {
+      if (bc::op_info(insn.op).is_branch &&
+          (insn.a == static_cast<std::int32_t>(pc + 1) ||
+           insn.a == static_cast<std::int32_t>(pc + 2))) {
+        branch_target_inside = true;
+        break;
+      }
+    }
+    if (branch_target_inside) continue;
+    // The bug: clamp into the immediate field instead of skipping the fold.
+    code[pc] = {bc::Op::kNop, 0, 0};
+    code[pc + 1] = {bc::Op::kNop, 0, 0};
+    code[pc + 2] = {bc::Op::kConst, static_cast<std::int32_t>(std::clamp(sum, kMin32, kMax32)), 0};
+    ++rewrites;
+  }
+  return rewrites;
+}
+
+namespace {
+
+/// Identity CodeSource: every method runs as-is (the reference tier and the
+/// statically-optimized tiers share it; only the program differs).
+class PlainSource final : public rt::CodeSource {
+ public:
+  explicit PlainSource(const bc::Program& prog) : prog_(prog), compiled_(prog.num_methods()) {}
+
+  const rt::CompiledMethod& invoke(bc::MethodId id) override {
+    auto& slot = compiled_[static_cast<std::size_t>(id)];
+    if (!slot) {
+      slot = std::make_unique<rt::CompiledMethod>();
+      slot->body = prog_.method(id);
+      slot->tier = rt::Tier::kOpt;
+      slot->method_id = id;
+      slot->code_base = 0x1000 + 0x10000 * static_cast<std::uint64_t>(id);
+      slot->origin.resize(slot->body.size());
+      for (std::size_t pc = 0; pc < slot->body.size(); ++pc) {
+        slot->origin[pc] = {id, static_cast<std::int32_t>(pc)};
+      }
+      slot->finalize();
+    }
+    return *slot;
+  }
+
+ private:
+  const bc::Program& prog_;
+  std::vector<std::unique_ptr<rt::CompiledMethod>> compiled_;
+};
+
+struct TierOutcome {
+  bool ok = false;
+  std::string error;
+  std::int64_t exit_value = 0;
+  std::vector<std::int64_t> globals;
+  std::uint64_t instructions = 0;
+};
+
+const rt::MachineModel& oracle_machine() {
+  static const rt::MachineModel machine = rt::pentium4_model();
+  return machine;
+}
+
+TierOutcome run_plain(const bc::Program& prog, std::uint64_t budget) {
+  TierOutcome out;
+  try {
+    PlainSource source(prog);
+    rt::InterpreterOptions iopts;
+    iopts.max_instructions = budget;
+    rt::Interpreter interp(prog, oracle_machine(), source, /*icache=*/nullptr, iopts);
+    const rt::ExecStats stats = interp.run();
+    out.ok = true;
+    out.exit_value = stats.exit_value;
+    out.globals = interp.globals();
+    out.instructions = stats.instructions;
+  } catch (const Error& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+std::string diff_globals(const std::vector<std::int64_t>& ref,
+                         const std::vector<std::int64_t>& got) {
+  if (ref.size() != got.size()) {
+    return "globals size " + std::to_string(got.size()) + " vs " + std::to_string(ref.size());
+  }
+  std::size_t count = 0;
+  std::size_t first = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (ref[i] != got[i]) {
+      if (count == 0) first = i;
+      ++count;
+    }
+  }
+  if (count == 0) return "";
+  std::ostringstream os;
+  os << count << " global slot(s) differ, first at [" << first << "]: " << got[first]
+     << " (want " << ref[first] << ")";
+  return os.str();
+}
+
+}  // namespace
+
+DifferentialOracle::DifferentialOracle(OracleConfig config) : config_(config) {
+  Pcg32 rng(config_.seed, /*seq=*/0x6f7261636cULL);  // "oracl" stream
+  const auto& ranges = heur::param_ranges();
+  heur::InlineParams::Array arr{};
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    arr[i] = static_cast<int>(rng.range(ranges[i].lo, ranges[i].hi));
+  }
+  params_ = heur::InlineParams::from_array(arr);
+
+  options_ = opt::OptimizerOptions{};
+  options_.enable_inlining = rng.chance(0.85);
+  options_.enable_folding = rng.chance(0.85);
+  options_.enable_copyprop = rng.chance(0.85);
+  options_.enable_dce = rng.chance(0.85);
+  options_.enable_branch_simplify = rng.chance(0.85);
+  options_.enable_algebraic = rng.chance(0.85);
+  options_.enable_compare_fusion = rng.chance(0.85);
+  options_.enable_tail_recursion = rng.chance(0.85);
+
+  hot_method_threshold_ = static_cast<std::uint64_t>(rng.range(20, 800));
+  hot_site_threshold_ = static_cast<std::uint64_t>(rng.range(10, 600));
+  const std::uint64_t rehots[] = {0, 1, 2, 12};
+  rehot_multiplier_ = rehots[rng.bounded(4)];
+  enable_osr_ = rng.chance(0.5);
+
+  if (config_.forced_options) options_ = *config_.forced_options;
+  if (config_.forced_params) params_ = *config_.forced_params;
+}
+
+OracleVerdict DifferentialOracle::check(const bc::Program& prog) const {
+  return check_with_options(prog, options_);
+}
+
+OracleVerdict DifferentialOracle::check_with_options(const bc::Program& prog,
+                                                     const opt::OptimizerOptions& options) const {
+  OracleVerdict verdict;
+
+  const TierOutcome ref = run_plain(prog, config_.reference_budget);
+  if (!ref.ok) {
+    verdict.reference_failed = true;
+    verdict.reference_error = ref.error;
+    return verdict;
+  }
+  const std::uint64_t tier_budget =
+      ref.instructions * config_.budget_slack + config_.reference_budget / 8 + 10'000;
+
+  auto record = [&](TierKind tier, std::string detail) {
+    verdict.diverged = true;
+    verdict.divergences.push_back(Divergence{tier, std::move(detail)});
+  };
+
+  auto compare = [&](TierKind tier, const TierOutcome& got) {
+    if (!got.ok) {
+      record(tier, "trap: " + got.error);
+      return;
+    }
+    if (got.exit_value != ref.exit_value) {
+      record(tier, "exit value " + std::to_string(got.exit_value) + " (want " +
+                       std::to_string(ref.exit_value) + ")");
+    }
+    const std::string gd = diff_globals(ref.globals, got.globals);
+    if (!gd.empty()) record(tier, gd);
+  };
+
+  const opt::InlineLimits limits{.hard_depth_cap = 20,
+                                 .max_recursive_occurrences = 1,
+                                 .max_body_words = 20000};
+
+  // Statically-optimized tiers: O1 under the (randomized) Jikes heuristic,
+  // O2 under maximal inlining. Each transformed program must re-verify.
+  auto static_tier = [&](TierKind tier, const heur::InlineHeuristic& h) {
+    bc::Program optimized = prog;
+    try {
+      const opt::Optimizer optimizer(prog, h, opt::cold_site, options, limits);
+      for (std::size_t i = 0; i < prog.num_methods(); ++i) {
+        const auto id = static_cast<bc::MethodId>(i);
+        bc::Method body = optimizer.optimize(id).body.method;
+        apply_planted_bug(body, config_.planted_bug, options);
+        optimized.mutable_method(id) = std::move(body);
+      }
+    } catch (const Error& e) {
+      record(tier, std::string("optimizer trap: ") + e.what());
+      return;
+    }
+    try {
+      bc::verify_program(optimized);
+    } catch (const Error& e) {
+      record(tier, std::string("verifier rejected optimized program: ") + e.what());
+      return;
+    }
+    compare(tier, run_plain(optimized, tier_budget));
+  };
+
+  {
+    heur::JikesHeuristic o1(params_);
+    static_tier(TierKind::kO1, o1);
+    heur::AlwaysInlineHeuristic o2(/*depth_cap=*/8);
+    static_tier(TierKind::kO2, o2);
+  }
+
+  // Adaptive tier: the full VM (baseline -> O1 -> O2 ladder, profiling,
+  // optional OSR). Exercises recompilation and live-frame transfer.
+  {
+    try {
+      vm::VmConfig cfg;
+      cfg.scenario = vm::Scenario::kAdapt;
+      cfg.hot_method_threshold = hot_method_threshold_;
+      cfg.hot_site_threshold = hot_site_threshold_;
+      cfg.rehot_multiplier = rehot_multiplier_;
+      cfg.opt_options = options;
+      cfg.inline_limits = limits;
+      cfg.interp_options.max_instructions = tier_budget;
+      cfg.simulate_icache = false;  // affects cycles only, not observables
+      cfg.enable_osr = enable_osr_;
+      heur::JikesHeuristic h(params_);
+      vm::VirtualMachine machine(prog, oracle_machine(), h, cfg);
+      const vm::RunResult rr = machine.run(config_.vm_iterations);
+      for (std::size_t i = 0; i < rr.iterations.size(); ++i) {
+        const std::int64_t exit = rr.iterations[i].exec.exit_value;
+        if (exit != ref.exit_value) {
+          record(TierKind::kAdaptive, "iteration " + std::to_string(i + 1) + " exit value " +
+                                          std::to_string(exit) + " (want " +
+                                          std::to_string(ref.exit_value) + ")");
+        }
+      }
+      const std::string gd = diff_globals(ref.globals, machine.globals());
+      if (!gd.empty()) record(TierKind::kAdaptive, gd);
+    } catch (const Error& e) {
+      record(TierKind::kAdaptive, std::string("trap: ") + e.what());
+    }
+  }
+
+  return verdict;
+}
+
+}  // namespace ith::fuzz

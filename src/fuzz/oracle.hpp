@@ -1,0 +1,114 @@
+// Multi-tier differential execution oracle.
+//
+// Runs one program four ways that must agree on every observable —
+// exit value, final global data segment, and verifier acceptance of every
+// transformed body:
+//
+//   reference  — the unoptimized program, plain interpretation
+//   O1         — every method statically optimized under the Jikes
+//                heuristic with seed-randomized InlineParams and
+//                seed-randomized OptimizerOptions, then interpreted
+//   O2         — every method statically optimized under the
+//                always-inline heuristic (maximal splicing) with the same
+//                OptimizerOptions, then interpreted
+//   adaptive   — the full VirtualMachine in the Adapt scenario with
+//                seed-randomized tiering thresholds and OSR, two
+//                iterations (exercises recompilation and frame transfer)
+//
+// The reference run also sets the dynamic-instruction budget for the other
+// tiers, so a transformation that introduces non-termination is reported as
+// a divergence rather than hanging the fuzzer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bytecode/program.hpp"
+#include "heuristics/inline_params.hpp"
+#include "opt/optimizer.hpp"
+
+namespace ith::fuzz {
+
+/// Deliberate miscompilations the oracle can inject after optimization —
+/// used only by tests to prove the fuzzer catches, bisects, and shrinks a
+/// real bug. Each plant rides on one OptimizerOptions flag so pass
+/// bisection has a well-defined correct answer.
+enum class PlantedBug : std::uint8_t {
+  kNone,
+  /// Folds residual `const a; const b; add` triples (the overflow cases the
+  /// real folder deliberately skips) by clamping the sum into the int32
+  /// immediate field — wrong whenever the true sum does not fit. Active
+  /// only when OptimizerOptions::enable_folding is set.
+  kFoldOverflow,
+};
+
+struct OracleConfig {
+  /// Seed for randomized InlineParams / OptimizerOptions / VM thresholds.
+  std::uint64_t seed = 1;
+  /// Dynamic-instruction budget for the reference run; a program exceeding
+  /// it is reported as reference_failed (skip it, it is too hot to fuzz).
+  std::uint64_t reference_budget = 8'000'000;
+  /// Optimized tiers get reference_count * budget_slack + reference_budget/8
+  /// instructions before being declared divergent (non-terminating).
+  std::uint64_t budget_slack = 8;
+  int vm_iterations = 2;
+  PlantedBug planted_bug = PlantedBug::kNone;
+  /// When set, overrides the seed-randomized optimizer options/params —
+  /// used by the planted-bug tests to pin a known configuration.
+  std::optional<opt::OptimizerOptions> forced_options;
+  std::optional<heur::InlineParams> forced_params;
+};
+
+enum class TierKind : std::uint8_t { kReference, kO1, kO2, kAdaptive };
+
+const char* tier_name(TierKind t);
+
+/// One observed disagreement between the reference and an optimized tier.
+struct Divergence {
+  TierKind tier = TierKind::kReference;
+  std::string detail;  ///< human-readable: what differed and how
+};
+
+struct OracleVerdict {
+  bool reference_failed = false;  ///< reference itself trapped (skip seed)
+  std::string reference_error;
+  bool diverged = false;
+  std::vector<Divergence> divergences;
+
+  std::string summary() const;
+};
+
+class DifferentialOracle {
+ public:
+  explicit DifferentialOracle(OracleConfig config);
+
+  /// Full four-tier differential check under this oracle's options.
+  OracleVerdict check(const bc::Program& prog) const;
+
+  /// Same check with explicit optimizer options (pass bisection hook).
+  OracleVerdict check_with_options(const bc::Program& prog,
+                                   const opt::OptimizerOptions& options) const;
+
+  const opt::OptimizerOptions& options() const { return options_; }
+  const heur::InlineParams& params() const { return params_; }
+  const OracleConfig& config() const { return config_; }
+
+ private:
+  OracleConfig config_;
+  opt::OptimizerOptions options_;   // seed-randomized (or forced)
+  heur::InlineParams params_;       // seed-randomized (or forced)
+  std::uint64_t hot_method_threshold_ = 400;
+  std::uint64_t hot_site_threshold_ = 300;
+  std::uint64_t rehot_multiplier_ = 12;
+  bool enable_osr_ = false;
+};
+
+/// Applies `bug` to an optimized body (post-optimizer, pre-execution).
+/// Exposed for the shrinker/bisection tests. No-op for kNone or when the
+/// carrying pass flag is disabled.
+std::size_t apply_planted_bug(bc::Method& body, PlantedBug bug,
+                              const opt::OptimizerOptions& options);
+
+}  // namespace ith::fuzz

@@ -1,0 +1,204 @@
+#include "fuzz/shrink.hpp"
+
+#include <utility>
+
+#include "bytecode/verifier.hpp"
+#include "opt/annotated.hpp"
+#include "opt/passes.hpp"
+#include "support/error.hpp"
+
+namespace ith::fuzz {
+
+namespace {
+
+bool verifies(const bc::Program& prog) {
+  try {
+    bc::verify_program(prog);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+/// True if method `id` can be deleted: not the entry, and no kCall from any
+/// *other* method targets it (self-calls disappear with the method).
+bool removable(const bc::Program& prog, bc::MethodId id) {
+  if (id == prog.entry()) return false;
+  for (std::size_t m = 0; m < prog.num_methods(); ++m) {
+    if (static_cast<bc::MethodId>(m) == id) continue;
+    for (const bc::Instruction& insn : prog.method(static_cast<bc::MethodId>(m)).code()) {
+      if (insn.op == bc::Op::kCall && insn.a == id) return false;
+    }
+  }
+  return true;
+}
+
+/// Rebuilds the program without method `id`, remapping call targets and the
+/// entry id across the removed slot.
+bc::Program remove_method(const bc::Program& prog, bc::MethodId id) {
+  bc::Program out(prog.name(), prog.globals_size());
+  for (std::size_t m = 0; m < prog.num_methods(); ++m) {
+    if (static_cast<bc::MethodId>(m) == id) continue;
+    bc::Method method = prog.method(static_cast<bc::MethodId>(m));
+    for (bc::Instruction& insn : method.mutable_code()) {
+      if (insn.op == bc::Op::kCall && insn.a > id) --insn.a;
+    }
+    out.add_method(std::move(method));
+  }
+  out.set_entry(prog.entry() > id ? prog.entry() - 1 : prog.entry());
+  return out;
+}
+
+/// Removes kNops from method `id` (rebasing branches) via the optimizer's
+/// own compaction, preserving the rest of the program.
+bc::Program compact_method(const bc::Program& prog, bc::MethodId id) {
+  opt::AnnotatedMethod am = opt::AnnotatedMethod::from_method(prog.method(id), id);
+  opt::compact_nops(am);
+  bc::Program out = prog;
+  if (!am.method.empty()) out.mutable_method(id) = std::move(am.method);
+  return out;
+}
+
+/// Stack-neutral simplification of one instruction: a replacement with the
+/// same net stack effect but no real work, so the surrounding code still
+/// verifies. Returns false for instructions with no such single-slot
+/// stand-in (terminators, gstore, wide calls).
+bool neutralize(const bc::Instruction& insn, bc::Instruction& out) {
+  switch (insn.op) {
+    case bc::Op::kLoad:
+      out = {bc::Op::kConst, 0, 0};  // net +1
+      return true;
+    case bc::Op::kNeg:
+    case bc::Op::kGLoad:
+      out = {bc::Op::kNop, 0, 0};  // net 0
+      return true;
+    case bc::Op::kAdd:
+    case bc::Op::kSub:
+    case bc::Op::kMul:
+    case bc::Op::kDiv:
+    case bc::Op::kMod:
+    case bc::Op::kCmpLt:
+    case bc::Op::kCmpLe:
+    case bc::Op::kCmpEq:
+    case bc::Op::kCmpNe:
+    case bc::Op::kStore:
+    case bc::Op::kJz:
+    case bc::Op::kJnz:
+      out = {bc::Op::kPop, 0, 0};  // net -1
+      return true;
+    case bc::Op::kJmp:
+      out = {bc::Op::kNop, 0, 0};  // fall through instead
+      return true;
+    case bc::Op::kCall:
+      // Net effect is 1 - nargs; representable for 0..2 arguments.
+      if (insn.b == 0) out = {bc::Op::kConst, 0, 0};
+      else if (insn.b == 1) out = {bc::Op::kNop, 0, 0};
+      else if (insn.b == 2) out = {bc::Op::kPop, 0, 0};
+      else return false;
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Replaces the whole body of `id` with `const 0; ret` (or `halt` for the
+/// entry) — the coarsest per-method candidate.
+bc::Program stub_method(const bc::Program& prog, bc::MethodId id) {
+  bc::Program out = prog;
+  bc::Method& m = out.mutable_method(id);
+  m.mutable_code().clear();
+  m.append({bc::Op::kConst, 0, 0});
+  m.append({id == prog.entry() ? bc::Op::kHalt : bc::Op::kRet, 0, 0});
+  return out;
+}
+
+}  // namespace
+
+bc::Program shrink_program(const bc::Program& prog, const ReproPredicate& still_fails,
+                           ShrinkStats* stats) {
+  ITH_CHECK(still_fails(prog), "shrink: input program does not reproduce the failure");
+
+  ShrinkStats local;
+  local.initial_instructions = prog.total_code_size();
+  local.initial_methods = prog.num_methods();
+
+  bc::Program current = prog;
+  auto attempt = [&](bc::Program candidate) {
+    ++local.candidates_tried;
+    if (!verifies(candidate) || !still_fails(candidate)) return false;
+    ++local.candidates_kept;
+    current = std::move(candidate);
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && local.rounds < 64) {
+    progress = false;
+    ++local.rounds;
+
+    // 1. Whole methods, highest id first (stable remapping). Stubbing a
+    //    body to `const 0; ret` both shrinks directly and turns its callees
+    //    into removable methods for the next sweep.
+    for (auto id = static_cast<bc::MethodId>(current.num_methods()) - 1; id >= 0; --id) {
+      if (current.num_methods() > 1 && removable(current, id) &&
+          attempt(remove_method(current, id))) {
+        progress = true;
+        continue;
+      }
+      if (current.method(id).size() > 2 && attempt(stub_method(current, id))) progress = true;
+    }
+
+    // 2. Individual instructions -> plain kNop (branch targets stay valid;
+    //    anything that unbalances the stack or breaks the method is
+    //    rejected by the verifier before the predicate ever runs).
+    for (std::size_t m = 0; m < current.num_methods(); ++m) {
+      const auto id = static_cast<bc::MethodId>(m);
+      for (std::size_t pc = current.method(id).size(); pc-- > 0;) {
+        if (current.method(id).code()[pc].op == bc::Op::kNop) continue;
+        bc::Program candidate = current;
+        candidate.mutable_method(id).mutable_code()[pc] = {bc::Op::kNop, 0, 0};
+        if (attempt(std::move(candidate))) progress = true;
+      }
+    }
+
+    // 2b. Stack-neutral simplification: swap an instruction for the
+    //     cheapest stand-in with the same net stack effect, so deletions
+    //     keep verifying even mid-expression.
+    for (std::size_t m = 0; m < current.num_methods(); ++m) {
+      const auto id = static_cast<bc::MethodId>(m);
+      for (std::size_t pc = current.method(id).size(); pc-- > 0;) {
+        const bc::Instruction& insn = current.method(id).code()[pc];
+        bc::Instruction replacement;
+        if (!neutralize(insn, replacement) || replacement == insn) continue;
+        bc::Program candidate = current;
+        candidate.mutable_method(id).mutable_code()[pc] = replacement;
+        if (attempt(std::move(candidate))) progress = true;
+      }
+    }
+
+    // 3. Squash accumulated kNops so the repro is genuinely short.
+    for (std::size_t m = 0; m < current.num_methods(); ++m) {
+      const auto id = static_cast<bc::MethodId>(m);
+      if (attempt(compact_method(current, id))) progress = true;
+    }
+
+    // 4. Simplify surviving immediates toward zero.
+    for (std::size_t m = 0; m < current.num_methods(); ++m) {
+      const auto id = static_cast<bc::MethodId>(m);
+      for (std::size_t pc = 0; pc < current.method(id).size(); ++pc) {
+        const bc::Instruction& insn = current.method(id).code()[pc];
+        if (insn.op != bc::Op::kConst || insn.a == 0) continue;
+        bc::Program candidate = current;
+        candidate.mutable_method(id).mutable_code()[pc].a = 0;
+        if (attempt(std::move(candidate))) progress = true;
+      }
+    }
+  }
+
+  local.final_instructions = current.total_code_size();
+  local.final_methods = current.num_methods();
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+}  // namespace ith::fuzz

@@ -1,0 +1,41 @@
+// Automatic repro shrinker.
+//
+// Greedily minimizes a divergent program while a caller-supplied predicate
+// keeps reproducing the failure. Candidate edits, coarsest first:
+//
+//   1. delete an entire uncalled method (call targets are remapped)
+//   2. replace a single instruction with kNop (branch targets stay valid)
+//   3. compact a method's kNops away (rebasing branches via the optimizer's
+//      own compaction) so the final repro is genuinely short, not nop-padded
+//   4. zero a kConst immediate (smaller constants, simpler repro)
+//
+// Every candidate must still pass the verifier before the predicate is
+// consulted; rounds repeat until a full sweep accepts nothing.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "bytecode/program.hpp"
+
+namespace ith::fuzz {
+
+/// Returns true while the candidate still reproduces the divergence.
+using ReproPredicate = std::function<bool(const bc::Program&)>;
+
+struct ShrinkStats {
+  std::size_t initial_instructions = 0;
+  std::size_t final_instructions = 0;
+  std::size_t initial_methods = 0;
+  std::size_t final_methods = 0;
+  std::size_t candidates_tried = 0;
+  std::size_t candidates_kept = 0;
+  int rounds = 0;
+};
+
+/// Shrinks `prog` under `still_fails`. Requires still_fails(prog) to be
+/// true on entry (throws otherwise: shrinking a non-repro is a caller bug).
+bc::Program shrink_program(const bc::Program& prog, const ReproPredicate& still_fails,
+                           ShrinkStats* stats = nullptr);
+
+}  // namespace ith::fuzz

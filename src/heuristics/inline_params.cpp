@@ -5,12 +5,12 @@
 
 namespace ith::heur {
 
-std::array<int, 5> InlineParams::to_array() const {
+InlineParams::Array InlineParams::to_array() const {
   return {callee_max_size, always_inline_size, max_inline_depth, caller_max_size,
           hot_callee_max_size};
 }
 
-InlineParams InlineParams::from_array(const std::array<int, 5>& v) {
+InlineParams InlineParams::from_array(const Array& v) {
   InlineParams p;
   p.callee_max_size = v[0];
   p.always_inline_size = v[1];
@@ -30,8 +30,8 @@ std::string InlineParams::to_string() const {
 
 InlineParams default_params() { return InlineParams{}; }
 
-const std::array<ParamRange, 5>& param_ranges() {
-  static const std::array<ParamRange, 5> kRanges = {{
+const std::array<ParamRange, InlineParams::kNumParams>& param_ranges() {
+  static const std::array<ParamRange, InlineParams::kNumParams> kRanges = {{
       // The ALWAYS_INLINE_SIZE range is reconstructed (the Table 1 row is
       // garbled in available copies of the paper): 1-30 brackets both the
       // default (11) and every tuned value the paper reports (6-16). Note

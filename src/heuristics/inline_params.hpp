@@ -17,14 +17,26 @@ struct InlineParams {
   int caller_max_size = 2048;    ///< CALLER_MAX_SIZE: max caller size to inline into
   int hot_callee_max_size = 135; ///< HOT_CALLEE_MAX_SIZE: max hot callee size (Adapt only)
 
+  /// Number of tunable parameters (the genome length). Everything keyed on
+  /// the flattened form — GA genomes, the SuiteEvaluator memoization key —
+  /// derives its size from this constant, and the static_assert below
+  /// forces anyone adding a sixth field to update it (and to_array /
+  /// from_array) in the same change.
+  static constexpr std::size_t kNumParams = 5;
+  using Array = std::array<int, kNumParams>;
+
   friend bool operator==(const InlineParams&, const InlineParams&) = default;
 
   /// Values in Table 1 order (the genome layout).
-  std::array<int, 5> to_array() const;
-  static InlineParams from_array(const std::array<int, 5>& v);
+  Array to_array() const;
+  static InlineParams from_array(const Array& v);
 
   std::string to_string() const;
 };
+
+static_assert(sizeof(InlineParams) == InlineParams::kNumParams * sizeof(int),
+              "InlineParams field count changed: update kNumParams, to_array and from_array "
+              "so flattened keys (GA genome, evaluator cache) cannot alias");
 
 /// The Jikes RVM 2.3.3 defaults (paper Table 4, "Default" column).
 InlineParams default_params();
@@ -38,7 +50,7 @@ struct ParamRange {
 
 /// Table 1 ranges, genome order. The product of the spans is the paper's
 /// quoted ~3e11 search space.
-const std::array<ParamRange, 5>& param_ranges();
+const std::array<ParamRange, InlineParams::kNumParams>& param_ranges();
 
 /// Clamps every field into its Table 1 range.
 InlineParams clamp_to_ranges(const InlineParams& p);

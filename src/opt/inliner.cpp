@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "bytecode/size_estimator.hpp"
+#include "opt/passes.hpp"
 #include "support/error.hpp"
 
 namespace ith::opt {
@@ -95,7 +96,21 @@ bool Inliner::splice(AnnotatedMethod& am, std::size_t call_pc) const {
     region_meta.push_back(InstrMeta{depth, call.a, -1, chain});
   }
 
-  const std::size_t body_offset = call_pc + static_cast<std::size_t>(nargs);
+  // A real call starts from a zeroed frame every time, but the spliced
+  // region can re-execute (call site inside a loop) with whatever the
+  // previous trip left in these slots. Clear every non-argument local the
+  // callee might read before writing; skip the prologue entirely when the
+  // definite-assignment analysis proves no such read exists.
+  if (!non_arg_locals_definitely_assigned(callee)) {
+    for (int i = nargs; i < callee.num_locals(); ++i) {
+      region.push_back(bc::Instruction{bc::Op::kConst, 0, 0});
+      region_meta.push_back(InstrMeta{depth, call.a, -1, chain});
+      region.push_back(bc::Instruction{bc::Op::kStore, base + i, 0});
+      region_meta.push_back(InstrMeta{depth, call.a, -1, chain});
+    }
+  }
+
+  const std::size_t body_offset = call_pc + region.size();
   const std::size_t landing = body_offset + callee.size();
 
   for (std::size_t j = 0; j < callee.size(); ++j) {

@@ -24,7 +24,7 @@ std::vector<BenchmarkResult> SuiteEvaluator::evaluate_heuristic(heur::InlineHeur
 }
 
 const std::vector<BenchmarkResult>& SuiteEvaluator::evaluate(const heur::InlineParams& params) {
-  const std::array<int, 5> key = params.to_array();
+  const heur::InlineParams::Array key = params.to_array();
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = cache_.find(key);

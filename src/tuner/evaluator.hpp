@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "heuristics/heuristic.hpp"
@@ -50,9 +51,17 @@ class SuiteEvaluator {
   std::size_t cache_size() const;
 
  private:
+  /// Memoization key: the flattened parameter vector. Sized from
+  /// InlineParams::kNumParams (not a literal) so growing InlineParams by a
+  /// field can never silently alias cache entries — the sizeof bridge in
+  /// inline_params.hpp refuses to compile until kNumParams (and with it
+  /// this key) is widened too.
+  using CacheKey = heur::InlineParams::Array;
+  static_assert(std::tuple_size_v<CacheKey> == heur::InlineParams::kNumParams);
+
   std::vector<wl::Workload> suite_;
   EvalConfig config_;
-  std::map<std::array<int, 5>, std::vector<BenchmarkResult>> cache_;
+  std::map<CacheKey, std::vector<BenchmarkResult>> cache_;
   mutable std::mutex mu_;
 };
 

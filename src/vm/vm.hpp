@@ -100,6 +100,10 @@ class VirtualMachine final : private rt::CodeSource {
   const rt::ProfileData& profile() const { return profile_; }
   const VmConfig& config() const { return config_; }
 
+  /// Final global data segment (state after the most recent run iteration).
+  /// Differential testing compares this against a reference execution.
+  const std::vector<std::int64_t>& globals() const { return interp_->globals(); }
+
  private:
   // rt::CodeSource
   const rt::CompiledMethod& invoke(bc::MethodId id) override;

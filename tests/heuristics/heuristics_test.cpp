@@ -42,6 +42,41 @@ TEST(InlineParams, ArrayRoundTrip) {
   EXPECT_EQ(InlineParams::from_array(p.to_array()), p);
 }
 
+TEST(InlineParams, FlattenedKeyBridgeCoversEveryField) {
+  // Everything keyed on the flattened form (GA genome, SuiteEvaluator
+  // memoization) sizes itself from kNumParams; the sizeof static_assert in
+  // the header refuses a sixth field until kNumParams grows. Here: each
+  // struct field must map onto exactly one distinct array slot, so two
+  // params differing in any field can never share a cache key.
+  static_assert(std::tuple_size_v<InlineParams::Array> == InlineParams::kNumParams);
+  EXPECT_EQ(param_ranges().size(), InlineParams::kNumParams);
+
+  const InlineParams base = default_params();
+  const InlineParams::Array flat = base.to_array();
+  std::array<InlineParams, InlineParams::kNumParams> mutants{base, base, base, base, base};
+  mutants[0].callee_max_size += 1;
+  mutants[1].always_inline_size += 1;
+  mutants[2].max_inline_depth += 1;
+  mutants[3].caller_max_size += 1;
+  mutants[4].hot_callee_max_size += 1;
+
+  std::array<bool, InlineParams::kNumParams> slot_hit{};
+  for (std::size_t f = 0; f < mutants.size(); ++f) {
+    const InlineParams::Array got = mutants[f].to_array();
+    std::size_t changed = 0;
+    std::size_t where = 0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i] != flat[i]) {
+        ++changed;
+        where = i;
+      }
+    }
+    ASSERT_EQ(changed, 1u) << "field " << f << " must occupy exactly one key slot";
+    EXPECT_FALSE(slot_hit[where]) << "field " << f << " aliases another field's slot";
+    slot_hit[where] = true;
+  }
+}
+
 TEST(InlineParams, RangesMatchPaperTable1) {
   const auto& r = param_ranges();
   EXPECT_STREQ(r[0].name, "CALLEE_MAX_SIZE");

@@ -216,5 +216,50 @@ TEST(Inliner, CallerSizeSeenByHeuristicGrowsDuringSession) {
   EXPECT_EQ(ith::test::run_exit_value(q), ith::test::run_exit_value(p));
 }
 
+TEST(Inliner, ZeroInitializesCalleeLocalsWhenSiteReExecutes) {
+  // A real call starts from a zeroed frame every time; an inlined region
+  // inside a loop re-executes with the caller's locals as they were left.
+  // The callee reads non-arg local 1 before (conditionally) writing it, so
+  // without an explicit clearing prologue the second trip would observe the
+  // first trip's store. Found by the differential fuzzer (seed 2).
+  bc::ProgramBuilder pb("stale");
+  auto& f = pb.method("stale_reader", 1, 2);
+  f.load(1).load(0).store(1).ret();  // returns old local1 (always 0), then local1 = arg
+  auto& m = pb.method("main", 0, 2);
+  m.const_(3).store(0).const_(0).store(1);
+  m.label("head");
+  m.load(0).jz("done");
+  m.load(1).const_(5).call("stale_reader", 1).add().store(1);
+  m.load(0).const_(1).sub().store(0);
+  m.jmp("head");
+  m.label("done");
+  m.load(1).halt();
+  pb.entry("main");
+  const bc::Program p = pb.build();
+  ASSERT_EQ(ith::test::run_exit_value(p), 0);  // every activation returns 0
+
+  heur::AlwaysInlineHeuristic h;
+  InlineStats stats;
+  const bc::Program q = with_inlined(p, p.entry(), h, &stats);
+  ASSERT_EQ(stats.sites_inlined, 1u);
+  bc::verify_program(q);
+  EXPECT_EQ(ith::test::run_exit_value(q), 0)
+      << "inlined loop body leaked a local value between trips";
+}
+
+TEST(Inliner, SkipsClearingPrologueWhenLocalsAreDefinitelyAssigned) {
+  // add2 writes nothing beyond its arguments, so the splice needs no
+  // clearing prologue: the only kStores in the inlined entry are the two
+  // argument marshalling stores.
+  const bc::Program p = ith::test::make_add_program();
+  heur::AlwaysInlineHeuristic h;
+  const bc::Program q = with_inlined(p, p.entry(), h);
+  std::size_t stores = 0;
+  for (const bc::Instruction& insn : q.method(q.entry()).code()) {
+    if (insn.op == bc::Op::kStore) ++stores;
+  }
+  EXPECT_EQ(stores, 2u);
+}
+
 }  // namespace
 }  // namespace ith::opt

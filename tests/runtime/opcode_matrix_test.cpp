@@ -6,9 +6,12 @@
 // interpreter and the folder.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <limits>
 
 #include "bytecode/builder.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/generator.hpp"
 #include "heuristics/heuristic.hpp"
 #include "opt/optimizer.hpp"
 #include "testing.hpp"
@@ -107,6 +110,32 @@ INSTANTIATE_TEST_SUITE_P(AllBinaryOps, OpcodeMatrix,
                          [](const ::testing::TestParamInfo<bc::Op>& info) {
                            return std::string(bc::op_info(info.param).name);
                          });
+
+TEST(OpcodeMatrix, EveryOpcodeAppearsInTheDifferentialFuzzCorpus) {
+  // The differential oracle is only as strong as the programs it sees:
+  // every opcode must occur in at least one corpus entry of the standard
+  // smoke-fuzz seed block (generated seeds plus the built-in edge cases),
+  // or a miscompile of that opcode could never be caught.
+  std::array<bool, static_cast<std::size_t>(bc::kNumOps)> seen{};
+  const auto scan = [&seen](const bc::Program& prog) {
+    for (std::size_t m = 0; m < prog.num_methods(); ++m) {
+      for (const bc::Instruction& insn : prog.method(static_cast<bc::MethodId>(m)).code()) {
+        seen[static_cast<std::size_t>(insn.op)] = true;
+      }
+    }
+  };
+  for (const auto& [name, prog] : fuzz::builtin_edge_cases()) scan(prog);
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    fuzz::GeneratorSpec spec;
+    spec.seed = seed;
+    scan(fuzz::generate_adversarial(spec));
+  }
+  for (int op = 0; op < bc::kNumOps; ++op) {
+    EXPECT_TRUE(seen[static_cast<std::size_t>(op)])
+        << "opcode " << bc::op_info(static_cast<bc::Op>(op)).name
+        << " never appears in the seed corpus";
+  }
+}
 
 TEST(OpcodeMatrix, NegationEdgeCases) {
   for (std::int64_t v : {std::int64_t{0}, std::int64_t{5}, std::int64_t{-5}, kMax32, kMin32}) {

@@ -1,0 +1,131 @@
+// fuzz_vm: differential fuzzing CLI.
+//
+//   fuzz_vm --seeds=1..500                 # walk a seed range
+//   fuzz_vm --seeds=1..0 --budget=30       # time-budgeted (seconds) walk
+//   fuzz_vm --corpus=tests/fuzz/corpus     # replay + write shrunk repros
+//   fuzz_vm --emit-edge-corpus=DIR         # (re)write the built-in edge cases
+//   fuzz_vm --replay=FILE.mbc [--oracle-seed=N] [--dump]   # triage a repro
+//
+// Exit status: 0 when every seed and corpus entry agrees across all tiers,
+// 1 when any divergence was found, 2 on usage errors.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bytecode/binary.hpp"
+#include "bytecode/serializer.hpp"
+#include "fuzz/bisect.hpp"
+#include "fuzz/campaign.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+bool parse_seed_range(const std::string& text, std::uint64_t& begin, std::uint64_t& end) {
+  const auto dots = text.find("..");
+  try {
+    if (dots == std::string::npos) {
+      begin = end = std::stoull(text);
+      return true;
+    }
+    begin = std::stoull(text.substr(0, dots));
+    end = std::stoull(text.substr(dots + 2));
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ith::CliParser cli(argc, argv);
+
+  if (cli.has("help")) {
+    std::cout << "usage: fuzz_vm [--seeds=A..B] [--budget=SECONDS] [--corpus=DIR]\n"
+                 "               [--no-shrink] [--no-bisect] [--no-write] [--quiet]\n"
+                 "               [--emit-edge-corpus=DIR]\n"
+                 "       fuzz_vm --replay=FILE.mbc [--oracle-seed=N] [--dump]\n";
+    return 0;
+  }
+
+  if (cli.has("replay")) {
+    try {
+      std::ifstream is(*cli.get("replay"), std::ios::binary);
+      if (!is.good()) {
+        std::cerr << "fuzz_vm: cannot open " << *cli.get("replay") << "\n";
+        return 2;
+      }
+      const ith::bc::Program prog = ith::bc::read_binary(is);
+      if (cli.has("dump")) std::cout << ith::bc::dump_program(prog);
+      ith::fuzz::OracleConfig ocfg;
+      ocfg.seed = static_cast<std::uint64_t>(cli.get_int_or("oracle-seed", 1));
+      const ith::fuzz::DifferentialOracle oracle(ocfg);
+      const ith::fuzz::OracleVerdict verdict = oracle.check(prog);
+      std::cout << "verdict: " << verdict.summary() << "\n";
+      if (verdict.diverged) {
+        std::cout << "bisect: " << ith::fuzz::bisect_passes(prog, oracle).to_string() << "\n";
+        return 1;
+      }
+      return 0;
+    } catch (const ith::Error& e) {
+      std::cerr << "fuzz_vm: replay failed: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (cli.has("emit-edge-corpus")) {
+    const std::string dir = *cli.get("emit-edge-corpus");
+    for (const auto& [name, prog] : ith::fuzz::builtin_edge_cases()) {
+      std::cout << "wrote " << ith::fuzz::write_corpus_entry(dir, name, prog) << "\n";
+    }
+    return 0;
+  }
+
+  ith::fuzz::CampaignConfig config;
+  const std::string seeds = cli.get_or("seeds", "1..100");
+  if (!parse_seed_range(seeds, config.seed_begin, config.seed_end)) {
+    std::cerr << "fuzz_vm: bad --seeds range '" << seeds << "' (want A..B)\n";
+    return 2;
+  }
+  // A budget with an open-ended walk: run until the clock says stop.
+  config.time_budget_seconds = cli.get_double_or("budget", 0.0);
+  if (config.time_budget_seconds > 0 && config.seed_end < config.seed_begin) {
+    config.seed_end = config.seed_begin + 1'000'000'000ULL;
+  }
+  config.corpus_dir = cli.get_or("corpus", "");
+  config.shrink = !cli.has("no-shrink");
+  config.bisect = !cli.has("no-bisect");
+  config.write_repros = !cli.has("no-write");
+  if (!cli.has("quiet")) config.log = &std::cout;
+
+  try {
+    const ith::fuzz::CampaignReport report = ith::fuzz::run_campaign(config);
+
+    std::cout << "fuzz_vm: " << report.seeds_run << " seed(s), " << report.corpus_replayed
+              << " corpus entrie(s), " << report.total_instructions_generated
+              << " instructions generated, " << report.reference_budget_skips << " skip(s)"
+              << (report.budget_exhausted ? ", time budget exhausted" : "") << "\n";
+
+    if (report.clean()) {
+      std::cout << "fuzz_vm: no divergences\n";
+      return 0;
+    }
+    std::cout << "fuzz_vm: " << report.findings.size() << " divergence(s)\n";
+    for (const auto& f : report.findings) {
+      std::cout << "  seed " << f.seed << ": " << f.divergence << "\n    shrunk to "
+                << f.shrunk_instructions << " instruction(s)";
+      if (!f.guilty.empty()) {
+        std::cout << "; guilty:";
+        for (const auto& g : f.guilty) std::cout << " " << g;
+      }
+      if (!f.repro_path.empty()) std::cout << "; repro: " << f.repro_path;
+      std::cout << "\n";
+    }
+    return 1;
+  } catch (const ith::Error& e) {
+    std::cerr << "fuzz_vm: fatal: " << e.what() << "\n";
+    return 2;
+  }
+}

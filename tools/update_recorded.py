@@ -3,6 +3,11 @@
 from a fresh run of bench/table4_tuned_params (see EXPERIMENTS.md)."""
 import re, subprocess, sys, os
 
+# Paths this script must never count as its own output when reporting what
+# changed. The fuzz corpus holds binary .mbc repros regenerated only by
+# `fuzz_vm --emit-edge-corpus` / shrunk findings, never by this script.
+IGNORED_DIRS = ("tests/fuzz/corpus",)
+
 gens = os.environ.get("ITH_GA_GENERATIONS", "60")
 out = subprocess.run(["./build/bench/table4_tuned_params"], capture_output=True, text=True,
                      env={**os.environ, "ITH_GA_GENERATIONS": gens}).stdout
@@ -18,3 +23,13 @@ end = src.index("  };", start)
 open("bench/common.cpp", "w").write(src[:start] + lines + src[end:])
 print("recorded:")
 print(lines)
+
+# Report every modified file so the run is easy to review, ignoring
+# directories other tools own (see IGNORED_DIRS above).
+status = subprocess.run(["git", "status", "--porcelain"], capture_output=True, text=True)
+if status.returncode == 0:
+    dirty = [line for line in status.stdout.splitlines()
+             if line[3:] and not line[3:].startswith(IGNORED_DIRS)]
+    if dirty:
+        print("modified:")
+        print("\n".join(dirty))
