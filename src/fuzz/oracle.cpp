@@ -21,6 +21,7 @@ const char* tier_name(TierKind t) {
     case TierKind::kO1: return "O1";
     case TierKind::kO2: return "O2";
     case TierKind::kAdaptive: return "adaptive";
+    case TierKind::kEngineDiff: return "engine-diff";
   }
   return "?";
 }
@@ -109,6 +110,7 @@ struct TierOutcome {
   std::int64_t exit_value = 0;
   std::vector<std::int64_t> globals;
   std::uint64_t instructions = 0;
+  rt::ExecStats stats;
 };
 
 const rt::MachineModel& oracle_machine() {
@@ -116,22 +118,48 @@ const rt::MachineModel& oracle_machine() {
   return machine;
 }
 
-TierOutcome run_plain(const bc::Program& prog, std::uint64_t budget) {
+TierOutcome run_plain(const bc::Program& prog, std::uint64_t budget, rt::EngineKind engine,
+                      bool with_icache = false) {
   TierOutcome out;
   try {
     PlainSource source(prog);
     rt::InterpreterOptions iopts;
     iopts.max_instructions = budget;
-    rt::Interpreter interp(prog, oracle_machine(), source, /*icache=*/nullptr, iopts);
+    iopts.engine = engine;
+    const rt::MachineModel& machine = oracle_machine();
+    std::unique_ptr<rt::ICache> icache;
+    if (with_icache) {
+      icache = std::make_unique<rt::ICache>(machine.icache_bytes, machine.icache_line_bytes,
+                                            machine.icache_assoc);
+    }
+    rt::Interpreter interp(prog, machine, source, icache.get(), iopts);
     const rt::ExecStats stats = interp.run();
     out.ok = true;
     out.exit_value = stats.exit_value;
     out.globals = interp.globals();
     out.instructions = stats.instructions;
+    out.stats = stats;
   } catch (const Error& e) {
     out.error = e.what();
   }
   return out;
+}
+
+/// Field-by-field ExecStats comparison; empty string when bit-identical.
+std::string diff_stats(const rt::ExecStats& ref, const rt::ExecStats& got) {
+  std::ostringstream os;
+  auto field = [&](const char* name, auto want, auto have) {
+    if (want != have) os << " " << name << " " << have << " (want " << want << ")";
+  };
+  field("cycles", ref.cycles, got.cycles);
+  field("instructions", ref.instructions, got.instructions);
+  field("calls", ref.calls, got.calls);
+  field("osr_transitions", ref.osr_transitions, got.osr_transitions);
+  field("icache_probes", ref.icache_probes, got.icache_probes);
+  field("icache_misses", ref.icache_misses, got.icache_misses);
+  field("max_frame_depth", ref.max_frame_depth, got.max_frame_depth);
+  field("exit_value", ref.exit_value, got.exit_value);
+  return os.str();
 }
 
 std::string diff_globals(const std::vector<std::int64_t>& ref,
@@ -180,9 +208,13 @@ DifferentialOracle::DifferentialOracle(OracleConfig config) : config_(config) {
   const std::uint64_t rehots[] = {0, 1, 2, 12};
   rehot_multiplier_ = rehots[rng.bounded(4)];
   enable_osr_ = rng.chance(0.5);
+  // Per-seed engine coin flip: half the campaign fuzzes the optimized tiers
+  // under the fast engine, half under the reference engine.
+  engine_ = rng.chance(0.5) ? rt::EngineKind::kFast : rt::EngineKind::kReference;
 
   if (config_.forced_options) options_ = *config_.forced_options;
   if (config_.forced_params) params_ = *config_.forced_params;
+  if (config_.forced_engine) engine_ = *config_.forced_engine;
 }
 
 OracleVerdict DifferentialOracle::check(const bc::Program& prog) const {
@@ -193,7 +225,7 @@ OracleVerdict DifferentialOracle::check_with_options(const bc::Program& prog,
                                                      const opt::OptimizerOptions& options) const {
   OracleVerdict verdict;
 
-  const TierOutcome ref = run_plain(prog, config_.reference_budget);
+  const TierOutcome ref = run_plain(prog, config_.reference_budget, rt::EngineKind::kReference);
   if (!ref.ok) {
     verdict.reference_failed = true;
     verdict.reference_error = ref.error;
@@ -206,6 +238,26 @@ OracleVerdict DifferentialOracle::check_with_options(const bc::Program& prog,
     verdict.diverged = true;
     verdict.divergences.push_back(Divergence{tier, std::move(detail)});
   };
+
+  // Engine-differential tier: both engines execute the unoptimized program
+  // with I-cache simulation on; the complete ExecStats and the final global
+  // segment must be bit-identical.
+  {
+    const TierOutcome eref =
+        run_plain(prog, tier_budget, rt::EngineKind::kReference, /*with_icache=*/true);
+    const TierOutcome efast =
+        run_plain(prog, tier_budget, rt::EngineKind::kFast, /*with_icache=*/true);
+    if (eref.ok != efast.ok) {
+      record(TierKind::kEngineDiff,
+             std::string("engines disagree on trapping: reference ") +
+                 (eref.ok ? "ok" : eref.error) + " vs fast " + (efast.ok ? "ok" : efast.error));
+    } else if (eref.ok) {
+      const std::string sd = diff_stats(eref.stats, efast.stats);
+      if (!sd.empty()) record(TierKind::kEngineDiff, "ExecStats differ:" + sd);
+      const std::string gd = diff_globals(eref.globals, efast.globals);
+      if (!gd.empty()) record(TierKind::kEngineDiff, gd);
+    }
+  }
 
   auto compare = [&](TierKind tier, const TierOutcome& got) {
     if (!got.ok) {
@@ -246,7 +298,7 @@ OracleVerdict DifferentialOracle::check_with_options(const bc::Program& prog,
       record(tier, std::string("verifier rejected optimized program: ") + e.what());
       return;
     }
-    compare(tier, run_plain(optimized, tier_budget));
+    compare(tier, run_plain(optimized, tier_budget, engine_));
   };
 
   {
@@ -268,6 +320,7 @@ OracleVerdict DifferentialOracle::check_with_options(const bc::Program& prog,
       cfg.opt_options = options;
       cfg.inline_limits = limits;
       cfg.interp_options.max_instructions = tier_budget;
+      cfg.interp_options.engine = engine_;
       cfg.simulate_icache = false;  // affects cycles only, not observables
       cfg.enable_osr = enable_osr_;
       heur::JikesHeuristic h(params_);

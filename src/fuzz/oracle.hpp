@@ -15,6 +15,14 @@
 //                seed-randomized tiering thresholds and OSR, two
 //                iterations (exercises recompilation and frame transfer)
 //
+// plus an engine-differential tier: the unoptimized program is executed by
+// both interpreter engines (reference switch dispatch and predecoded
+// direct-threaded fast engine) with I-cache simulation on, and the complete
+// ExecStats — cycles, instructions, calls, icache probes/misses, OSR
+// transitions, max frame depth, exit value — must be bit-identical, along
+// with the final globals. The optimized tiers themselves run under an
+// engine chosen per seed, so both engines stay continuously fuzzed.
+//
 // The reference run also sets the dynamic-instruction budget for the other
 // tiers, so a transformation that introduces non-termination is reported as
 // a divergence rather than hanging the fuzzer.
@@ -28,6 +36,7 @@
 #include "bytecode/program.hpp"
 #include "heuristics/inline_params.hpp"
 #include "opt/optimizer.hpp"
+#include "runtime/interpreter.hpp"
 
 namespace ith::fuzz {
 
@@ -59,9 +68,13 @@ struct OracleConfig {
   /// used by the planted-bug tests to pin a known configuration.
   std::optional<opt::OptimizerOptions> forced_options;
   std::optional<heur::InlineParams> forced_params;
+  /// When set, pins the execution engine for the optimized tiers instead of
+  /// the seed-randomized coin flip. The engine-differential tier always
+  /// runs both engines regardless.
+  std::optional<rt::EngineKind> forced_engine;
 };
 
-enum class TierKind : std::uint8_t { kReference, kO1, kO2, kAdaptive };
+enum class TierKind : std::uint8_t { kReference, kO1, kO2, kAdaptive, kEngineDiff };
 
 const char* tier_name(TierKind t);
 
@@ -94,6 +107,7 @@ class DifferentialOracle {
   const opt::OptimizerOptions& options() const { return options_; }
   const heur::InlineParams& params() const { return params_; }
   const OracleConfig& config() const { return config_; }
+  rt::EngineKind engine() const { return engine_; }
 
  private:
   OracleConfig config_;
@@ -103,6 +117,7 @@ class DifferentialOracle {
   std::uint64_t hot_site_threshold_ = 300;
   std::uint64_t rehot_multiplier_ = 12;
   bool enable_osr_ = false;
+  rt::EngineKind engine_ = rt::EngineKind::kFast;  // seed-randomized (or forced)
 };
 
 /// Applies `bug` to an optimized body (post-optimizer, pre-execution).

@@ -1,0 +1,100 @@
+// FastInterpreter: the predecoded direct-threaded execution engine.
+//
+// Semantics and cost accounting are bit-identical to ReferenceInterpreter
+// (enforced by tests/runtime/engine_equivalence_test.cpp and the fuzz
+// oracle's engine-differential tier); only the mechanics differ:
+//
+//   * each CompiledMethod is predecoded once (predecode.hpp) into a dense
+//     stream of {dispatch target, pre-folded cycle cost, icache line/addr,
+//     operands} — the hot loop does no op_info() lookup and no divisions;
+//   * dispatch is direct-threaded via computed goto on GCC/Clang (dense
+//     switch fallback when ITH_COMPUTED_GOTO is 0);
+//   * the frame / locals / operand-stack arenas are members reused across
+//     run() calls, so repeated VirtualMachine::run iterations allocate
+//     nothing on the hot path.
+//
+// Predecoded bodies are cached per method id, keyed by the CompiledMethod's
+// address; recompilation (a new address in the slot) retires the old
+// predecode, which stays alive because deeper frames may still execute it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/interpreter.hpp"
+#include "runtime/predecode.hpp"
+
+namespace ith::rt {
+
+class FastInterpreter final : public Engine {
+ public:
+  FastInterpreter(const bc::Program& prog, const MachineModel& machine, CodeSource& source,
+                  ICache* icache, InterpreterOptions options);
+
+  ExecStats run() override;
+
+ private:
+  /// An active frame. `resume` is only meaningful for suspended frames
+  /// (callers): the instruction after their kCall.
+  struct FastFrame {
+    const PredecodedBody* pb;
+    const PredecodedInsn* resume;
+    std::size_t locals_base;  // into locals_
+    std::size_t stack_floor;  // operand-stack watermark at entry (minus args)
+  };
+
+  /// Returns the predecode of `cm`, translating on first sight. Replacing a
+  /// recompiled method's predecode moves the old one to retired_.
+  PredecodedBody& body_for(const CompiledMethod& cm);
+
+  /// The dispatch loop's register state after entering a frame. Slow paths
+  /// (call, OSR) are out-of-line member functions that RETURN this instead
+  /// of mutating the loop's locals through reference captures — a local
+  /// whose address escapes into a non-inlined closure is memory-homed by
+  /// the compiler, which would put a stack reload in every handler tail.
+  struct EnterState {
+    const PredecodedInsn* ip;
+    std::int64_t* loc;
+    std::int64_t* stk;
+    std::size_t sp;
+  };
+
+  /// body_for + lazy threading: fills dispatch targets from `labels`
+  /// (the run() loop's label table; null in dense-switch mode).
+  PredecodedBody& attach(const CompiledMethod& cm, const void* const* labels);
+
+  /// Invokes `id`, pops `nargs` arguments into the callee's locals, pushes
+  /// the callee frame, and returns the state to resume dispatch at its
+  /// first instruction.
+  EnterState call_into(bc::MethodId id, std::int32_t nargs, std::size_t sp, ExecStats& stats,
+                       const void* const* labels);
+
+  /// On-stack replacement attempt at the top frame's bytecode index
+  /// `target` (same guards and transfer rules as the reference engine).
+  /// On success fills `out` with the state to resume in the replacement.
+  bool try_osr(std::size_t target, std::size_t sp, ExecStats& stats, const void* const* labels,
+               EnterState& out);
+
+  /// Grows the operand stack to at least `need` slots.
+  void ensure_stack(std::size_t need);
+
+  struct Slot {
+    const CompiledMethod* cm = nullptr;
+    std::unique_ptr<PredecodedBody> pb;
+  };
+  std::vector<Slot> predecoded_;  // indexed by method id
+  std::vector<std::unique_ptr<PredecodedBody>> retired_;
+
+  // Execution arenas, reused across run() calls.
+  std::vector<FastFrame> frames_;
+  std::vector<std::int64_t> locals_;
+  std::vector<std::int64_t> stack_;  // capacity managed explicitly; sp is in run()
+
+  // Failed OSR pair memo (reset per run): don't rescan a rejected
+  // replacement on every loop iteration.
+  const CompiledMethod* osr_failed_from_ = nullptr;
+  const CompiledMethod* osr_failed_to_ = nullptr;
+};
+
+}  // namespace ith::rt

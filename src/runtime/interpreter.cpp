@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/fast_interpreter.hpp"
 #include "support/error.hpp"
 
 namespace ith::rt {
@@ -12,13 +13,37 @@ const CompiledMethod* CodeSource::osr_replacement(const CompiledMethod&, std::si
 }
 void CodeSource::on_call_site(bc::MethodId, std::int32_t) {}
 
-Interpreter::Interpreter(const bc::Program& prog, const MachineModel& machine, CodeSource& source,
-                         ICache* icache, InterpreterOptions options)
+const char* engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kFast: return "fast";
+    case EngineKind::kReference: return "reference";
+  }
+  return "?";
+}
+
+Engine::Engine(const bc::Program& prog, const MachineModel& machine, CodeSource& source,
+               ICache* icache, InterpreterOptions options)
     : prog_(prog), machine_(machine), source_(source), icache_(icache), options_(options) {
   globals_.assign(prog.globals_size(), 0);
 }
 
-void Interpreter::reset_globals() { globals_.assign(prog_.globals_size(), 0); }
+void Engine::reset_globals() { globals_.assign(prog_.globals_size(), 0); }
+
+std::unique_ptr<Engine> make_engine(const bc::Program& prog, const MachineModel& machine,
+                                    CodeSource& source, ICache* icache,
+                                    InterpreterOptions options) {
+  switch (options.engine) {
+    case EngineKind::kReference:
+      return std::make_unique<ReferenceInterpreter>(prog, machine, source, icache, options);
+    case EngineKind::kFast:
+      break;
+  }
+  return std::make_unique<FastInterpreter>(prog, machine, source, icache, options);
+}
+
+Interpreter::Interpreter(const bc::Program& prog, const MachineModel& machine, CodeSource& source,
+                         ICache* icache, InterpreterOptions options)
+    : engine_(make_engine(prog, machine, source, icache, options)), kind_(options.engine) {}
 
 namespace {
 
@@ -31,7 +56,7 @@ struct Frame {
 
 }  // namespace
 
-ExecStats Interpreter::run() {
+ExecStats ReferenceInterpreter::run() {
   ExecStats stats;
   double cycles = 0.0;
 

@@ -1,6 +1,6 @@
-// The execution engine.
+// The execution engines.
 //
-// Executes *compiled* method bodies (whatever tier the VM hands back from
+// Execute *compiled* method bodies (whatever tier the VM hands back from
 // CodeSource::invoke) under the machine model's cost accounting:
 //
 //   cycles += machine_words(insn) * tier_cpi        every instruction
@@ -10,9 +10,27 @@
 // Because optimized bodies are genuinely transformed (inlined, folded),
 // better heuristics show up as fewer dynamic instructions and fewer calls —
 // the engine measures, it does not model.
+//
+// Two engines implement this contract and must produce bit-identical
+// ExecStats on every program:
+//
+//   kReference — the original switch-dispatch loop. One op_info() lookup and
+//                two integer divisions (icache address arithmetic) per
+//                dynamic instruction; frames/locals/stack are allocated per
+//                run(). Kept as the semantic baseline for differential
+//                testing and as the fallback when debugging the fast engine.
+//   kFast      — predecoded direct-threaded engine (fast_interpreter.hpp).
+//                Each CompiledMethod is predecoded once into a dense stream
+//                carrying the dispatch target, the pre-folded per-instruction
+//                cycle cost and the precomputed icache line per pc; execution
+//                arenas are reused across run() calls. The default.
+//
+// The equality is enforced by tests/runtime/engine_equivalence_test.cpp and
+// by the fuzz oracle's engine-differential tier (src/fuzz/oracle.cpp).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bytecode/program.hpp"
@@ -29,8 +47,11 @@ class CodeSource {
 
   /// Called on every method invocation, before execution. May compile or
   /// swap in a recompiled version. The returned reference must stay valid
-  /// until the current Interpreter::run returns (old versions may still be
-  /// on the call stack).
+  /// for the lifetime of the executing engine (not just the current run):
+  /// the fast engine caches predecoded bodies keyed by CompiledMethod
+  /// address across run() calls, and old versions may still be on the call
+  /// stack. Every in-tree source (VirtualMachine, test IdentitySource, the
+  /// oracle's PlainSource) retires old bodies instead of freeing them.
   virtual const CompiledMethod& invoke(bc::MethodId id) = 0;
 
   /// A backward branch was taken inside `id`.
@@ -39,11 +60,11 @@ class CodeSource {
   /// Offered after every taken back edge: if a better compilation of the
   /// executing method exists, return it and the interpreter attempts an
   /// on-stack replacement (transfer of the live frame). Return nullptr to
-  /// decline (the default). The returned body must stay valid until run()
-  /// returns. Transfers only succeed from baseline-tier frames whose
-  /// loop-header state provably maps into the replacement (unique origin
-  /// match + equal operand-stack depth); otherwise execution continues in
-  /// the old code.
+  /// decline (the default). The returned body must stay valid as long as
+  /// invoke()'s results. Transfers only succeed from baseline-tier frames
+  /// whose loop-header state provably maps into the replacement (unique
+  /// origin match + equal operand-stack depth); otherwise execution
+  /// continues in the old code.
   virtual const CompiledMethod* osr_replacement(const CompiledMethod& current,
                                                 std::size_t target_pc);
 
@@ -60,34 +81,83 @@ struct ExecStats {
   std::uint64_t icache_misses = 0;
   std::size_t max_frame_depth = 0;
   std::int64_t exit_value = 0;
+
+  friend bool operator==(const ExecStats&, const ExecStats&) = default;
 };
+
+/// Which execution engine an Interpreter runs.
+enum class EngineKind : std::uint8_t {
+  kFast,       ///< predecoded direct-threaded engine (default)
+  kReference,  ///< original switch-dispatch loop
+};
+
+const char* engine_name(EngineKind kind);
 
 struct InterpreterOptions {
   std::uint64_t max_instructions = 2'000'000'000ULL;  ///< runaway-program guard
   std::size_t max_frames = 4096;                      ///< simulated stack-overflow bound
+  EngineKind engine = EngineKind::kFast;
 };
 
-class Interpreter {
+/// Abstract execution engine. Owns the global data segment (which persists
+/// across run() calls) and the cost-model inputs shared by all engines.
+class Engine {
  public:
   /// `icache` may be null to run without cache simulation. The machine
-  /// model is copied; program/source/icache must outlive the interpreter.
-  Interpreter(const bc::Program& prog, const MachineModel& machine, CodeSource& source,
-              ICache* icache, InterpreterOptions options = {});
+  /// model is copied; program/source/icache must outlive the engine.
+  Engine(const bc::Program& prog, const MachineModel& machine, CodeSource& source,
+         ICache* icache, InterpreterOptions options);
+  virtual ~Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Runs the program's entry method to completion (kHalt or entry return).
-  ExecStats run();
+  virtual ExecStats run() = 0;
 
   /// Global data segment; persists across run() calls on the same instance.
   std::vector<std::int64_t>& globals() { return globals_; }
   void reset_globals();
 
- private:
+ protected:
   const bc::Program& prog_;
   const MachineModel machine_;  // by value: callers may pass temporaries
   CodeSource& source_;
   ICache* icache_;
   InterpreterOptions options_;
   std::vector<std::int64_t> globals_;
+};
+
+/// The reference switch-dispatch engine: deliberately straightforward, the
+/// ground truth the fast engine is differentially tested against.
+class ReferenceInterpreter final : public Engine {
+ public:
+  using Engine::Engine;
+  ExecStats run() override;
+};
+
+/// Engine selector: constructs the engine named by `options.engine`.
+std::unique_ptr<Engine> make_engine(const bc::Program& prog, const MachineModel& machine,
+                                    CodeSource& source, ICache* icache,
+                                    InterpreterOptions options = {});
+
+/// Facade every call site uses: constructs the engine selected by
+/// InterpreterOptions::engine (fast unless asked otherwise) and forwards.
+class Interpreter {
+ public:
+  Interpreter(const bc::Program& prog, const MachineModel& machine, CodeSource& source,
+              ICache* icache, InterpreterOptions options = {});
+
+  ExecStats run() { return engine_->run(); }
+
+  std::vector<std::int64_t>& globals() { return engine_->globals(); }
+  void reset_globals() { engine_->reset_globals(); }
+
+  EngineKind engine_kind() const { return kind_; }
+
+ private:
+  std::unique_ptr<Engine> engine_;
+  EngineKind kind_;
 };
 
 }  // namespace ith::rt

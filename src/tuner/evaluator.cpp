@@ -26,14 +26,36 @@ std::vector<BenchmarkResult> SuiteEvaluator::evaluate_heuristic(heur::InlineHeur
 const std::vector<BenchmarkResult>& SuiteEvaluator::evaluate(const heur::InlineParams& params) {
   const heur::InlineParams::Array key = params.to_array();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      const auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+      // Single-flight: if another thread is already evaluating this key,
+      // wait for its result instead of running the whole suite again.
+      if (in_flight_.find(key) == in_flight_.end()) break;
+      cv_.wait(lock);
+    }
+    in_flight_.insert(key);
+    ++evaluations_performed_;
   }
-  heur::JikesHeuristic h(params);
-  std::vector<BenchmarkResult> results = evaluate_heuristic(h);
+
+  std::vector<BenchmarkResult> results;
+  try {
+    heur::JikesHeuristic h(params);
+    results = evaluate_heuristic(h);
+  } catch (...) {
+    // Abandon the key so waiters retry (one of them becomes the new owner).
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_.erase(key);
+    cv_.notify_all();
+    throw;
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
-  return cache_.emplace(key, std::move(results)).first->second;
+  in_flight_.erase(key);
+  auto& slot = cache_.emplace(key, std::move(results)).first->second;
+  cv_.notify_all();
+  return slot;
 }
 
 const std::vector<BenchmarkResult>& SuiteEvaluator::default_results() {
@@ -43,6 +65,11 @@ const std::vector<BenchmarkResult>& SuiteEvaluator::default_results() {
 std::size_t SuiteEvaluator::cache_size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();
+}
+
+std::uint64_t SuiteEvaluator::evaluations_performed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluations_performed_;
 }
 
 }  // namespace ith::tuner

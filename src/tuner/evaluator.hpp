@@ -3,9 +3,11 @@
 // loop of tuning, so results are memoized by parameter value.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -37,6 +39,9 @@ class SuiteEvaluator {
 
   /// Runs every benchmark under the Figure 3/4 heuristic with `params`.
   /// Memoized; the returned reference stays valid for this object's life.
+  /// Concurrent calls with the same uncached params are single-flighted:
+  /// one caller runs the suite, the others block until its result lands in
+  /// the cache instead of recomputing it.
   const std::vector<BenchmarkResult>& evaluate(const heur::InlineParams& params);
 
   /// Runs every benchmark under an arbitrary heuristic (not memoized).
@@ -49,6 +54,9 @@ class SuiteEvaluator {
   const std::vector<wl::Workload>& suite() const { return suite_; }
   const EvalConfig& config() const { return config_; }
   std::size_t cache_size() const;
+  /// Number of full-suite evaluations actually performed by evaluate()
+  /// (cache hits and single-flight waiters excluded).
+  std::uint64_t evaluations_performed() const;
 
  private:
   /// Memoization key: the flattened parameter vector. Sized from
@@ -62,7 +70,13 @@ class SuiteEvaluator {
   std::vector<wl::Workload> suite_;
   EvalConfig config_;
   std::map<CacheKey, std::vector<BenchmarkResult>> cache_;
+  /// Keys currently being evaluated by some thread; guarded by mu_.
+  /// Waiters block on cv_ until the owning thread caches the result (or
+  /// abandons the key by exception) rather than re-running the suite.
+  std::set<CacheKey> in_flight_;
+  std::uint64_t evaluations_performed_ = 0;
   mutable std::mutex mu_;
+  std::condition_variable cv_;
 };
 
 }  // namespace ith::tuner

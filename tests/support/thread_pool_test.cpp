@@ -1,0 +1,64 @@
+// ThreadPool::parallel_for error handling: exceptions from worker indices
+// must propagate to the caller (exactly one wins), every non-throwing index
+// must still have run by the time parallel_for returns, and the pool must
+// stay usable afterwards.
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ith {
+namespace {
+
+TEST(ThreadPoolErrors, ParallelForPropagatesExceptionUnderContention) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  bool caught = false;
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      ran.fetch_add(1);
+      if (i % 8 == 3) throw Error("worker " + std::to_string(i) + " failed");
+    });
+  } catch (const Error& e) {
+    caught = true;
+    EXPECT_NE(std::string(e.what()).find("failed"), std::string::npos);
+  }
+  EXPECT_TRUE(caught);
+  // parallel_for blocks for ALL indices even when some throw: no task may
+  // still be running (or silently skipped) once it returns.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolErrors, PoolUsableAfterException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(8, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // The workers survived the failed batch.
+  std::atomic<int> ran{0};
+  pool.parallel_for(32, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 32);
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolErrors, NonStdExceptionIsStillPropagated) {
+  ThreadPool pool(2);
+  bool caught = false;
+  try {
+    pool.parallel_for(4, [](std::size_t i) {
+      if (i == 2) throw 17;  // not derived from std::exception
+    });
+  } catch (int v) {
+    caught = true;
+    EXPECT_EQ(v, 17);
+  }
+  EXPECT_TRUE(caught);
+}
+
+}  // namespace
+}  // namespace ith

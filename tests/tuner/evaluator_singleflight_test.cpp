@@ -1,0 +1,81 @@
+// SuiteEvaluator cache single-flighting: concurrent GA threads asking for
+// the same uncached InlineParams must trigger exactly one full-suite
+// evaluation — the rest block and share the cached result.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "heuristics/inline_params.hpp"
+#include "support/error.hpp"
+#include "tuner/evaluator.hpp"
+#include "workloads/suite.hpp"
+
+namespace ith {
+namespace {
+
+tuner::SuiteEvaluator make_small_evaluator() {
+  std::vector<wl::Workload> suite;
+  suite.push_back(wl::make_workload("db"));
+  tuner::EvalConfig config;
+  config.iterations = 2;
+  return tuner::SuiteEvaluator(std::move(suite), config);
+}
+
+TEST(SuiteEvaluatorSingleFlight, ConcurrentSameKeyEvaluatesOnce) {
+  tuner::SuiteEvaluator eval = make_small_evaluator();
+  const heur::InlineParams params = heur::default_params();
+  constexpr int kThreads = 8;
+  std::vector<const std::vector<tuner::BenchmarkResult>*> results(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { results[static_cast<std::size_t>(t)] = &eval.evaluate(params); });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(eval.evaluations_performed(), 1u);
+  EXPECT_EQ(eval.cache_size(), 1u);
+  for (int t = 1; t < kThreads; ++t) {
+    // Memoized: every caller got a reference to the same cached vector.
+    EXPECT_EQ(results[static_cast<std::size_t>(t)], results[0]);
+  }
+  ASSERT_NE(results[0], nullptr);
+  EXPECT_EQ((*results[0])[0].name, "db");
+
+  // A later call is a pure cache hit.
+  eval.evaluate(params);
+  EXPECT_EQ(eval.evaluations_performed(), 1u);
+}
+
+TEST(SuiteEvaluatorSingleFlight, DistinctKeysEvaluateIndependently) {
+  tuner::SuiteEvaluator eval = make_small_evaluator();
+  heur::InlineParams a = heur::default_params();
+  heur::InlineParams b = heur::default_params();
+  b.max_inline_depth += 1;
+  std::thread ta([&] { eval.evaluate(a); });
+  std::thread tb([&] { eval.evaluate(b); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(eval.evaluations_performed(), 2u);
+  EXPECT_EQ(eval.cache_size(), 2u);
+}
+
+// A throwing evaluation must not leave its key stuck in the in-flight set:
+// the next caller becomes the new owner (and throws again) instead of
+// deadlocking on a result that will never arrive.
+TEST(SuiteEvaluatorSingleFlight, ExceptionReleasesInFlightKey) {
+  std::vector<wl::Workload> suite;
+  suite.push_back(wl::make_workload("db"));
+  tuner::EvalConfig config;
+  config.iterations = 1;
+  config.vm_config.interp_options.max_instructions = 100;  // guaranteed trap
+  tuner::SuiteEvaluator eval(std::move(suite), config);
+  const heur::InlineParams params = heur::default_params();
+  EXPECT_THROW(eval.evaluate(params), Error);
+  EXPECT_THROW(eval.evaluate(params), Error);  // retried, not deadlocked
+  EXPECT_EQ(eval.cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace ith

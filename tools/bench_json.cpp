@@ -1,0 +1,33 @@
+// Writes the interpreter perf-trajectory data point: runs the dispatch
+// micro-benchmark over both engines and emits BENCH_interpreter.json
+// (instructions/sec and ns/instruction per engine, fixed workloads, pinned
+// seed). CI uploads the file as an artifact; committing a refreshed copy at
+// the repo root records the trajectory commit-over-commit.
+//
+//   bench_json [OUTPUT_PATH]     (default: BENCH_interpreter.json)
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "dispatch_bench.hpp"
+#include "support/error.hpp"
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_interpreter.json";
+  try {
+    ith::bench::DispatchBenchConfig config;
+    const auto results = ith::bench::run_dispatch_bench(config);
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench_json: cannot write " << path << "\n";
+      return 1;
+    }
+    ith::bench::write_bench_json(out, config, results);
+    std::cout << "wrote " << path << " (geomean fast/reference speedup "
+              << ith::bench::geomean_speedup(results) << "x)\n";
+  } catch (const ith::Error& e) {
+    std::cerr << "bench_json: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
