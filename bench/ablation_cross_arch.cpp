@@ -24,8 +24,8 @@ double fitness_on(const rt::MachineModel& machine, vm::Scenario scenario,
   cfg.machine = machine;
   cfg.scenario = scenario;
   tuner::SuiteEvaluator eval(wl::make_suite("specjvm98"), cfg);
-  return tuner::suite_fitness(tuner::Goal::kBalance, eval.evaluate(params),
-                              eval.default_results());
+  return tuner::suite_fitness(tuner::Goal::kBalance, *eval.evaluate(params),
+                              *eval.default_results());
 }
 
 }  // namespace

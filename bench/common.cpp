@@ -1,9 +1,5 @@
 #include "common.hpp"
 
-#include <cctype>
-#include <fstream>
-#include <cctype>
-#include <fstream>
 #include <iostream>
 
 #include "support/env.hpp"
@@ -87,55 +83,6 @@ const std::vector<std::pair<std::string, heur::InlineParams>>& recorded_fig10_pa
       {"pseudojbb", make_params(39, 1, 6, 600, 135)},
   };
   return kRecorded;
-}
-
-heur::InlineParams tuned_params_for(std::size_t scenario_index) {
-  const ScenarioSpec& spec = table4_scenarios().at(scenario_index);
-  if (env_int_or("ITH_RETUNE", 0) == 0) {
-    return recorded_tuned_params().at(scenario_index);
-  }
-  ga::GaConfig cfg = ga_config_from_env();
-  cfg.seed += 1000 * scenario_index;  // independent GA experiment per scenario
-  std::cout << "[retuning " << spec.label << " live: pop " << cfg.population << ", up to "
-            << cfg.generations << " generations]\n";
-  tuner::SuiteEvaluator train(wl::make_suite("specjvm98"), eval_config_for(spec));
-  return tuner::tune(train, spec.goal, cfg).best;
-}
-
-void print_figure_panels(const ScenarioSpec& spec, const heur::InlineParams& tuned) {
-  std::cout << "scenario=" << spec.label << " machine=" << machine_for(spec.ppc).name
-            << " goal=" << tuner::goal_name(spec.goal) << "\n";
-  std::cout << "tuned params:   " << tuned.to_string() << "\n";
-  std::cout << "default params: " << heur::default_params().to_string() << "\n\n";
-
-  // Machine-readable series next to the human tables, for replotting.
-  const std::string csv_dir = env_or("ITH_CSV_DIR", "");
-  std::string tag;
-  for (char c : spec.label) tag += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
-
-  const char* panel = "ab";
-  const char* suites[2] = {"specjvm98", "dacapo+jbb"};
-  const char* roles[2] = {"training suite", "unseen test suite"};
-  for (int i = 0; i < 2; ++i) {
-    tuner::SuiteEvaluator eval(wl::make_suite(suites[i]), eval_config_for(spec));
-    const auto& with_default = eval.default_results();
-    const auto& with_tuned = eval.evaluate(tuned);
-    const auto rows = tuner::compare_results(with_tuned, with_default);
-    std::cout << "(" << panel[i] << ") " << suites[i] << " (" << roles[i]
-              << "), normalized to the default heuristic (<1.0 = improvement):\n";
-    tuner::comparison_table(rows).render(std::cout);
-    std::cout << "\n";
-    if (!csv_dir.empty()) {
-      const std::string path = csv_dir + "/" + tag + "_" + (i == 0 ? "spec" : "dacapo") + ".csv";
-      std::ofstream out(path);
-      if (out) {
-        tuner::write_comparison_csv(out, rows);
-        std::cout << "[csv written to " << path << "]\n\n";
-      } else {
-        std::cerr << "[cannot write " << path << "]\n\n";
-      }
-    }
-  }
 }
 
 void print_header(const std::string& title, const std::string& paper_ref) {

@@ -54,14 +54,6 @@ const std::vector<heur::InlineParams>& recorded_tuned_params();
 /// (benchmark name, params), x86 Opt scenario.
 const std::vector<std::pair<std::string, heur::InlineParams>>& recorded_fig10_params();
 
-/// Returns the tuned parameters for scenario index `i`: recorded values by
-/// default, or a live GA run when ITH_RETUNE=1.
-heur::InlineParams tuned_params_for(std::size_t scenario_index);
-
-/// Prints the standard two-suite comparison (the (a)/(b) panels of the
-/// paper's figures) for tuned-vs-default under a scenario.
-void print_figure_panels(const ScenarioSpec& spec, const heur::InlineParams& tuned);
-
 /// Banner helper.
 void print_header(const std::string& title, const std::string& paper_ref);
 

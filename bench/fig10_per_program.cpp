@@ -7,28 +7,28 @@
 // (paper: >=10% on every SPEC program, 15% average overall, with ps the one
 // program showing no significant win).
 //
-// Uses recorded per-program parameters; ITH_RETUNE=1 re-runs the GA for
-// every benchmark (14 GA runs — budget via ITH_GA_GENERATIONS/ITH_GA_POP).
+// Uses recorded per-program parameters; --retune (ITH_RETUNE=1) re-runs the
+// GA for every benchmark (14 GA runs — budget via --generations/--pop).
 
 #include <iostream>
 
-#include "common.hpp"
-#include "support/env.hpp"
+#include "harness.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
 
 using namespace ith;
 
-int main() {
-  bench::print_header("fig10_per_program",
-                      "Figure 10 — per-program tuning for running time (x86, Opt)");
-
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "fig10_per_program",
+                           "Figure 10 — per-program tuning for running time (x86, Opt)",
+                           [](bench::BenchContext& bx) {
   tuner::EvalConfig cfg;
   cfg.machine = bench::machine_for(false);
   cfg.scenario = vm::Scenario::kOpt;
+  cfg.obs = bx.obs();
 
-  const bool retune = env_int_or("ITH_RETUNE", 0) != 0;
-  ga::GaConfig ga_cfg = bench::ga_config_from_env();
+  const bool retune = bx.options().retune;
+  ga::GaConfig ga_cfg = bx.ga_config();
   if (retune) {
     std::cout << "[retuning per program: pop " << ga_cfg.population << ", up to "
               << ga_cfg.generations << " generations each]\n\n";
@@ -42,10 +42,10 @@ int main() {
     if (retune) {
       params = tuner::tune(eval, tuner::Goal::kRunning, ga_cfg).best;
     }
-    const auto& dflt = eval.default_results();
-    const auto& tuned = eval.evaluate(params);
-    const double ratio = static_cast<double>(tuned[0].running_cycles) /
-                         static_cast<double>(dflt[0].running_cycles);
+    const auto dflt = eval.default_results();
+    const auto tuned = eval.evaluate(params);
+    const double ratio = static_cast<double>((*tuned)[0].running_cycles) /
+                         static_cast<double>((*dflt)[0].running_cycles);
     const std::string suite = wl::make_workload(name).suite;
     (suite == "specjvm98" ? spec_ratios : dacapo_ratios).push_back(ratio);
     all_ratios.push_back(ratio);
@@ -66,4 +66,5 @@ int main() {
   t.render(std::cout);
   std::cout << "\nPaper: ~15% average running-time reduction; ps shows no significant win.\n";
   return 0;
+  });
 }

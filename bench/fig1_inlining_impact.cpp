@@ -10,34 +10,36 @@
 
 #include <iostream>
 
-#include "common.hpp"
+#include "harness.hpp"
 #include "heuristics/heuristic.hpp"
 #include "support/statistics.hpp"
 
 using namespace ith;
 
-int main() {
-  bench::print_header("fig1_inlining_impact", "Figure 1 (a: Opt, b: Adapt)");
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "fig1_inlining_impact", "Figure 1 (a: Opt, b: Adapt)",
+                           [](bench::BenchContext& bx) {
+    const char* panel = "ab";
+    const vm::Scenario scenarios[2] = {vm::Scenario::kOpt, vm::Scenario::kAdapt};
+    for (int i = 0; i < 2; ++i) {
+      tuner::EvalConfig cfg;
+      cfg.machine = bench::machine_for(false);
+      cfg.scenario = scenarios[i];
+      cfg.obs = bx.obs();
+      tuner::SuiteEvaluator eval(wl::make_suite("specjvm98"), cfg);
 
-  const char* panel = "ab";
-  const vm::Scenario scenarios[2] = {vm::Scenario::kOpt, vm::Scenario::kAdapt};
-  for (int i = 0; i < 2; ++i) {
-    tuner::EvalConfig cfg;
-    cfg.machine = bench::machine_for(false);
-    cfg.scenario = scenarios[i];
-    tuner::SuiteEvaluator eval(wl::make_suite("specjvm98"), cfg);
+      heur::NeverInlineHeuristic never;
+      const auto no_inlining = eval.evaluate_heuristic(never);
+      const auto with_default = eval.default_results();
 
-    heur::NeverInlineHeuristic never;
-    const auto no_inlining = eval.evaluate_heuristic(never);
-    const auto& with_default = eval.default_results();
+      std::cout << "(" << panel[i] << ") " << vm::scenario_name(scenarios[i])
+                << " scenario — default heuristic normalized to NO inlining:\n";
+      tuner::comparison_table(tuner::compare_results(*with_default, no_inlining)).render(std::cout);
+      std::cout << "\n";
+    }
 
-    std::cout << "(" << panel[i] << ") " << vm::scenario_name(scenarios[i])
-              << " scenario — default heuristic normalized to NO inlining:\n";
-    tuner::comparison_table(tuner::compare_results(with_default, no_inlining)).render(std::cout);
-    std::cout << "\n";
-  }
-
-  std::cout << "Expected shape (paper): Opt improves running but hurts average total;\n"
-               "Adapt improves both.\n";
-  return 0;
+    std::cout << "Expected shape (paper): Opt improves running but hurts average total;\n"
+                 "Adapt improves both.\n";
+    return 0;
+  });
 }

@@ -10,7 +10,7 @@
 #include <algorithm>
 #include <iostream>
 
-#include "common.hpp"
+#include "harness.hpp"
 #include "heuristics/heuristic.hpp"
 #include "support/table.hpp"
 #include "vm/vm.hpp"
@@ -20,20 +20,22 @@ using namespace ith;
 namespace {
 
 double total_seconds(const wl::Workload& w, const rt::MachineModel& machine, vm::Scenario sc,
-                     int depth) {
+                     int depth, obs::Context* obs) {
   heur::InlineParams params = heur::default_params();
   params.max_inline_depth = depth;
   heur::JikesHeuristic h(params);
   vm::VmConfig cfg;
   cfg.scenario = sc;
+  cfg.obs = obs;
   vm::VirtualMachine m(w.program, machine, h, cfg);
   return machine.cycles_to_seconds(m.run(2).total_cycles);
 }
 
 }  // namespace
 
-int main() {
-  bench::print_header("fig2_depth_sweep", "Figure 2 (a: compress, b: jess)");
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "fig2_depth_sweep", "Figure 2 (a: compress, b: jess)",
+                           [](bench::BenchContext& bx) {
   const rt::MachineModel machine = bench::machine_for(false);
 
   const char* panel = "ab";
@@ -44,8 +46,8 @@ int main() {
     int best_opt = 0, best_adapt = 0;
     double best_opt_v = 0, best_adapt_v = 0;
     for (int depth = 0; depth <= 10; ++depth) {
-      const double opt = total_seconds(w, machine, vm::Scenario::kOpt, depth);
-      const double adapt = total_seconds(w, machine, vm::Scenario::kAdapt, depth);
+      const double opt = total_seconds(w, machine, vm::Scenario::kOpt, depth, bx.obs());
+      const double adapt = total_seconds(w, machine, vm::Scenario::kAdapt, depth, bx.obs());
       if (depth == 0 || opt < best_opt_v) {
         best_opt_v = opt;
         best_opt = depth;
@@ -61,11 +63,12 @@ int main() {
     t.render(std::cout);
     std::cout << "best depth: Opt=" << best_opt << ", Adapt=" << best_adapt
               << " (Jikes default depth: 5)\n";
-    const double opt5 = total_seconds(w, machine, vm::Scenario::kOpt, 5);
-    const double adapt5 = total_seconds(w, machine, vm::Scenario::kAdapt, 5);
+    const double opt5 = total_seconds(w, machine, vm::Scenario::kOpt, 5, bx.obs());
+    const double adapt5 = total_seconds(w, machine, vm::Scenario::kAdapt, 5, bx.obs());
     std::cout << "better scenario overall: "
               << (std::min(best_opt_v, opt5) < std::min(best_adapt_v, adapt5) ? "Opt" : "Adapt")
               << "\n\n";
   }
   return 0;
+  });
 }

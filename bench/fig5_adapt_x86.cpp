@@ -1,15 +1,17 @@
 // Reproduces Figure 5 — Adaptive scenario tuned for balance on x86.
 // Panels: (a) SPECjvm98 (training suite), (b) DaCapo+JBB (unseen test
 // suite); tuned heuristic normalized to the Jikes RVM default.
-// Uses the recorded Table-4 parameters; set ITH_RETUNE=1 to re-run the GA.
+// Uses the recorded Table-4 parameters; pass --retune (or ITH_RETUNE=1) to
+// re-run the GA. See bench/harness.hpp for the full flag set (--trace etc.).
 
-#include "common.hpp"
+#include "harness.hpp"
 
 using namespace ith;
 
-int main() {
-  bench::print_header("fig5_adapt_x86", "Figure 5 — Adaptive scenario tuned for balance on x86");
-  const bench::ScenarioSpec& spec = bench::table4_scenarios()[0];
-  bench::print_figure_panels(spec, bench::tuned_params_for(0));
-  return 0;
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "fig5_adapt_x86", "Figure 5 — Adaptive scenario tuned for balance on x86",
+                           [](bench::BenchContext& bx) {
+    bx.print_figure_panels(bench::table4_scenarios()[0], bx.tuned_params_for(0));
+    return 0;
+  });
 }

@@ -4,6 +4,14 @@
 // BENCH_interpreter.json document.
 //
 //   micro_dispatch [--repeats=N] [--json=PATH]
+//                  [--guard=BASELINE.json] [--tolerance=0.01]
+//
+// --guard compares this run's fast/reference geomean speedup against the
+// recorded baseline document and fails (exit 1) when it regressed by more
+// than --tolerance (relative). The ratio is host-machine independent, so
+// the same guard value works on a laptop and in CI; it is the overhead
+// budget for the observability layer — with a null obs context the fast
+// engine must keep its full speedup over the reference engine.
 //
 // The simulated ExecStats are checked for cross-engine equality before any
 // timing is reported, so a regression in the equivalence guarantee fails
@@ -12,22 +20,47 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "dispatch_bench.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+double baseline_geomean_speedup(const std::string& path) {
+  std::ifstream in(path);
+  ITH_CHECK(in.is_open(), "cannot open baseline " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const ith::JsonValue doc = ith::parse_json(buf.str());
+  const ith::JsonValue* v = doc.find("geomean_speedup_fast_over_reference");
+  ITH_CHECK(v != nullptr && v->kind == ith::JsonValue::Kind::kNumber,
+            path + ": geomean_speedup_fast_over_reference missing");
+  return v->number;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ith::bench::DispatchBenchConfig config;
   std::string json_path;
+  std::string guard_path;
+  double tolerance = 0.01;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--repeats=", 0) == 0) {
       config.repeats = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--guard=", 0) == 0) {
+      guard_path = arg.substr(8);
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      tolerance = std::atof(arg.c_str() + 12);
     } else {
-      std::cerr << "usage: micro_dispatch [--repeats=N] [--json=PATH]\n";
+      std::cerr << "usage: micro_dispatch [--repeats=N] [--json=PATH]"
+                   " [--guard=BASELINE.json] [--tolerance=R]\n";
       return 2;
     }
   }
@@ -42,6 +75,18 @@ int main(int argc, char** argv) {
       }
       ith::bench::write_bench_json(out, config, results);
       std::cout << "wrote " << json_path << "\n";
+    }
+    if (!guard_path.empty()) {
+      const double baseline = baseline_geomean_speedup(guard_path);
+      const double current = ith::bench::geomean_speedup(results);
+      const double floor = baseline * (1.0 - tolerance);
+      std::cout << "guard: geomean speedup " << current << " vs recorded " << baseline
+                << " (floor " << floor << ", tolerance " << tolerance * 100 << "%)\n";
+      if (current < floor) {
+        std::cerr << "micro_dispatch: fast-engine speedup regressed below the guard floor\n";
+        return 1;
+      }
+      std::cout << "guard: OK\n";
     }
   } catch (const ith::Error& e) {
     std::cerr << "micro_dispatch: " << e.what() << "\n";

@@ -132,7 +132,7 @@ void BM_SuiteEvaluation(benchmark::State& state) {
     state.PauseTiming();
     tuner::SuiteEvaluator eval(wl::make_suite("specjvm98"), cfg);  // cold cache each round
     state.ResumeTiming();
-    benchmark::DoNotOptimize(eval.evaluate(heur::default_params()).size());
+    benchmark::DoNotOptimize(eval.evaluate(heur::default_params())->size());
   }
 }
 BENCHMARK(BM_SuiteEvaluation)->Unit(benchmark::kMillisecond);

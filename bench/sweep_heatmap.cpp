@@ -25,7 +25,7 @@ int main() {
   cfg.machine = bench::machine_for(false);
   cfg.scenario = vm::Scenario::kOpt;
   tuner::SuiteEvaluator eval(wl::make_suite("specjvm98"), cfg);
-  const auto& defaults = eval.default_results();
+  const auto defaults = eval.default_results();
 
   const int callee_values[] = {1, 5, 10, 17, 23, 31, 40, 50};
   const int depth_values[] = {1, 2, 3, 5, 8, 12, 15};
@@ -41,7 +41,7 @@ int main() {
       heur::InlineParams p = heur::default_params();
       p.callee_max_size = c;
       p.max_inline_depth = d;
-      const double f = tuner::suite_fitness(tuner::Goal::kTotal, eval.evaluate(p), defaults);
+      const double f = tuner::suite_fitness(tuner::Goal::kTotal, *eval.evaluate(p), *defaults);
       row.push_back(cell(f, 4));
       csv_rows.push_back({std::to_string(c), std::to_string(d), cell(f, 6)});
     }

@@ -3,20 +3,22 @@
 // the SPECjvm98 training suite and prints the parameter values it finds,
 // next to the Jikes RVM defaults. Also prints the Table 1 search ranges.
 //
-// Budget: ITH_GA_GENERATIONS (default 40; the paper ran 500 over noisy
-// wall-clock measurements — our deterministic fitness converges far
-// earlier), ITH_GA_POP (default 20 = paper), ITH_GA_SEED.
+// Budget: --generations / ITH_GA_GENERATIONS (default 40; the paper ran 500
+// over noisy wall-clock measurements — our deterministic fitness converges
+// far earlier), --pop / ITH_GA_POP (default 20 = paper), --seed / ITH_GA_SEED.
+// Tracing: --trace=PATH --trace-format=jsonl|chrome --trace-cats=eval,ga.
 
 #include <iostream>
 
-#include "common.hpp"
+#include "harness.hpp"
 #include "support/table.hpp"
 #include "tuner/parameter_space.hpp"
 
 using namespace ith;
 
-int main() {
-  bench::print_header("table4_tuned_params", "Table 4 (+ Table 1 ranges)");
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "table4_tuned_params", "Table 4 (+ Table 1 ranges)",
+                           [](bench::BenchContext& bx) {
 
   // Table 1: the search space.
   {
@@ -37,7 +39,7 @@ int main() {
     std::cout << "\n";
   }
 
-  const ga::GaConfig ga_cfg = bench::ga_config_from_env();
+  const ga::GaConfig ga_cfg = bx.ga_config();
   std::cout << "GA: population " << ga_cfg.population << ", up to " << ga_cfg.generations
             << " generations, seed " << ga_cfg.seed << "\n\n";
 
@@ -45,7 +47,7 @@ int main() {
   std::vector<heur::InlineParams> found;
   std::size_t scenario_index = 0;
   for (const bench::ScenarioSpec& spec : bench::table4_scenarios()) {
-    tuner::SuiteEvaluator train(wl::make_suite("specjvm98"), bench::eval_config_for(spec));
+    tuner::SuiteEvaluator train(wl::make_suite("specjvm98"), bx.eval_config_for(spec));
     // Each scenario is an independent GA experiment (its own seed), as in
     // the paper's per-scenario tuning runs.
     ga::GaConfig scenario_cfg = ga_cfg;
@@ -80,4 +82,5 @@ int main() {
     std::cout << "  " << bench::table4_scenarios()[s].label << ": " << found[s].to_string() << "\n";
   }
   return 0;
+  });
 }

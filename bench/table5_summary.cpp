@@ -8,25 +8,26 @@
 
 #include <iostream>
 
-#include "common.hpp"
+#include "harness.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
 
 using namespace ith;
 
-int main() {
-  bench::print_header("table5_summary", "Table 5");
+int main(int argc, char** argv) {
+  return bench::bench_main(argc, argv, "table5_summary", "Table 5",
+                           [](bench::BenchContext& bx) {
 
   Table t({"Compilation Scenario", "SPECjvm98 Running", "SPECjvm98 Total", "DaCapo+JBB Running",
            "DaCapo+JBB Total"});
 
   for (std::size_t s = 0; s < bench::table4_scenarios().size(); ++s) {
     const bench::ScenarioSpec& spec = bench::table4_scenarios()[s];
-    const heur::InlineParams tuned = bench::tuned_params_for(s);
+    const heur::InlineParams tuned = bx.tuned_params_for(s);
     std::vector<std::string> row = {spec.label};
     for (const char* suite : {"specjvm98", "dacapo+jbb"}) {
-      tuner::SuiteEvaluator eval(wl::make_suite(suite), bench::eval_config_for(spec));
-      const auto rows = tuner::compare_results(eval.evaluate(tuned), eval.default_results());
+      tuner::SuiteEvaluator eval(wl::make_suite(suite), bx.eval_config_for(spec));
+      const auto rows = tuner::compare_results(*eval.evaluate(tuned), *eval.default_results());
       const tuner::ComparisonRow avg = tuner::average_row(rows);
       row.push_back(cell_percent(percent_reduction(avg.running_ratio)));
       row.push_back(cell_percent(percent_reduction(avg.total_ratio)));
@@ -37,4 +38,5 @@ int main() {
   std::cout << "\nPaper's Table 5 (for reference): Adapt 6%/3% 0%/29%; Opt:Bal 4%/16% 3%/26%;\n"
                "Opt:Tot 1%/17% -4%/37%; Adapt(PPC) 5%/1% -1%/6%; Opt:Bal(PPC) 0%/6% 4%/9%.\n";
   return 0;
+  });
 }

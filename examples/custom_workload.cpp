@@ -150,7 +150,7 @@ int main(int argc, char** argv) {
       tuner::tune(eval, tuner::Goal::kTotal, tuner::default_ga_config(12, 7));
   std::cout << "\nGA-tuned for total time: " << tuned.best.to_string() << "\n";
   tuner::comparison_table(
-      tuner::compare_results(eval.evaluate(tuned.best), eval.default_results()))
+      tuner::compare_results(*eval.evaluate(tuned.best), *eval.default_results()))
       .render(std::cout);
   return 0;
 }

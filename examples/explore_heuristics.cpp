@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   const std::string suite = cli.get_or("suite", "specjvm98");
 
   tuner::SuiteEvaluator eval(wl::make_suite(suite), cfg);
-  const auto& base = eval.default_results();
+  const auto base = eval.default_results();
 
   std::cout << "Heuristic families on " << suite << " (" << cfg.machine.name << ", "
             << vm::scenario_name(cfg.scenario) << "), geomeans normalized to the default:\n";
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
     heur::ProfileDirectedHeuristic profile_directed;  // needs Adapt profiles to act
     for (heur::InlineHeuristic* h : std::initializer_list<heur::InlineHeuristic*>{
              &never, &always, &knap05, &knap20, &profile_directed}) {
-      const SuiteTimes s = normalized(eval.evaluate_heuristic(*h), base);
+      const SuiteTimes s = normalized(eval.evaluate_heuristic(*h), *base);
       t.add_row({h->name(), cell_ratio(s.running_geomean_norm), cell_ratio(s.total_geomean_norm)});
     }
     t.add_row({"jikes-default", cell_ratio(1.0), cell_ratio(1.0)});
@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
   for (int v : values) {
     heur::InlineParams p = heur::default_params();
     apply(p, v);
-    const SuiteTimes s = normalized(eval.evaluate(p), base);
+    const SuiteTimes s = normalized(*eval.evaluate(p), *base);
     t.add_row({std::to_string(v), cell_ratio(s.running_geomean_norm),
                cell_ratio(s.total_geomean_norm)});
   }

@@ -81,7 +81,7 @@ int main() {
   std::cout << "fitness (normalized total time vs default): " << tuned.best_fitness << "\n\n";
 
   // --- 4. Side-by-side. -----------------------------------------------------
-  const auto rows = tuner::compare_results(eval.evaluate(tuned.best), eval.default_results());
+  const auto rows = tuner::compare_results(*eval.evaluate(tuned.best), *eval.default_results());
   tuner::comparison_table(rows).render(std::cout);
   return 0;
 }

@@ -49,10 +49,10 @@ int main(int argc, char** argv) {
   // --- Evaluation: training suite then unseen test suite -------------------
   for (const char* suite : {"specjvm98", "dacapo+jbb"}) {
     tuner::SuiteEvaluator eval(wl::make_suite(suite), eval_cfg);
-    const auto& with_default = eval.default_results();
-    const auto& with_tuned = eval.evaluate(tuned.best);
+    const auto with_default = eval.default_results();
+    const auto with_tuned = eval.evaluate(tuned.best);
     std::cout << suite << " (tuned vs default, <1.0 is better):\n";
-    tuner::comparison_table(tuner::compare_results(with_tuned, with_default)).render(std::cout);
+    tuner::comparison_table(tuner::compare_results(*with_tuned, *with_default)).render(std::cout);
     std::cout << "\n";
   }
   return 0;

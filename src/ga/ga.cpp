@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 #include <numeric>
+#include <set>
 
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
@@ -101,10 +102,23 @@ GaResult GeneticAlgorithm::run() {
     gs.worst = *std::max_element(fitness.begin(), fitness.end());
     gs.mean = std::accumulate(fitness.begin(), fitness.end(), 0.0) /
               static_cast<double>(fitness.size());
+    gs.diversity = static_cast<double>(std::set<Genome>(pop.begin(), pop.end()).size()) /
+                   static_cast<double>(pop.size());
     const auto bi = static_cast<std::size_t>(
         std::min_element(fitness.begin(), fitness.end()) - fitness.begin());
     gs.best_genome = pop[bi];
     result.history.push_back(gs);
+    if (config_.obs != nullptr && config_.obs->enabled(obs::Category::kGa)) {
+      config_.obs->instant(obs::Category::kGa, "ga.generation", obs::Domain::kHost,
+                           config_.obs->host_now_us(),
+                           {{"generation", gs.generation},
+                            {"best", gs.best},
+                            {"mean", gs.mean},
+                            {"worst", gs.worst},
+                            {"diversity", gs.diversity},
+                            {"evaluations", result.evaluations},
+                            {"cache_hits", result.cache_hits}});
+    }
     if (progress_) progress_(gs);
 
     if (gs.best < best_ever) {
@@ -153,6 +167,11 @@ GaResult GeneticAlgorithm::run() {
 
   result.best = best_genome;
   result.best_fitness = best_ever;
+  if (config_.obs != nullptr) {
+    config_.obs->counter("ga.evaluations").add(result.evaluations);
+    config_.obs->counter("ga.cache_hits").add(result.cache_hits);
+    config_.obs->flush();
+  }
   return result;
 }
 

@@ -12,6 +12,7 @@
 
 #include "ga/genome.hpp"
 #include "ga/operators.hpp"
+#include "obs/context.hpp"
 
 namespace ith::ga {
 
@@ -39,6 +40,11 @@ struct GaConfig {
   /// Individuals injected into the initial population (e.g. the compiler's
   /// default parameters), replacing random ones.
   std::vector<Genome> seed_individuals;
+  /// Observability context. Non-owning, may be null (= tracing off, zero
+  /// cost); must outlive the GA run. Category kGa: one instant per
+  /// generation with best/mean/worst fitness and population diversity,
+  /// plus evaluation/cache-hit counters.
+  obs::Context* obs = nullptr;
 };
 
 struct GenerationStats {
@@ -46,6 +52,9 @@ struct GenerationStats {
   double best = 0.0;
   double mean = 0.0;
   double worst = 0.0;
+  /// Distinct genomes divided by population size, in (0, 1]: 1.0 = every
+  /// individual unique, 1/population = total convergence.
+  double diversity = 0.0;
   Genome best_genome;
 };
 

@@ -4,19 +4,28 @@ namespace ith::heur {
 
 void InlineHeuristic::prepare(const bc::Program&) {}
 
+InlineDecision InlineHeuristic::decide(const InlineRequest& req) const {
+  return {should_inline(req), "opaque"};
+}
+
 JikesHeuristic::JikesHeuristic(InlineParams params) : params_(params) {}
 
 bool JikesHeuristic::should_inline(const InlineRequest& req) const {
+  return decide(req).inline_it;
+}
+
+InlineDecision JikesHeuristic::decide(const InlineRequest& req) const {
   if (req.is_hot) {
     // Figure 4: hot call sites are judged only by callee size.
-    return req.callee_size <= params_.hot_callee_max_size;
+    if (req.callee_size > params_.hot_callee_max_size) return {false, "fig4:hot_callee_too_big"};
+    return {true, "fig4:hot_yes"};
   }
   // Figure 3, test order preserved.
-  if (req.callee_size > params_.callee_max_size) return false;
-  if (req.callee_size < params_.always_inline_size) return true;
-  if (req.depth > params_.max_inline_depth) return false;
-  if (req.caller_size > params_.caller_max_size) return false;
-  return true;
+  if (req.callee_size > params_.callee_max_size) return {false, "fig3:callee_too_big"};
+  if (req.callee_size < params_.always_inline_size) return {true, "fig3:always_inline"};
+  if (req.depth > params_.max_inline_depth) return {false, "fig3:too_deep"};
+  if (req.caller_size > params_.caller_max_size) return {false, "fig3:caller_too_big"};
+  return {true, "fig3:yes"};
 }
 
 std::string JikesHeuristic::name() const { return "jikes" + params_.to_string(); }

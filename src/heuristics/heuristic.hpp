@@ -25,12 +25,26 @@ struct InlineRequest {
   std::uint64_t site_count = 0;  ///< profiled execution count of the site (0 if unknown)
 };
 
+/// A heuristic verdict plus the rule that produced it, for observability:
+/// `rule` names the specific test that fired (e.g. "fig3:callee_too_big",
+/// "fig4:hot_yes") as a static string. Heuristics that do not explain
+/// themselves report "opaque".
+struct InlineDecision {
+  bool inline_it = false;
+  const char* rule = "opaque";
+};
+
 class InlineHeuristic {
  public:
   virtual ~InlineHeuristic() = default;
 
   /// True if the call site should be inlined.
   virtual bool should_inline(const InlineRequest& req) const = 0;
+
+  /// Verdict plus firing rule. Default wraps should_inline() with an
+  /// "opaque" rule; heuristics with explainable structure override this
+  /// (and may implement should_inline in terms of it).
+  virtual InlineDecision decide(const InlineRequest& req) const;
 
   /// Called once before a compilation session over `prog`; heuristics that
   /// need whole-program context (the knapsack oracle) hook this. Default: no-op.
@@ -58,6 +72,10 @@ class JikesHeuristic final : public InlineHeuristic {
   explicit JikesHeuristic(InlineParams params = default_params());
 
   bool should_inline(const InlineRequest& req) const override;
+  /// Reports which Figure 3/4 term fired: "fig4:hot_callee_too_big",
+  /// "fig4:hot_yes", "fig3:callee_too_big", "fig3:always_inline",
+  /// "fig3:too_deep", "fig3:caller_too_big" or "fig3:yes".
+  InlineDecision decide(const InlineRequest& req) const override;
   std::string name() const override;
 
   const InlineParams& params() const { return params_; }

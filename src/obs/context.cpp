@@ -1,0 +1,105 @@
+#include "obs/context.hpp"
+
+namespace ith::obs {
+
+namespace {
+
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+Context::Context(TraceSink* sink, std::uint32_t categories)
+    : sink_(sink), mask_(categories), epoch_(std::chrono::steady_clock::now()) {}
+
+void Context::emit(Event e) {
+  if (!enabled(e.cat)) return;
+  e.tid = this_thread_tid();
+  sink_->write(e);
+}
+
+void Context::instant(Category cat, const char* name, Domain domain, std::uint64_t ts,
+                      std::vector<Arg> args) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = Phase::kInstant;
+  e.domain = domain;
+  e.ts = ts;
+  e.args = std::move(args);
+  emit(std::move(e));
+}
+
+void Context::complete(Category cat, const char* name, Domain domain, std::uint64_t ts,
+                       std::uint64_t dur, std::vector<Arg> args) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = Phase::kComplete;
+  e.domain = domain;
+  e.ts = ts;
+  e.dur = dur;
+  e.args = std::move(args);
+  emit(std::move(e));
+}
+
+std::uint64_t Context::host_now_us() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - epoch_)
+                                        .count());
+}
+
+Counter& Context::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>(name);
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Context::counter_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+void Context::flush() {
+  if (sink_ != nullptr) {
+    const std::uint64_t now = host_now_us();
+    for (const auto& [name, value] : counter_values()) {
+      Event e;
+      e.name = "counters";
+      e.cat = Category::kVm;
+      e.phase = Phase::kCounter;
+      e.domain = Domain::kHost;
+      e.ts = now;
+      e.tid = this_thread_tid();
+      e.args.emplace_back(name, static_cast<std::int64_t>(value));
+      // Counter events bypass the category mask: the final totals are cheap
+      // and belong in every trace that asked for any category.
+      sink_->write(e);
+    }
+    sink_->flush();
+  }
+}
+
+ScopedSpan::ScopedSpan(Context* ctx, Category cat, const char* name, std::vector<Arg> args)
+    : ctx_(ctx),
+      cat_(cat),
+      name_(name),
+      live_(ctx != nullptr && ctx->enabled(cat)),
+      args_(std::move(args)) {
+  if (live_) start_us_ = ctx_->host_now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!live_) return;
+  const std::uint64_t end = ctx_->host_now_us();
+  ctx_->complete(cat_, name_, Domain::kHost, start_us_, end - start_us_, std::move(args_));
+}
+
+}  // namespace ith::obs

@@ -1,0 +1,115 @@
+#include "obs/event.hpp"
+
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace ith::obs {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kVm: return "vm";
+    case Category::kCompile: return "compile";
+    case Category::kOpt: return "opt";
+    case Category::kInline: return "inline";
+    case Category::kEval: return "eval";
+    case Category::kGa: return "ga";
+  }
+  return "?";
+}
+
+std::uint32_t category_mask_from_string(const std::string& csv) {
+  if (csv.empty() || csv == "all") return kAllCategories;
+  std::uint32_t mask = 0;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t end = csv.find(',', start);
+    if (end == std::string::npos) end = csv.size();
+    const std::string name = csv.substr(start, end - start);
+    bool found = false;
+    for (const Category c : {Category::kVm, Category::kCompile, Category::kOpt, Category::kInline,
+                             Category::kEval, Category::kGa}) {
+      if (name == category_name(c)) {
+        mask |= static_cast<std::uint32_t>(c);
+        found = true;
+        break;
+      }
+    }
+    ITH_CHECK(found, "unknown trace category '" + name + "' (want vm,compile,opt,inline,eval,ga)");
+    if (end == csv.size()) break;
+    start = end + 1;
+  }
+  return mask;
+}
+
+namespace {
+
+void append_escaped(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_double(double v, std::string& out) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void append_event_json(const Event& e, std::string& out) {
+  out += "{\"name\":";
+  append_escaped(e.name, out);
+  out += ",\"cat\":\"";
+  out += category_name(e.cat);
+  out += "\",\"ph\":\"";
+  out.push_back(static_cast<char>(e.phase));
+  out += "\",\"ts\":";
+  out += std::to_string(e.ts);
+  if (e.phase == Phase::kComplete) {
+    out += ",\"dur\":";
+    out += std::to_string(e.dur);
+  }
+  out += ",\"pid\":";
+  out += std::to_string(static_cast<int>(e.domain));
+  out += ",\"tid\":";
+  out += std::to_string(e.tid);
+  if (!e.args.empty()) {
+    out += ",\"args\":{";
+    bool first = true;
+    for (const Arg& a : e.args) {
+      if (!first) out.push_back(',');
+      first = false;
+      append_escaped(a.key, out);
+      out.push_back(':');
+      if (const auto* i = std::get_if<std::int64_t>(&a.value)) {
+        out += std::to_string(*i);
+      } else if (const auto* d = std::get_if<double>(&a.value)) {
+        append_double(*d, out);
+      } else {
+        append_escaped(std::get<std::string>(a.value), out);
+      }
+    }
+    out.push_back('}');
+  }
+  out.push_back('}');
+}
+
+}  // namespace ith::obs

@@ -1,0 +1,91 @@
+// The observability event model.
+//
+// Every trace event is one record in the Chrome trace_event JSON schema
+// (name/cat/ph/ts/pid/tid[/dur]/args), so a trace opens directly in
+// chrome://tracing or Perfetto. Two timebases coexist in one trace as two
+// "processes":
+//
+//   pid 1 ("sim")  — timestamps and durations are *simulated cycles* from
+//                    the machine model. VM events (compiles, promotions,
+//                    iterations) live here; summed compile-span durations
+//                    are exactly RunResult::compile_cycles_all.
+//   pid 2 ("host") — timestamps are wall-clock microseconds since the
+//                    obs::Context was created. Optimizer pass timings, suite
+//                    evaluations and GA generations live here.
+//
+// Events carry a small list of typed args (int/double/string) serialized
+// into the trace record's "args" object.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+namespace ith::obs {
+
+/// Event category bit; doubles as the trace record's "cat" string and as
+/// the Context's enable mask, so whole layers can be compiled down to a
+/// single predictable branch when not requested.
+enum class Category : std::uint32_t {
+  kVm = 1u << 0,       ///< tiering decisions: promotions, OSR, installs, hot sites
+  kCompile = 1u << 1,  ///< per-compilation spans in simulated cycles
+  kOpt = 1u << 2,      ///< optimizer pass timings (host clock)
+  kInline = 1u << 3,   ///< per-call-site inlining decisions (voluminous)
+  kEval = 1u << 4,     ///< suite evaluator: benchmark runs, cache traffic
+  kGa = 1u << 5,       ///< GA per-generation fitness/diversity
+};
+
+inline constexpr std::uint32_t kAllCategories = 0x3f;
+
+const char* category_name(Category c);
+
+/// Parses a comma-separated category list ("eval,ga"; "all" or "" = all).
+/// Throws ith::Error on an unknown name.
+std::uint32_t category_mask_from_string(const std::string& csv);
+
+/// Chrome trace_event phase.
+enum class Phase : char {
+  kComplete = 'X',  ///< span: ts + dur
+  kInstant = 'i',   ///< point event
+  kCounter = 'C',   ///< counter sample (args hold the series values)
+  kMetadata = 'M',  ///< process/thread naming
+};
+
+/// Which clock the event's ts/dur are in; doubles as the trace "pid".
+enum class Domain : std::uint8_t {
+  kSim = 1,   ///< simulated cycles
+  kHost = 2,  ///< wall-clock microseconds since Context creation
+};
+
+struct Arg {
+  std::string key;
+  std::variant<std::int64_t, double, std::string> value;
+
+  /// One constructor for every integral type (incl. bool) keeps call sites
+  /// free of casts without tripping over platform-dependent typedef overlap
+  /// (size_t vs uint64_t).
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  Arg(std::string k, T v) : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  Arg(std::string k, double v) : key(std::move(k)), value(v) {}
+  Arg(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  Arg(std::string k, const char* v) : key(std::move(k)), value(std::string(v)) {}
+};
+
+struct Event {
+  const char* name = "";  ///< static string (all emit sites pass literals)
+  Category cat = Category::kVm;
+  Phase phase = Phase::kInstant;
+  Domain domain = Domain::kHost;
+  std::uint64_t ts = 0;   ///< cycles (kSim) or microseconds (kHost)
+  std::uint64_t dur = 0;  ///< kComplete only; same unit as ts
+  std::uint32_t tid = 0;  ///< small per-thread ordinal, stable per process
+  std::vector<Arg> args;
+};
+
+/// Appends the event as one Chrome trace_event JSON object (no trailing
+/// newline) to `out`. String args are JSON-escaped.
+void append_event_json(const Event& e, std::string& out);
+
+}  // namespace ith::obs

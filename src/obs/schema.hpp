@@ -1,0 +1,28 @@
+// Trace-event schema validation: the "small checker" CI runs over every
+// uploaded trace. A valid event record is a JSON object with
+//
+//   name : non-empty string
+//   cat  : one of vm|compile|opt|inline|eval|ga  (metadata events exempt)
+//   ph   : "X" | "i" | "C" | "M"
+//   ts   : number >= 0
+//   pid  : 1 (sim cycle domain) or 2 (host microsecond domain)
+//   tid  : number >= 0
+//   dur  : number >= 0, required iff ph == "X"
+//   args : object of string -> number|string (optional)
+//
+// trace_report uses the same routine, so "validates in CI" and "parses in
+// the report tool" can never drift apart.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace ith::obs {
+
+/// Returns std::nullopt if `record` is a valid trace event, else a
+/// human-readable description of the first violation.
+std::optional<std::string> validate_event(const JsonValue& record);
+
+}  // namespace ith::obs

@@ -1,0 +1,105 @@
+#include "obs/sink.hpp"
+
+#include <ostream>
+
+namespace ith::obs {
+
+std::vector<Event> timebase_metadata() {
+  std::vector<Event> meta;
+  for (const Domain d : {Domain::kSim, Domain::kHost}) {
+    Event e;
+    e.name = "process_name";
+    e.phase = Phase::kMetadata;
+    e.domain = d;
+    e.args.emplace_back("name", d == Domain::kSim ? "sim (cycles)" : "host (us)");
+    meta.push_back(std::move(e));
+  }
+  return meta;
+}
+
+// --- JsonlSink -------------------------------------------------------------
+
+JsonlSink::JsonlSink(std::ostream& os, std::size_t buffer_bytes)
+    : os_(os), buffer_bytes_(buffer_bytes) {
+  for (const Event& e : timebase_metadata()) write(e);
+}
+
+JsonlSink::~JsonlSink() { flush(); }
+
+void JsonlSink::write(const Event& e) {
+  std::string line;
+  append_event_json(e, line);
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_ += line;
+  if (buffer_.size() >= buffer_bytes_) {
+    os_ << buffer_;
+    buffer_.clear();
+  }
+}
+
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!buffer_.empty()) {
+    os_ << buffer_;
+    buffer_.clear();
+  }
+  os_.flush();
+}
+
+// --- ChromeTraceSink -------------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& os, std::size_t buffer_bytes)
+    : os_(os), buffer_bytes_(buffer_bytes) {
+  buffer_ = "{\"traceEvents\":[\n";
+  for (const Event& e : timebase_metadata()) write(e);
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer_ += "\n]}\n";
+  }
+  flush();
+}
+
+void ChromeTraceSink::write(const Event& e) {
+  std::string rec;
+  append_event_json(e, rec);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (any_) buffer_ += ",\n";
+  any_ = true;
+  buffer_ += rec;
+  if (buffer_.size() >= buffer_bytes_) {
+    os_ << buffer_;
+    buffer_.clear();
+  }
+}
+
+void ChromeTraceSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!buffer_.empty()) {
+    os_ << buffer_;
+    buffer_.clear();
+  }
+  os_.flush();
+}
+
+// --- MemorySink ------------------------------------------------------------
+
+void MemorySink::write(const Event& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(e);
+}
+
+std::vector<Event> MemorySink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t MemorySink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+}  // namespace ith::obs

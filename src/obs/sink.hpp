@@ -1,0 +1,95 @@
+// TraceSink: where emitted events go.
+//
+// Sink guarantees (all implementations):
+//   - write() is thread-safe; events from one thread keep their emit order.
+//   - Serialization happens *outside* the sink lock (events are formatted
+//     into a thread-private string first, then appended to the shared
+//     buffer), so the critical section is a buffer append — "lock-free-ish"
+//     in the sense that contention is a short memcpy, never I/O or
+//     formatting.
+//   - Buffered writers hit the underlying stream only when the buffer
+//     exceeds its high-water mark, on flush(), and at destruction; a trace
+//     is complete once the sink is destroyed (or flush()ed, for JSONL).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace ith::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Records one event. Thread-safe.
+  virtual void write(const Event& e) = 0;
+
+  /// Forces buffered events to the backing store.
+  virtual void flush() {}
+};
+
+/// Buffered JSONL writer: one Chrome trace_event JSON object per line.
+/// Streamable (a truncated file is still line-parseable) and convertible
+/// 1:1 into the Chrome array format by tools/trace_report.
+class JsonlSink final : public TraceSink {
+ public:
+  /// The stream must outlive the sink. `buffer_bytes` is the high-water
+  /// mark before the buffer is spilled to the stream.
+  explicit JsonlSink(std::ostream& os, std::size_t buffer_bytes = 1 << 18);
+  ~JsonlSink() override;
+
+  void write(const Event& e) override;
+  void flush() override;
+
+ private:
+  std::ostream& os_;
+  std::size_t buffer_bytes_;
+  std::mutex mu_;
+  std::string buffer_;
+};
+
+/// Chrome trace_event JSON document ({"traceEvents":[...]}): the file loads
+/// directly in chrome://tracing and Perfetto. Emits process-naming metadata
+/// for the "sim" and "host" timebases up front; the closing bracket is
+/// written at destruction (Perfetto also tolerates a missing close, so a
+/// crash mid-trace still yields a loadable file).
+class ChromeTraceSink final : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& os, std::size_t buffer_bytes = 1 << 18);
+  ~ChromeTraceSink() override;
+
+  void write(const Event& e) override;
+  void flush() override;
+
+ private:
+  std::ostream& os_;
+  std::size_t buffer_bytes_;
+  std::mutex mu_;
+  std::string buffer_;
+  bool any_ = false;
+};
+
+/// In-memory sink for tests and programmatic inspection.
+class MemorySink final : public TraceSink {
+ public:
+  void write(const Event& e) override;
+
+  /// Snapshot of everything recorded so far.
+  std::vector<Event> events() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// The two process-naming metadata events ("sim", "host") every exported
+/// trace should start with; JSONL/Chrome sinks emit them automatically.
+std::vector<Event> timebase_metadata();
+
+}  // namespace ith::obs

@@ -12,8 +12,8 @@ namespace ith::opt {
 SiteProfile cold_site(bc::MethodId, std::int32_t) { return SiteProfile{}; }
 
 Inliner::Inliner(const bc::Program& prog, const heur::InlineHeuristic& heuristic, SiteOracle oracle,
-                 InlineLimits limits)
-    : prog_(prog), heuristic_(heuristic), oracle_(std::move(oracle)), limits_(limits) {
+                 InlineLimits limits, obs::Context* obs)
+    : prog_(prog), heuristic_(heuristic), oracle_(std::move(oracle)), limits_(limits), obs_(obs) {
   ITH_CHECK(oracle_ != nullptr, "Inliner requires a site oracle");
 }
 
@@ -203,7 +203,25 @@ AnnotatedMethod Inliner::run(bc::MethodId id, InlineStats* stats) const {
     req.is_hot = profile.is_hot;
     req.site_count = profile.count;
 
-    if (!heuristic_.should_inline(req)) {
+    bool approved;
+    if (obs_ != nullptr && obs_->enabled(obs::Category::kInline)) {
+      const heur::InlineDecision decision = heuristic_.decide(req);
+      approved = decision.inline_it;
+      obs_->instant(obs::Category::kInline, "inline.decision", obs::Domain::kHost,
+                    obs_->host_now_us(),
+                    {{"caller", prog_.method(id).name()},
+                     {"callee", prog_.method(callee).name()},
+                     {"rule", decision.rule},
+                     {"inlined", decision.inline_it},
+                     {"depth", req.depth},
+                     {"callee_size", req.callee_size},
+                     {"caller_size", req.caller_size},
+                     {"hot", req.is_hot},
+                     {"site_count", req.site_count}});
+    } else {
+      approved = heuristic_.should_inline(req);
+    }
+    if (!approved) {
       ++local.sites_refused_by_heuristic;
       ++pc;
       continue;

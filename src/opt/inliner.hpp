@@ -16,6 +16,7 @@
 
 #include "bytecode/program.hpp"
 #include "heuristics/heuristic.hpp"
+#include "obs/context.hpp"
 #include "opt/annotated.hpp"
 
 namespace ith::opt {
@@ -54,8 +55,13 @@ struct InlineLimits {
 
 class Inliner {
  public:
+  /// `obs` is non-owning and may be null (no decision tracing); it must
+  /// outlive the inliner. With the kInline category enabled it receives one
+  /// instant event per heuristic consultation, carrying the Figure 3/4 rule
+  /// that fired (InlineHeuristic::decide).
   explicit Inliner(const bc::Program& prog, const heur::InlineHeuristic& heuristic,
-                   SiteOracle oracle = cold_site, InlineLimits limits = {});
+                   SiteOracle oracle = cold_site, InlineLimits limits = {},
+                   obs::Context* obs = nullptr);
 
   /// Inlines into (a copy of) method `id` and returns the transformed body.
   AnnotatedMethod run(bc::MethodId id, InlineStats* stats = nullptr) const;
@@ -71,6 +77,7 @@ class Inliner {
   const heur::InlineHeuristic& heuristic_;
   SiteOracle oracle_;
   InlineLimits limits_;
+  obs::Context* obs_;
 };
 
 }  // namespace ith::opt

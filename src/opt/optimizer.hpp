@@ -6,6 +6,7 @@
 
 #include "bytecode/program.hpp"
 #include "heuristics/heuristic.hpp"
+#include "obs/context.hpp"
 #include "opt/inliner.hpp"
 
 namespace ith::opt {
@@ -20,6 +21,11 @@ struct OptimizerOptions {
   bool enable_compare_fusion = true;
   bool enable_tail_recursion = true;
   int max_iterations = 6;  ///< fixpoint iteration cap for the scalar passes
+  /// Observability context. Non-owning, may be null (= no tracing, zero
+  /// cost); must outlive every Optimizer configured with it. Categories:
+  /// kOpt (per-pass host-clock spans and the per-method summary span),
+  /// kInline (per-call-site decision events, forwarded to the Inliner).
+  obs::Context* obs = nullptr;
 };
 
 /// Aggregate rewrite counts for one method compilation.

@@ -1,0 +1,49 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// Just enough for the observability tooling: tools/trace_report parses
+// JSONL/Chrome trace files, and the bench guard parses recorded
+// BENCH_*.json baselines. Not a general-purpose library: numbers are
+// doubles, objects preserve insertion order, no \uXXXX surrogate-pair
+// decoding (escapes outside the BMP round-trip as '?').
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ith {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                              ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    ///< kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Typed accessors that throw ith::Error on kind mismatch.
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+};
+
+/// Parses one JSON document; throws ith::Error (with offset) on malformed
+/// input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace ith

@@ -9,35 +9,66 @@ SuiteEvaluator::SuiteEvaluator(std::vector<wl::Workload> suite, EvalConfig confi
   ITH_CHECK(!suite_.empty(), "evaluator needs a non-empty suite");
   ITH_CHECK(config_.iterations >= 1, "need at least one iteration");
   config_.vm_config.scenario = config_.scenario;
+  config_.vm_config.obs = config_.obs;
 }
 
 std::vector<BenchmarkResult> SuiteEvaluator::evaluate_heuristic(heur::InlineHeuristic& h) const {
+  obs::Context* const obs = config_.obs;
+  const bool trace = obs != nullptr && obs->enabled(obs::Category::kEval);
+  obs::ScopedSpan suite_span(obs, obs::Category::kEval, "eval.suite",
+                             trace ? std::vector<obs::Arg>{{"benchmarks", suite_.size()}}
+                                   : std::vector<obs::Arg>{});
   std::vector<BenchmarkResult> results;
   results.reserve(suite_.size());
   for (const wl::Workload& w : suite_) {
+    const std::uint64_t t0 = trace ? obs->host_now_us() : 0;
     vm::VirtualMachine machine(w.program, config_.machine, h, config_.vm_config);
     const vm::RunResult rr = machine.run(config_.iterations);
+    if (trace) {
+      obs->complete(obs::Category::kEval, "eval.bench", obs::Domain::kHost, t0,
+                    obs->host_now_us() - t0,
+                    {{"bench", w.name},
+                     {"running_cycles", rr.running_cycles},
+                     {"total_cycles", rr.total_cycles},
+                     {"compile_cycles", rr.compile_cycles_all}});
+    }
     results.push_back(BenchmarkResult{w.name, rr.running_cycles, rr.total_cycles,
                                       rr.compile_cycles_all});
   }
   return results;
 }
 
-const std::vector<BenchmarkResult>& SuiteEvaluator::evaluate(const heur::InlineParams& params) {
+SuiteEvaluator::Results SuiteEvaluator::evaluate(const heur::InlineParams& params) {
+  obs::Context* const obs = config_.obs;
+  const bool trace = obs != nullptr && obs->enabled(obs::Category::kEval);
+  const auto cache_event = [&](const char* what) {
+    if (trace) {
+      obs->instant(obs::Category::kEval, what, obs::Domain::kHost, obs->host_now_us(),
+                   {{"params", params.to_string()}});
+    }
+    if (obs != nullptr) obs->counter(what).add(1);
+  };
+
   const heur::InlineParams::Array key = params.to_array();
   {
     std::unique_lock<std::mutex> lock(mu_);
+    bool waited = false;
     for (;;) {
       const auto it = cache_.find(key);
-      if (it != cache_.end()) return it->second;
+      if (it != cache_.end()) {
+        cache_event(waited ? "eval.singleflight_wait" : "eval.cache_hit");
+        return it->second;
+      }
       // Single-flight: if another thread is already evaluating this key,
       // wait for its result instead of running the whole suite again.
       if (in_flight_.find(key) == in_flight_.end()) break;
+      waited = true;
       cv_.wait(lock);
     }
     in_flight_.insert(key);
     ++evaluations_performed_;
   }
+  cache_event("eval.cache_miss");
 
   std::vector<BenchmarkResult> results;
   try {
@@ -53,12 +84,14 @@ const std::vector<BenchmarkResult>& SuiteEvaluator::evaluate(const heur::InlineP
 
   std::lock_guard<std::mutex> lock(mu_);
   in_flight_.erase(key);
-  auto& slot = cache_.emplace(key, std::move(results)).first->second;
+  auto slot =
+      cache_.emplace(key, std::make_shared<std::vector<BenchmarkResult>>(std::move(results)))
+          .first->second;
   cv_.notify_all();
   return slot;
 }
 
-const std::vector<BenchmarkResult>& SuiteEvaluator::default_results() {
+SuiteEvaluator::Results SuiteEvaluator::default_results() {
   return evaluate(heur::default_params());
 }
 

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "heuristics/heuristic.hpp"
+#include "obs/context.hpp"
 #include "runtime/machine.hpp"
 #include "vm/vm.hpp"
 #include "workloads/suite.hpp"
@@ -31,25 +33,36 @@ struct EvalConfig {
   vm::Scenario scenario = vm::Scenario::kAdapt;
   int iterations = 2;          ///< the paper's "iterate at least twice"
   vm::VmConfig vm_config{};    ///< scenario field is overwritten per run
+  /// Observability context. Non-owning, may be null (= tracing off, zero
+  /// cost); must outlive the evaluator. Overwrites vm_config.obs, so every
+  /// VM the evaluator spins up traces into the same sink. Categories: kEval
+  /// (per-benchmark/per-suite spans, cache hit/miss/single-flight events).
+  obs::Context* obs = nullptr;
 };
 
 class SuiteEvaluator {
  public:
   SuiteEvaluator(std::vector<wl::Workload> suite, EvalConfig config);
 
+  /// One memoized suite run. Shared ownership: the pointer (and everything
+  /// it reaches) stays valid for as long as the caller holds it, even after
+  /// the evaluator is destroyed — callers that previously held the old
+  /// `const vector&` past the evaluator's lifetime were dangling.
+  using Results = std::shared_ptr<const std::vector<BenchmarkResult>>;
+
   /// Runs every benchmark under the Figure 3/4 heuristic with `params`.
-  /// Memoized; the returned reference stays valid for this object's life.
-  /// Concurrent calls with the same uncached params are single-flighted:
-  /// one caller runs the suite, the others block until its result lands in
-  /// the cache instead of recomputing it.
-  const std::vector<BenchmarkResult>& evaluate(const heur::InlineParams& params);
+  /// Memoized — repeated calls with equal params return the *same* shared
+  /// vector (pointer-identical). Concurrent calls with the same uncached
+  /// params are single-flighted: one caller runs the suite, the others
+  /// block until its result lands in the cache instead of recomputing it.
+  Results evaluate(const heur::InlineParams& params);
 
   /// Runs every benchmark under an arbitrary heuristic (not memoized).
   std::vector<BenchmarkResult> evaluate_heuristic(heur::InlineHeuristic& h) const;
 
   /// Results under the shipped default parameters (computed lazily once;
   /// the denominator for normalized figures and the balance factor).
-  const std::vector<BenchmarkResult>& default_results();
+  Results default_results();
 
   const std::vector<wl::Workload>& suite() const { return suite_; }
   const EvalConfig& config() const { return config_; }
@@ -69,7 +82,7 @@ class SuiteEvaluator {
 
   std::vector<wl::Workload> suite_;
   EvalConfig config_;
-  std::map<CacheKey, std::vector<BenchmarkResult>> cache_;
+  std::map<CacheKey, Results> cache_;
   /// Keys currently being evaluated by some thread; guarded by mu_.
   /// Waiters block on cv_ until the owning thread caches the result (or
   /// abandons the key by exception) rather than re-running the suite.

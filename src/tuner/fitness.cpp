@@ -55,10 +55,12 @@ double suite_fitness(Goal goal, const std::vector<BenchmarkResult>& candidate,
 
 ga::FitnessFn make_fitness(SuiteEvaluator& evaluator, Goal goal) {
   // Force the baseline once up front so concurrent fitness calls only read.
-  const std::vector<BenchmarkResult>& defaults = evaluator.default_results();
-  return [&evaluator, &defaults, goal](const ga::Genome& g) {
+  // Captured by value: the shared_ptr keeps the baseline alive for the
+  // closure's whole lifetime, independent of the evaluator's cache.
+  const SuiteEvaluator::Results defaults = evaluator.default_results();
+  return [&evaluator, defaults, goal](const ga::Genome& g) {
     const heur::InlineParams params = params_from_genome(g);
-    return suite_fitness(goal, evaluator.evaluate(params), defaults);
+    return suite_fitness(goal, *evaluator.evaluate(params), *defaults);
   };
 }
 

@@ -14,6 +14,19 @@ const char* scenario_name(Scenario s) {
   return "?";
 }
 
+namespace {
+
+const char* tier_name(rt::Tier t) {
+  switch (t) {
+    case rt::Tier::kBaseline: return "baseline";
+    case rt::Tier::kMidOpt: return "mid";
+    case rt::Tier::kOpt: return "opt";
+  }
+  return "?";
+}
+
+}  // namespace
+
 VirtualMachine::VirtualMachine(const bc::Program& prog, const rt::MachineModel& machine,
                                heur::InlineHeuristic& heuristic, VmConfig config)
     : prog_(prog),
@@ -22,7 +35,11 @@ VirtualMachine::VirtualMachine(const bc::Program& prog, const rt::MachineModel& 
       config_(config),
       current_(prog.num_methods()),
       opt_compile_count_(prog.num_methods(), 0),
-      profile_(prog.num_methods()) {
+      profile_(prog.num_methods()),
+      obs_(config.obs) {
+  // One context serves the whole compilation stack: the optimizer (and its
+  // inliner) trace through the same sink the VM does.
+  config_.opt_options.obs = config_.obs;
   // Whole-program heuristics (the knapsack oracle) see the program once per
   // VM session, before any compilation.
   heuristic_.prepare(prog_);
@@ -49,9 +66,19 @@ std::unique_ptr<rt::CompiledMethod> VirtualMachine::compile_baseline(bc::MethodI
   cm->finalize();
 
   ITH_ASSERT(live_iter_ != nullptr, "compilation outside a run");
-  live_iter_->compile_cycles += machine_.baseline_compile_cycles(cm->size_words());
+  const std::uint64_t cycles = machine_.baseline_compile_cycles(cm->size_words());
+  live_iter_->compile_cycles += cycles;
   ++live_iter_->baseline_compiles;
   ++live_result_->methods_baseline_compiled;
+  if (obs_ != nullptr && obs_->enabled(obs::Category::kCompile)) {
+    // Sim-domain span: dur is exactly the cycles charged to this iteration,
+    // so summing compile.* durations reproduces RunResult::compile_cycles_all.
+    obs_->complete(obs::Category::kCompile, "compile.baseline", obs::Domain::kSim, sim_now_,
+                   cycles,
+                   {{"method", prog_.method(id).name()}, {"size_words", cm->size_words()}});
+    obs_->counter("vm.compiles.baseline").add(1);
+  }
+  sim_now_ += cycles;  // cursor advances even when kCompile is masked out
   return cm;
 }
 
@@ -89,11 +116,23 @@ std::unique_ptr<rt::CompiledMethod> VirtualMachine::compile_opt(bc::MethodId id,
   cm->finalize();
 
   ITH_ASSERT(live_iter_ != nullptr, "compilation outside a run");
-  live_iter_->compile_cycles += tier == rt::Tier::kOpt
-                                    ? machine_.opt_compile_cycles(cm->size_words())
-                                    : machine_.mid_compile_cycles(cm->size_words());
+  const std::uint64_t cycles = tier == rt::Tier::kOpt
+                                   ? machine_.opt_compile_cycles(cm->size_words())
+                                   : machine_.mid_compile_cycles(cm->size_words());
+  live_iter_->compile_cycles += cycles;
   ++live_iter_->opt_compiles;
   ++live_result_->methods_opt_compiled;
+  if (obs_ != nullptr && obs_->enabled(obs::Category::kCompile)) {
+    const bool full = tier == rt::Tier::kOpt;
+    obs_->complete(obs::Category::kCompile, full ? "compile.opt" : "compile.mid",
+                   obs::Domain::kSim, sim_now_, cycles,
+                   {{"method", prog_.method(id).name()},
+                    {"size_words", cm->size_words()},
+                    {"sites_inlined", result.stats.inline_stats.sites_inlined},
+                    {"sites_considered", result.stats.inline_stats.sites_considered}});
+    obs_->counter(full ? "vm.compiles.opt" : "vm.compiles.mid").add(1);
+  }
+  sim_now_ += cycles;  // cursor advances even when kCompile is masked out
 
   auto& agg = live_result_->opt_stats;
   agg.inline_stats.sites_considered += result.stats.inline_stats.sites_considered;
@@ -129,6 +168,14 @@ void VirtualMachine::install(bc::MethodId id, std::unique_ptr<rt::CompiledMethod
     retired_.push_back(std::move(slot));
   }
   slot = std::move(cm);
+  if (obs_ != nullptr && obs_->enabled(obs::Category::kVm)) {
+    obs_->instant(obs::Category::kVm, "vm.install", obs::Domain::kSim, sim_now_,
+                  {{"method", prog_.method(id).name()},
+                   {"tier", tier_name(slot->tier)},
+                   {"code_base", slot->code_base},
+                   {"size_words", slot->size_words()}});
+    obs_->counter("vm.installs").add(1);
+  }
 }
 
 const rt::CompiledMethod& VirtualMachine::invoke(bc::MethodId id) {
@@ -155,15 +202,33 @@ void VirtualMachine::on_back_edge(bc::MethodId id) {
 }
 
 const rt::CompiledMethod* VirtualMachine::osr_replacement(const rt::CompiledMethod& current,
-                                                          std::size_t) {
+                                                          std::size_t target_pc) {
   if (!config_.enable_osr) return nullptr;
   const auto& slot = current_[static_cast<std::size_t>(current.method_id)];
   if (slot == nullptr || slot.get() == &current || slot->tier <= current.tier) return nullptr;
+  if (obs_ != nullptr && obs_->enabled(obs::Category::kVm)) {
+    obs_->instant(obs::Category::kVm, "vm.osr", obs::Domain::kSim, sim_now_,
+                  {{"method", prog_.method(current.method_id).name()},
+                   {"from_tier", tier_name(current.tier)},
+                   {"to_tier", tier_name(slot->tier)},
+                   {"loop_pc", target_pc}});
+    obs_->counter("vm.osr_transfers").add(1);
+  }
   return slot.get();
 }
 
 void VirtualMachine::on_call_site(bc::MethodId origin_method, std::int32_t origin_pc) {
   profile_.record_call_site(origin_method, origin_pc);
+  // Trip event fires exactly once, the moment the site's count reaches the
+  // hot threshold — later executions stay silent.
+  if (obs_ != nullptr && obs_->enabled(obs::Category::kVm) &&
+      profile_.site_count(origin_method, origin_pc) == config_.hot_site_threshold) {
+    obs_->instant(obs::Category::kVm, "vm.hot_site", obs::Domain::kSim, sim_now_,
+                  {{"method", prog_.method(origin_method).name()},
+                   {"pc", origin_pc},
+                   {"threshold", config_.hot_site_threshold}});
+    obs_->counter("vm.hot_sites").add(1);
+  }
 }
 
 void VirtualMachine::maybe_recompile(bc::MethodId id) {
@@ -186,6 +251,14 @@ void VirtualMachine::maybe_recompile(bc::MethodId id) {
     return;  // already at the top level
   }
   ++count;
+  if (obs_ != nullptr && obs_->enabled(obs::Category::kVm)) {
+    obs_->instant(obs::Category::kVm, "vm.promote", obs::Domain::kSim, sim_now_,
+                  {{"method", prog_.method(id).name()},
+                   {"from_tier", tier_name(slot->tier)},
+                   {"to_tier", tier_name(target)},
+                   {"hot_score", score}});
+    obs_->counter("vm.promotions").add(1);
+  }
   install(id, compile_opt(id, target));
   ++live_result_->recompilations;
 }
@@ -198,11 +271,25 @@ RunResult VirtualMachine::run(int iterations) {
   for (int iter = 0; iter < iterations; ++iter) {
     result.iterations.push_back(IterationStats{});
     live_iter_ = &result.iterations.back();
+    const std::uint64_t iter_start = sim_now_;
     interp_->reset_globals();  // fresh benchmark input; code/profile/caches stay warm
     live_iter_->exec = interp_->run();
+    sim_now_ += live_iter_->exec.cycles;  // compiles already advanced the cursor
+    if (obs_ != nullptr && obs_->enabled(obs::Category::kVm)) {
+      obs_->complete(obs::Category::kVm, "vm.iteration", obs::Domain::kSim, iter_start,
+                     sim_now_ - iter_start,
+                     {{"iteration", iter},
+                      {"exec_cycles", live_iter_->exec.cycles},
+                      {"compile_cycles", live_iter_->compile_cycles},
+                      {"instructions", live_iter_->exec.instructions},
+                      {"calls", live_iter_->exec.calls},
+                      {"icache_probes", live_iter_->exec.icache_probes},
+                      {"icache_misses", live_iter_->exec.icache_misses}});
+    }
   }
   live_iter_ = nullptr;
   live_result_ = nullptr;
+  if (obs_ != nullptr) obs_->flush();
 
   const IterationStats& first = result.iterations.front();
   result.total_cycles = first.exec.cycles + first.compile_cycles;

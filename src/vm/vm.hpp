@@ -25,6 +25,7 @@
 
 #include "bytecode/program.hpp"
 #include "heuristics/heuristic.hpp"
+#include "obs/context.hpp"
 #include "opt/optimizer.hpp"
 #include "runtime/icache.hpp"
 #include "runtime/interpreter.hpp"
@@ -61,6 +62,14 @@ struct VmConfig {
   /// activation in old code; enabling this is the "future work" variant
   /// measured by bench/ablation_osr.
   bool enable_osr = false;
+  /// Observability context. Non-owning, may be null (= tracing off; every
+  /// emit site is one predictable branch, so the interpreter's dispatch
+  /// throughput is untouched); must outlive the VM. The VM forwards it to
+  /// its Optimizer (opt_options.obs is overwritten with this value).
+  /// Categories: kCompile (per-compilation spans in *simulated cycles* —
+  /// their durations sum exactly to RunResult::compile_cycles_all), kVm
+  /// (promotions, hot-site trips, OSR, code installs, iteration spans).
+  obs::Context* obs = nullptr;
 };
 
 struct IterationStats {
@@ -132,6 +141,12 @@ class VirtualMachine final : private rt::CodeSource {
   std::uint64_t next_code_addr_ = 0x10000;
   IterationStats* live_iter_ = nullptr;  // where compile costs accrue
   RunResult* live_result_ = nullptr;
+
+  obs::Context* obs_ = nullptr;  // == config_.obs (null: tracing off)
+  /// Simulated-cycle cursor for trace timestamps: advanced by every compile
+  /// span as it is emitted and by each iteration's execution cycles, so
+  /// compile spans nest inside their iteration span on the trace timeline.
+  std::uint64_t sim_now_ = 0;
 };
 
 }  // namespace ith::vm

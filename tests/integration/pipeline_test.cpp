@@ -24,8 +24,8 @@ tuner::EvalConfig opt_x86() {
 TEST(Pipeline, WholeSuiteEvaluationIsDeterministic) {
   tuner::SuiteEvaluator a(wl::make_suite("specjvm98"), opt_x86());
   tuner::SuiteEvaluator b(wl::make_suite("specjvm98"), opt_x86());
-  const auto& ra = a.evaluate(heur::default_params());
-  const auto& rb = b.evaluate(heur::default_params());
+  const auto& ra = *a.evaluate(heur::default_params());
+  const auto& rb = *b.evaluate(heur::default_params());
   ASSERT_EQ(ra.size(), rb.size());
   for (std::size_t i = 0; i < ra.size(); ++i) {
     EXPECT_EQ(ra[i].running_cycles, rb[i].running_cycles) << ra[i].name;
@@ -38,8 +38,8 @@ TEST(Pipeline, DefaultBeatsNeverInlineOnRunningTime) {
   tuner::SuiteEvaluator eval(wl::make_suite("specjvm98"), opt_x86());
   heur::NeverInlineHeuristic never;
   const auto no_inline = eval.evaluate_heuristic(never);
-  const auto& with_default = eval.default_results();
-  const auto rows = tuner::compare_results(with_default, no_inline);
+  const auto with_default = eval.default_results();
+  const auto rows = tuner::compare_results(*with_default, no_inline);
   const double avg_running = tuner::average_row(rows).running_ratio;
   EXPECT_LT(avg_running, 0.85) << "default inlining must buy well over 15% running time";
 }
@@ -66,8 +66,8 @@ TEST(Pipeline, AdaptSpendsFarLessCompileThanOptOnColdSuite) {
   adapt.scenario = vm::Scenario::kAdapt;
   tuner::SuiteEvaluator opt_eval(wl::make_suite("dacapo+jbb"), opt_x86());
   tuner::SuiteEvaluator adapt_eval(wl::make_suite("dacapo+jbb"), adapt);
-  const auto& o = opt_eval.default_results();
-  const auto& a = adapt_eval.default_results();
+  const auto& o = *opt_eval.default_results();
+  const auto& a = *adapt_eval.default_results();
   for (std::size_t i = 0; i < o.size(); ++i) {
     EXPECT_LT(a[i].total_cycles, o[i].total_cycles)
         << a[i].name << ": Adapt total must beat Opt total on one-shot-heavy programs";
@@ -99,7 +99,7 @@ TEST(Pipeline, TunedForTotalImprovesUnseenSuiteTotal) {
   const tuner::TuneResult tuned = tuner::tune(train, tuner::Goal::kTotal, cfg);
 
   tuner::SuiteEvaluator test(wl::make_suite("dacapo+jbb"), opt_x86());
-  const auto rows = tuner::compare_results(test.evaluate(tuned.best), test.default_results());
+  const auto rows = tuner::compare_results(*test.evaluate(tuned.best), *test.default_results());
   EXPECT_LT(tuner::average_row(rows).total_ratio, 1.0)
       << "params tuned on SPEC must still cut total time on the unseen suite";
 }
@@ -114,15 +114,15 @@ TEST(Pipeline, BalanceGoalSitsBetweenRunningAndTotalGoals) {
   const auto for_total = tuner::tune(eval, tuner::Goal::kTotal, cfg);
   const auto for_balance = tuner::tune(eval, tuner::Goal::kBalance, cfg);
 
-  const auto& dflt = eval.default_results();
+  const auto& dflt = *eval.default_results();
   const double bal_running =
-      tuner::suite_fitness(tuner::Goal::kRunning, eval.evaluate(for_balance.best), dflt);
+      tuner::suite_fitness(tuner::Goal::kRunning, *eval.evaluate(for_balance.best), dflt);
   const double tot_running =
-      tuner::suite_fitness(tuner::Goal::kRunning, eval.evaluate(for_total.best), dflt);
+      tuner::suite_fitness(tuner::Goal::kRunning, *eval.evaluate(for_total.best), dflt);
   const double bal_total =
-      tuner::suite_fitness(tuner::Goal::kTotal, eval.evaluate(for_balance.best), dflt);
+      tuner::suite_fitness(tuner::Goal::kTotal, *eval.evaluate(for_balance.best), dflt);
   const double run_total =
-      tuner::suite_fitness(tuner::Goal::kTotal, eval.evaluate(for_running.best), dflt);
+      tuner::suite_fitness(tuner::Goal::kTotal, *eval.evaluate(for_running.best), dflt);
 
   EXPECT_LE(bal_running, tot_running + 0.05) << "balance shouldn't sacrifice running like Tot does";
   EXPECT_LE(bal_total, run_total + 0.05) << "balance shouldn't sacrifice total like Running does";
@@ -137,12 +137,12 @@ TEST(Pipeline, HotCalleeGeneMattersOnlyUnderAdapt) {
   hi.hot_callee_max_size = 400;
 
   tuner::SuiteEvaluator opt_eval({wl::make_workload("compress")}, opt_x86());
-  EXPECT_EQ(opt_eval.evaluate(lo)[0].total_cycles, opt_eval.evaluate(hi)[0].total_cycles);
+  EXPECT_EQ((*opt_eval.evaluate(lo))[0].total_cycles, (*opt_eval.evaluate(hi))[0].total_cycles);
 
   tuner::EvalConfig adapt = opt_x86();
   adapt.scenario = vm::Scenario::kAdapt;
   tuner::SuiteEvaluator adapt_eval({wl::make_workload("compress")}, adapt);
-  EXPECT_NE(adapt_eval.evaluate(lo)[0].running_cycles, adapt_eval.evaluate(hi)[0].running_cycles);
+  EXPECT_NE((*adapt_eval.evaluate(lo))[0].running_cycles, (*adapt_eval.evaluate(hi))[0].running_cycles);
 }
 
 TEST(Pipeline, PpcAndX86ProduceDifferentTimes) {
@@ -150,8 +150,8 @@ TEST(Pipeline, PpcAndX86ProduceDifferentTimes) {
   ppc.machine = rt::ppc_g4_model();
   tuner::SuiteEvaluator x86_eval({wl::make_workload("jess")}, opt_x86());
   tuner::SuiteEvaluator ppc_eval({wl::make_workload("jess")}, ppc);
-  EXPECT_NE(x86_eval.default_results()[0].total_cycles,
-            ppc_eval.default_results()[0].total_cycles);
+  EXPECT_NE((*x86_eval.default_results())[0].total_cycles,
+            (*ppc_eval.default_results())[0].total_cycles);
 }
 
 }  // namespace

@@ -26,19 +26,19 @@ TEST(SuiteEvaluatorSingleFlight, ConcurrentSameKeyEvaluatesOnce) {
   tuner::SuiteEvaluator eval = make_small_evaluator();
   const heur::InlineParams params = heur::default_params();
   constexpr int kThreads = 8;
-  std::vector<const std::vector<tuner::BenchmarkResult>*> results(kThreads, nullptr);
+  std::vector<tuner::SuiteEvaluator::Results> results(kThreads);
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&, t] { results[static_cast<std::size_t>(t)] = &eval.evaluate(params); });
+    threads.emplace_back([&, t] { results[static_cast<std::size_t>(t)] = eval.evaluate(params); });
   }
   for (std::thread& th : threads) th.join();
 
   EXPECT_EQ(eval.evaluations_performed(), 1u);
   EXPECT_EQ(eval.cache_size(), 1u);
   for (int t = 1; t < kThreads; ++t) {
-    // Memoized: every caller got a reference to the same cached vector.
-    EXPECT_EQ(results[static_cast<std::size_t>(t)], results[0]);
+    // Memoized: every caller shares ownership of the same cached vector.
+    EXPECT_EQ(results[static_cast<std::size_t>(t)].get(), results[0].get());
   }
   ASSERT_NE(results[0], nullptr);
   EXPECT_EQ((*results[0])[0].name, "db");

@@ -1,0 +1,93 @@
+// report.cpp unit tests: compare_results ratio math and error paths,
+// average_row, and the CSV emitted for replotting the paper's figures.
+#include "tuner/report.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace ith::tuner {
+namespace {
+
+BenchmarkResult bench(const std::string& name, std::uint64_t running, std::uint64_t total) {
+  BenchmarkResult r;
+  r.name = name;
+  r.running_cycles = running;
+  r.total_cycles = total;
+  return r;
+}
+
+TEST(Report, CompareResultsComputesPerBenchmarkRatios) {
+  const std::vector<BenchmarkResult> candidate = {bench("compress", 50, 150),
+                                                  bench("db", 300, 300)};
+  const std::vector<BenchmarkResult> baseline = {bench("compress", 100, 200),
+                                                 bench("db", 200, 400)};
+  const std::vector<ComparisonRow> rows = compare_results(candidate, baseline);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "compress");
+  EXPECT_DOUBLE_EQ(rows[0].running_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(rows[0].total_ratio, 0.75);
+  EXPECT_DOUBLE_EQ(rows[1].running_ratio, 1.5);
+  EXPECT_DOUBLE_EQ(rows[1].total_ratio, 0.75);
+}
+
+TEST(Report, CompareResultsRejectsMismatchedSizes) {
+  const std::vector<BenchmarkResult> one = {bench("a", 1, 1)};
+  const std::vector<BenchmarkResult> two = {bench("a", 1, 1), bench("b", 1, 1)};
+  EXPECT_THROW(compare_results(one, two), Error);
+}
+
+TEST(Report, CompareResultsRejectsEmptyVectors) {
+  EXPECT_THROW(compare_results({}, {}), Error);
+}
+
+TEST(Report, CompareResultsRejectsBenchmarkOrderMismatch) {
+  const std::vector<BenchmarkResult> candidate = {bench("a", 1, 1), bench("b", 1, 1)};
+  const std::vector<BenchmarkResult> baseline = {bench("b", 1, 1), bench("a", 1, 1)};
+  EXPECT_THROW(compare_results(candidate, baseline), Error);
+}
+
+TEST(Report, CompareResultsRejectsZeroBaseline) {
+  const std::vector<BenchmarkResult> candidate = {bench("a", 1, 1)};
+  EXPECT_THROW(compare_results(candidate, {bench("a", 0, 1)}), Error);
+  EXPECT_THROW(compare_results(candidate, {bench("a", 1, 0)}), Error);
+  // A zero *candidate* is fine (ratio 0): only the denominator is checked.
+  const std::vector<ComparisonRow> rows = compare_results({bench("a", 0, 1)}, {bench("a", 4, 2)});
+  EXPECT_DOUBLE_EQ(rows[0].running_ratio, 0.0);
+}
+
+TEST(Report, AverageRowIsArithmeticMeanOfRatios) {
+  const std::vector<ComparisonRow> rows = {{"a", 0.5, 1.0}, {"b", 1.0, 0.5}, {"c", 1.5, 0.0}};
+  const ComparisonRow avg = average_row(rows);
+  EXPECT_EQ(avg.name, "average");
+  EXPECT_DOUBLE_EQ(avg.running_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(avg.total_ratio, 0.5);
+}
+
+TEST(Report, AverageRowRejectsEmptyInput) { EXPECT_THROW(average_row({}), Error); }
+
+TEST(Report, CsvGolden) {
+  const std::vector<ComparisonRow> rows = {{"compress", 0.5, 0.75}, {"db", 1.5, 0.75}};
+  std::ostringstream os;
+  write_comparison_csv(os, rows);
+  EXPECT_EQ(os.str(),
+            "benchmark,running_norm,total_norm\n"
+            "compress,0.500000,0.750000\n"
+            "db,1.500000,0.750000\n"
+            "average,1.000000,0.750000\n");
+}
+
+TEST(Report, ComparisonTableEndsWithAverageRow) {
+  const std::vector<ComparisonRow> rows = {{"compress", 0.8, 0.9}};
+  std::ostringstream os;
+  comparison_table(rows).render(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("compress"), std::string::npos);
+  EXPECT_NE(text.find("average"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ith::tuner

@@ -93,7 +93,7 @@ TEST(Fitness, GoalNames) {
 
 TEST(Evaluator, ProducesOneResultPerBenchmarkInOrder) {
   SuiteEvaluator eval(tiny_suite(), EvalConfig{});
-  const auto& results = eval.evaluate(heur::default_params());
+  const auto& results = *eval.evaluate(heur::default_params());
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].name, "compress");
   EXPECT_EQ(results[1].name, "raytrace");
@@ -103,9 +103,9 @@ TEST(Evaluator, ProducesOneResultPerBenchmarkInOrder) {
 
 TEST(Evaluator, MemoizesByParams) {
   SuiteEvaluator eval(tiny_suite(), EvalConfig{});
-  const auto* first = &eval.evaluate(heur::default_params());
-  const auto* again = &eval.evaluate(heur::default_params());
-  EXPECT_EQ(first, again) << "same params must return the cached vector";
+  const auto first = eval.evaluate(heur::default_params());
+  const auto again = eval.evaluate(heur::default_params());
+  EXPECT_EQ(first.get(), again.get()) << "same params must return the cached vector";
   EXPECT_EQ(eval.cache_size(), 1u);
   heur::InlineParams other = heur::default_params();
   other.callee_max_size = 1;
@@ -119,8 +119,8 @@ TEST(Evaluator, ScenarioConfigRespected) {
   SuiteEvaluator opt_eval(tiny_suite(), cfg);
   cfg.scenario = vm::Scenario::kAdapt;
   SuiteEvaluator adapt_eval(tiny_suite(), cfg);
-  const auto& opt = opt_eval.evaluate(heur::default_params());
-  const auto& adapt = adapt_eval.evaluate(heur::default_params());
+  const auto& opt = *opt_eval.evaluate(heur::default_params());
+  const auto& adapt = *adapt_eval.evaluate(heur::default_params());
   EXPECT_NE(opt[0].total_cycles, adapt[0].total_cycles);
 }
 

@@ -1,0 +1,203 @@
+// trace_report: summarize a trace produced by the observability layer.
+//
+//   trace_report trace.jsonl                  # phase/span/counter summary
+//   trace_report trace.json --validate        # schema-check every event
+//   trace_report trace.jsonl --ga-csv=ga.csv  # per-generation fitness CSV
+//
+// Accepts both sink formats: JSONL (one event per line) and the Chrome
+// trace_event JSON ({"traceEvents":[...]}). The summary separates the two
+// timebases: process 1 events are in simulated cycles (compile-time
+// attribution that matches the VM's RunResult exactly), process 2 events
+// are host wall-clock microseconds.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/schema.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+using namespace ith;
+
+namespace {
+
+/// Loads every event object from a JSONL or Chrome-format trace file.
+std::vector<JsonValue> load_events(const std::string& path) {
+  std::ifstream in(path);
+  ITH_CHECK(in.is_open(), "cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  ITH_CHECK(first != std::string::npos, path + " is empty");
+
+  std::vector<JsonValue> events;
+  if (text.compare(first, 14, "{\"traceEvents\"") == 0) {
+    JsonValue doc = parse_json(text);
+    for (auto& [key, value] : doc.members) {
+      if (key == "traceEvents") {
+        ITH_CHECK(value.kind == JsonValue::Kind::kArray, path + ": traceEvents is not an array");
+        events = std::move(value.items);
+        return events;
+      }
+    }
+    throw Error(path + ": traceEvents missing");
+  } else {
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(lines, line)) {
+      ++lineno;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      try {
+        events.push_back(parse_json(line));
+      } catch (const Error& e) {
+        throw Error(path + ":" + std::to_string(lineno) + ": " + e.what());
+      }
+    }
+  }
+  return events;
+}
+
+std::string get_str(const JsonValue& e, const char* key) {
+  const JsonValue* v = e.find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kString ? v->str : std::string();
+}
+
+std::int64_t get_int(const JsonValue& e, const char* key) {
+  const JsonValue* v = e.find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->as_int() : 0;
+}
+
+double get_num(const JsonValue& e, const char* key, double fallback) {
+  const JsonValue* v = e.find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number : fallback;
+}
+
+struct SpanAgg {
+  std::uint64_t count = 0;
+  std::uint64_t total = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliParser cli(argc, argv);
+    ITH_CHECK(!cli.positional().empty(),
+              "usage: trace_report TRACE [--validate] [--ga-csv=PATH]");
+    const std::string path = cli.positional().front();
+    const std::vector<JsonValue> events = load_events(path);
+
+    if (cli.has("validate")) {
+      std::size_t bad = 0;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (const auto err = obs::validate_event(events[i])) {
+          std::cerr << "event " << i << ": " << *err << "\n";
+          ++bad;
+        }
+      }
+      if (bad != 0) {
+        std::cerr << bad << "/" << events.size() << " events failed schema validation\n";
+        return 1;
+      }
+      std::cout << events.size() << " events OK\n";
+      if (!cli.has("ga-csv") && cli.positional().size() == 1) return 0;
+    }
+
+    if (cli.has("ga-csv")) {
+      const std::string csv_path = cli.get_or("ga-csv", "");
+      ITH_CHECK(!csv_path.empty(), "--ga-csv needs a path");
+      std::ofstream csv(csv_path);
+      ITH_CHECK(csv.is_open(), "cannot open " + csv_path);
+      csv << "generation,best,mean,worst,diversity\n";
+      std::size_t rows = 0;
+      for (const JsonValue& e : events) {
+        if (get_str(e, "name") != "ga.generation") continue;
+        const JsonValue* args = e.find("args");
+        if (args == nullptr) continue;
+        csv << get_int(*args, "generation") << "," << get_num(*args, "best", 0.0) << ","
+            << get_num(*args, "mean", 0.0) << "," << get_num(*args, "worst", 0.0) << ","
+            << get_num(*args, "diversity", 0.0) << "\n";
+        ++rows;
+      }
+      std::cout << rows << " generations written to " << csv_path << "\n";
+      return 0;
+    }
+
+    // Phase attribution: complete spans by name, split by timebase.
+    std::map<std::string, SpanAgg> sim_spans, host_spans;
+    std::map<std::string, std::uint64_t> instants;
+    std::map<std::string, std::int64_t> counters;
+    for (const JsonValue& e : events) {
+      const std::string name = get_str(e, "name");
+      const std::string ph = get_str(e, "ph");
+      if (ph == "X") {
+        auto& agg = get_int(e, "pid") == 1 ? sim_spans[name] : host_spans[name];
+        ++agg.count;
+        agg.total += static_cast<std::uint64_t>(get_int(e, "dur"));
+      } else if (ph == "i") {
+        ++instants[name];
+      } else if (ph == "C") {
+        // Counter events carry {counter_name: value} args; the last sample
+        // wins (counters are cumulative).
+        const JsonValue* args = e.find("args");
+        if (args != nullptr) {
+          for (const auto& [key, value] : args->members) counters[key] = value.as_int();
+        }
+      }
+    }
+
+    std::cout << events.size() << " events from " << path << "\n\n";
+
+    if (!sim_spans.empty()) {
+      std::uint64_t all = 0;
+      for (const auto& [_, agg] : sim_spans) all += agg.total;
+      Table t({"sim-domain span", "count", "cycles", "share"});
+      for (const auto& [name, agg] : sim_spans) {
+        t.add_row({name, std::to_string(agg.count), std::to_string(agg.total),
+                   cell(100.0 * static_cast<double>(agg.total) / static_cast<double>(all), 1) +
+                       "%"});
+      }
+      std::cout << "Simulated-cycle attribution (pid 1):\n";
+      t.render(std::cout);
+      std::cout << "\n";
+    }
+
+    if (!host_spans.empty()) {
+      Table t({"host-domain span", "count", "total us"});
+      for (const auto& [name, agg] : host_spans) {
+        t.add_row({name, std::to_string(agg.count), std::to_string(agg.total)});
+      }
+      std::cout << "Host wall-clock spans (pid 2):\n";
+      t.render(std::cout);
+      std::cout << "\n";
+    }
+
+    if (!instants.empty()) {
+      Table t({"instant event", "count"});
+      for (const auto& [name, n] : instants) t.add_row({name, std::to_string(n)});
+      std::cout << "Instant events:\n";
+      t.render(std::cout);
+      std::cout << "\n";
+    }
+
+    if (!counters.empty()) {
+      Table t({"counter", "value"});
+      for (const auto& [name, v] : counters) t.add_row({name, std::to_string(v)});
+      std::cout << "Counters (final values):\n";
+      t.render(std::cout);
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
