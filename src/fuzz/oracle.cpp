@@ -7,6 +7,7 @@
 
 #include "bytecode/verifier.hpp"
 #include "heuristics/heuristic.hpp"
+#include "resilience/budget.hpp"
 #include "runtime/interpreter.hpp"
 #include "runtime/machine.hpp"
 #include "support/error.hpp"
@@ -22,6 +23,7 @@ const char* tier_name(TierKind t) {
     case TierKind::kO2: return "O2";
     case TierKind::kAdaptive: return "adaptive";
     case TierKind::kEngineDiff: return "engine-diff";
+    case TierKind::kBudgetDiff: return "budget-diff";
   }
   return "?";
 }
@@ -116,6 +118,30 @@ struct TierOutcome {
 const rt::MachineModel& oracle_machine() {
   static const rt::MachineModel machine = rt::pentium4_model();
   return machine;
+}
+
+/// One engine run under explicit interpreter options, every failure
+/// classified into a structured EvalOutcome (the budget-diff tier compares
+/// classifications, not error text).
+struct ClassifiedOutcome {
+  resilience::EvalOutcome outcome;
+  std::int64_t exit_value = 0;
+  std::vector<std::int64_t> globals;
+};
+
+ClassifiedOutcome run_classified(const bc::Program& prog, rt::InterpreterOptions iopts) {
+  ClassifiedOutcome out;
+  try {
+    PlainSource source(prog);
+    rt::Interpreter interp(prog, oracle_machine(), source, /*icache=*/nullptr, iopts);
+    const rt::ExecStats stats = interp.run();
+    out.outcome = resilience::EvalOutcome::make_ok();
+    out.exit_value = stats.exit_value;
+    out.globals = interp.globals();
+  } catch (...) {
+    out.outcome = resilience::classify_current_exception();
+  }
+  return out;
 }
 
 TierOutcome run_plain(const bc::Program& prog, std::uint64_t budget, rt::EngineKind engine,
@@ -256,6 +282,35 @@ OracleVerdict DifferentialOracle::check_with_options(const bc::Program& prog,
       if (!sd.empty()) record(TierKind::kEngineDiff, "ExecStats differ:" + sd);
       const std::string gd = diff_globals(eref.globals, efast.globals);
       if (!gd.empty()) record(TierKind::kEngineDiff, gd);
+    }
+  }
+
+  // Budget-classification tier: both engines under a deliberately tight
+  // budget (half the reference run's instructions and frame depth, floored
+  // so trivial programs still run). The engines must agree on the
+  // EvalOutcome classification — same budget axis, or both Ok with equal
+  // exit values. Arena caps are engine-specific (the fast engine's operand
+  // arena grows geometrically), so that axis is not differential-tested.
+  {
+    rt::InterpreterOptions tight;
+    tight.max_instructions = std::max<std::uint64_t>(ref.instructions / 2, 64);
+    tight.max_frames = std::max<std::size_t>(ref.stats.max_frame_depth / 2, 4);
+    tight.engine = rt::EngineKind::kReference;
+    const ClassifiedOutcome bref = run_classified(prog, tight);
+    tight.engine = rt::EngineKind::kFast;
+    const ClassifiedOutcome bfast = run_classified(prog, tight);
+    if (!bref.outcome.same_classification(bfast.outcome)) {
+      record(TierKind::kBudgetDiff, "engines classify tight-budget run differently: reference " +
+                                        bref.outcome.to_string() + " vs fast " +
+                                        bfast.outcome.to_string());
+    } else if (bref.outcome.ok()) {
+      if (bref.exit_value != bfast.exit_value) {
+        record(TierKind::kBudgetDiff,
+               "exit value under tight budget " + std::to_string(bfast.exit_value) + " (want " +
+                   std::to_string(bref.exit_value) + ")");
+      }
+      const std::string gd = diff_globals(bref.globals, bfast.globals);
+      if (!gd.empty()) record(TierKind::kBudgetDiff, gd);
     }
   }
 

@@ -23,6 +23,14 @@
 // with the final globals. The optimized tiers themselves run under an
 // engine chosen per seed, so both engines stay continuously fuzzed.
 //
+// A further budget-classification tier re-runs the unoptimized program on
+// both engines under a deliberately tight RunBudget (half the reference
+// run's instructions, half its frame depth) and asserts the engines agree
+// on the resilience::EvalOutcome *classification* — same budget axis
+// tripped, or both Ok with equal exit values. This pins down the guarded-
+// evaluation layer the tuner depends on: an engine that trips the wrong
+// budget (or none) under pressure corrupts penalized fitness silently.
+//
 // The reference run also sets the dynamic-instruction budget for the other
 // tiers, so a transformation that introduces non-termination is reported as
 // a divergence rather than hanging the fuzzer.
@@ -74,7 +82,7 @@ struct OracleConfig {
   std::optional<rt::EngineKind> forced_engine;
 };
 
-enum class TierKind : std::uint8_t { kReference, kO1, kO2, kAdaptive, kEngineDiff };
+enum class TierKind : std::uint8_t { kReference, kO1, kO2, kAdaptive, kEngineDiff, kBudgetDiff };
 
 const char* tier_name(TierKind t);
 

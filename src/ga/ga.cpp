@@ -5,6 +5,8 @@
 #include <numeric>
 #include <set>
 
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -28,6 +30,34 @@ GeneticAlgorithm::GeneticAlgorithm(GenomeSpace space, FitnessFn fitness, GaConfi
 
 void GeneticAlgorithm::set_progress(std::function<void(const GenerationStats&)> cb) {
   progress_ = std::move(cb);
+}
+
+std::uint64_t GeneticAlgorithm::fingerprint() const {
+  using resilience::hash_string;
+  using resilience::mix_keys;
+  std::uint64_t h = hash_string("ith-ga-fingerprint");
+  h = mix_keys(h, static_cast<std::uint64_t>(config_.population));
+  h = mix_keys(h, static_cast<std::uint64_t>(config_.generations));
+  h = mix_keys(h, static_cast<std::uint64_t>(config_.selection));
+  h = mix_keys(h, static_cast<std::uint64_t>(config_.tournament_k));
+  h = mix_keys(h, static_cast<std::uint64_t>(config_.crossover));
+  h = mix_keys(h, hash_string(std::to_string(config_.crossover_rate)));
+  h = mix_keys(h, static_cast<std::uint64_t>(config_.mutation));
+  h = mix_keys(h, hash_string(std::to_string(config_.mutation_prob)));
+  h = mix_keys(h, static_cast<std::uint64_t>(config_.elites));
+  h = mix_keys(h, config_.seed);
+  h = mix_keys(h, static_cast<std::uint64_t>(config_.patience));
+  h = mix_keys(h, config_.memoize ? 1 : 0);
+  for (const GeneSpec& gs : space_.genes()) {
+    h = mix_keys(h, hash_string(gs.name));
+    h = mix_keys(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(gs.lo)));
+    h = mix_keys(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(gs.hi)));
+  }
+  for (const Genome& g : config_.seed_individuals) {
+    for (const int x : g) h = mix_keys(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(x)));
+    h = mix_keys(h, 0x5eedu);
+  }
+  return h;
 }
 
 std::vector<double> GeneticAlgorithm::evaluate(const std::vector<Genome>& pop, GaResult& result) {
@@ -78,23 +108,41 @@ std::vector<double> GeneticAlgorithm::evaluate(const std::vector<Genome>& pop, G
 GaResult GeneticAlgorithm::run() {
   Pcg32 rng(config_.seed, 0x6a11);
   GaResult result;
+  const std::uint64_t fp = fingerprint();
 
-  // Initial population: seed individuals first, random fill.
   std::vector<Genome> pop;
-  pop.reserve(static_cast<std::size_t>(config_.population));
-  for (const Genome& g : config_.seed_individuals) {
-    if (pop.size() < static_cast<std::size_t>(config_.population)) pop.push_back(g);
-  }
-  while (pop.size() < static_cast<std::size_t>(config_.population)) {
-    pop.push_back(space_.random(rng));
-  }
-
-  std::vector<double> fitness = evaluate(pop, result);
-
-  double best_ever = fitness[0];
-  Genome best_genome = pop[0];
+  std::vector<double> fitness;
+  double best_ever = 0.0;
+  Genome best_genome;
   int stale = 0;
+  int gen0 = 0;
 
+  auto journal = [&](int gen) {
+    if (!config_.journal) return;
+    if (config_.checkpoint_every > 1 && gen % config_.checkpoint_every != 0) return;
+    resilience::GaCheckpoint cp;
+    cp.fingerprint = fp;
+    cp.generation = gen;
+    cp.rng_state = rng.raw_state();
+    cp.rng_inc = rng.raw_inc();
+    cp.evaluations = result.evaluations;
+    cp.cache_hits = result.cache_hits;
+    cp.best_ever = best_ever;
+    cp.best_genome = best_genome;
+    cp.stale = stale;
+    cp.population = pop;
+    cp.fitness = fitness;
+    cp.cache.reserve(cache_.size());
+    for (const auto& [g, f] : cache_) cp.cache.emplace_back(g, f);
+    cp.history = result.history;
+    if (config_.quarantine_source) cp.quarantine = config_.quarantine_source();
+    config_.journal(cp);
+  };
+
+  // Ordering matters for crash consistency: best/stale are updated *before*
+  // the journal runs (so the checkpoint reflects the completed generation)
+  // and the progress callback comes *last* — a kill inside progress (the
+  // chaos tests' kill point) always leaves a checkpoint for this generation.
   auto record_generation = [&](int gen) {
     GenerationStats gs;
     gs.generation = gen;
@@ -119,7 +167,6 @@ GaResult GeneticAlgorithm::run() {
                             {"evaluations", result.evaluations},
                             {"cache_hits", result.cache_hits}});
     }
-    if (progress_) progress_(gs);
 
     if (gs.best < best_ever) {
       best_ever = gs.best;
@@ -128,11 +175,47 @@ GaResult GeneticAlgorithm::run() {
     } else {
       ++stale;
     }
+    journal(gen);
+    if (progress_) progress_(gs);
   };
 
-  record_generation(0);
+  if (config_.resume_from != nullptr) {
+    const resilience::GaCheckpoint& cp = *config_.resume_from;
+    ITH_CHECK(cp.fingerprint == fp,
+              "checkpoint does not match this GA configuration (fingerprint mismatch)");
+    ITH_CHECK(cp.population.size() == static_cast<std::size_t>(config_.population) &&
+                  cp.fitness.size() == cp.population.size(),
+              "checkpoint population size mismatch");
+    rng.restore(cp.rng_state, cp.rng_inc);
+    pop = cp.population;
+    fitness = cp.fitness;
+    best_ever = cp.best_ever;
+    best_genome = cp.best_genome;
+    stale = cp.stale;
+    result.evaluations = cp.evaluations;
+    result.cache_hits = cp.cache_hits;
+    result.history = cp.history;
+    if (config_.memoize) {
+      for (const auto& [g, f] : cp.cache) cache_[g] = f;
+    }
+    gen0 = cp.generation;
+  } else {
+    // Initial population: seed individuals first, random fill.
+    pop.reserve(static_cast<std::size_t>(config_.population));
+    for (const Genome& g : config_.seed_individuals) {
+      if (pop.size() < static_cast<std::size_t>(config_.population)) pop.push_back(g);
+    }
+    while (pop.size() < static_cast<std::size_t>(config_.population)) {
+      pop.push_back(space_.random(rng));
+    }
 
-  for (int gen = 1; gen < config_.generations; ++gen) {
+    fitness = evaluate(pop, result);
+    best_ever = fitness[0];
+    best_genome = pop[0];
+    record_generation(0);
+  }
+
+  for (int gen = gen0 + 1; gen < config_.generations; ++gen) {
     if (config_.patience > 0 && stale >= config_.patience) break;
 
     // Elitism: carry over the best individuals unchanged.

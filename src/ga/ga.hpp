@@ -14,6 +14,10 @@
 #include "ga/operators.hpp"
 #include "obs/context.hpp"
 
+namespace ith::resilience {
+struct GaCheckpoint;  // resilience/checkpoint.hpp
+}
+
 namespace ith::ga {
 
 /// Fitness function; lower is better. Must be pure (memoization assumes it)
@@ -45,6 +49,21 @@ struct GaConfig {
   /// generation with best/mean/worst fitness and population diversity,
   /// plus evaluation/cache-hit counters.
   obs::Context* obs = nullptr;
+  /// Checkpoint journal: when set, invoked with the complete search state
+  /// after every `checkpoint_every`-th completed generation (the typical
+  /// callback is resilience::save_checkpoint to a path). The GA only
+  /// *builds* checkpoints; persistence lives in the resilience layer, so
+  /// ith_ga takes no new link dependency.
+  std::function<void(const resilience::GaCheckpoint&)> journal;
+  int checkpoint_every = 1;
+  /// When non-null, run() continues from this checkpoint instead of a fresh
+  /// population — bit-identically to never having stopped, provided the
+  /// config and genome space match (enforced via the fingerprint). Non-
+  /// owning; must outlive run().
+  const resilience::GaCheckpoint* resume_from = nullptr;
+  /// Source of the evaluator's quarantine set, snapshotted into every
+  /// checkpoint so a resumed run skips known-bad genomes immediately.
+  std::function<std::vector<std::vector<int>>()> quarantine_source;
 };
 
 struct GenerationStats {
@@ -74,6 +93,10 @@ class GeneticAlgorithm {
   void set_progress(std::function<void(const GenerationStats&)> cb);
 
   GaResult run();
+
+  /// Hash of the search-defining configuration (space, operators, seed,
+  /// population). Stored in every checkpoint; resume refuses a mismatch.
+  std::uint64_t fingerprint() const;
 
  private:
   std::vector<double> evaluate(const std::vector<Genome>& pop, GaResult& result);

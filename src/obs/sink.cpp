@@ -31,20 +31,29 @@ void JsonlSink::write(const Event& e) {
   append_event_json(e, line);
   line.push_back('\n');
   std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) return;  // stream is gone; drop rather than throw
   buffer_ += line;
   if (buffer_.size() >= buffer_bytes_) {
     os_ << buffer_;
     buffer_.clear();
+    if (os_.fail()) failed_ = true;
   }
 }
 
 void JsonlSink::flush() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) return;
   if (!buffer_.empty()) {
     os_ << buffer_;
     buffer_.clear();
   }
   os_.flush();
+  if (os_.fail()) failed_ = true;
+}
+
+bool JsonlSink::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !failed_;
 }
 
 // --- ChromeTraceSink -------------------------------------------------------
@@ -67,22 +76,31 @@ void ChromeTraceSink::write(const Event& e) {
   std::string rec;
   append_event_json(e, rec);
   std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) return;  // stream is gone; drop rather than throw
   if (any_) buffer_ += ",\n";
   any_ = true;
   buffer_ += rec;
   if (buffer_.size() >= buffer_bytes_) {
     os_ << buffer_;
     buffer_.clear();
+    if (os_.fail()) failed_ = true;
   }
 }
 
 void ChromeTraceSink::flush() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) return;
   if (!buffer_.empty()) {
     os_ << buffer_;
     buffer_.clear();
   }
   os_.flush();
+  if (os_.fail()) failed_ = true;
+}
+
+bool ChromeTraceSink::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !failed_;
 }
 
 // --- MemorySink ------------------------------------------------------------

@@ -46,11 +46,17 @@ class JsonlSink final : public TraceSink {
   void write(const Event& e) override;
   void flush() override;
 
+  /// False once the backing stream has failed. The sink degrades
+  /// gracefully: after a failure it stops touching the stream and silently
+  /// drops events instead of throwing into the traced computation.
+  bool ok() const;
+
  private:
   std::ostream& os_;
   std::size_t buffer_bytes_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::string buffer_;
+  bool failed_ = false;
 };
 
 /// Chrome trace_event JSON document ({"traceEvents":[...]}): the file loads
@@ -66,12 +72,16 @@ class ChromeTraceSink final : public TraceSink {
   void write(const Event& e) override;
   void flush() override;
 
+  /// False once the backing stream has failed (see JsonlSink::ok).
+  bool ok() const;
+
  private:
   std::ostream& os_;
   std::size_t buffer_bytes_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::string buffer_;
   bool any_ = false;
+  bool failed_ = false;
 };
 
 /// In-memory sink for tests and programmatic inspection.

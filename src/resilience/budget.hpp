@@ -1,0 +1,186 @@
+// Resilience layer, part 1: explicit evaluation budgets and structured
+// outcomes.
+//
+// The GA's inner loop evaluates arbitrary points of the Table 1 parameter
+// space, and some of them are pathological: inline-depth blowups that send
+// compile time superlinear, heuristics that de-optimize a workload into a
+// runaway loop, degenerate recursion that exhausts the simulated stack. An
+// hours-long tuning campaign must treat all of these as *data* (a bad
+// fitness value), never as a reason to die. Two pieces make that possible:
+//
+//   RunBudget    — the explicit resource envelope one benchmark run may
+//                  consume (simulated cycles, compile cycles, dynamic
+//                  instructions, frame depth, arena words, host wall clock).
+//                  All-zero (the default) means unlimited, and every
+//                  enforcement site reduces to one predictable branch — the
+//                  same zero-cost-when-idle contract the obs layer keeps.
+//   EvalOutcome  — the structured verdict of a guarded run: Ok,
+//                  BudgetExceeded{which}, Trap{kind}, or Crash. The
+//                  evaluator converts non-Ok outcomes into penalized (but
+//                  always finite) fitness instead of propagating exceptions
+//                  into the GA.
+//
+// This header is deliberately header-only and depends only on support/, so
+// the runtime engines and the VM can throw the typed errors below without
+// linking a new library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace ith::resilience {
+
+/// Which axis of a RunBudget was exhausted.
+enum class BudgetKind : std::uint8_t {
+  kNone,
+  kSimCycles,      ///< total simulated cycles (execution + compilation) per run
+  kCompileCycles,  ///< simulated compile cycles per run
+  kInstructions,   ///< dynamic instructions per iteration
+  kFrameDepth,     ///< simulated call-stack depth
+  kArena,          ///< resident locals + operand-stack words
+  kWallClock,      ///< host wall-clock deadline for the whole run
+};
+
+inline const char* budget_kind_name(BudgetKind k) {
+  switch (k) {
+    case BudgetKind::kNone: return "none";
+    case BudgetKind::kSimCycles: return "sim-cycles";
+    case BudgetKind::kCompileCycles: return "compile-cycles";
+    case BudgetKind::kInstructions: return "instructions";
+    case BudgetKind::kFrameDepth: return "frame-depth";
+    case BudgetKind::kArena: return "arena";
+    case BudgetKind::kWallClock: return "wall-clock";
+  }
+  return "?";
+}
+
+/// What kind of trap a non-budget failure was.
+enum class TrapKind : std::uint8_t {
+  kNone,
+  kInjected,  ///< deliberately injected by a FaultPlan (chaos testing)
+  kRuntime,   ///< ith::Error raised by the VM / optimizer / interpreter
+};
+
+inline const char* trap_kind_name(TrapKind k) {
+  switch (k) {
+    case TrapKind::kNone: return "none";
+    case TrapKind::kInjected: return "injected";
+    case TrapKind::kRuntime: return "runtime";
+  }
+  return "?";
+}
+
+/// Resource envelope for one guarded benchmark run. Zero on any axis means
+/// unlimited on that axis; a default-constructed budget constrains nothing.
+struct RunBudget {
+  std::uint64_t max_sim_cycles = 0;
+  std::uint64_t max_compile_cycles = 0;
+  std::uint64_t max_instructions = 0;
+  std::size_t max_frame_depth = 0;
+  std::size_t max_arena_words = 0;
+  std::uint64_t max_wall_ms = 0;
+
+  bool unlimited() const {
+    return max_sim_cycles == 0 && max_compile_cycles == 0 && max_instructions == 0 &&
+           max_frame_depth == 0 && max_arena_words == 0 && max_wall_ms == 0;
+  }
+};
+
+/// Classification of one guarded run.
+enum class OutcomeKind : std::uint8_t {
+  kOk,
+  kBudgetExceeded,
+  kTrap,
+  kCrash,  ///< anything that is not an ith::Error (bad_alloc, unknown throw)
+};
+
+inline const char* outcome_kind_name(OutcomeKind k) {
+  switch (k) {
+    case OutcomeKind::kOk: return "ok";
+    case OutcomeKind::kBudgetExceeded: return "budget-exceeded";
+    case OutcomeKind::kTrap: return "trap";
+    case OutcomeKind::kCrash: return "crash";
+  }
+  return "?";
+}
+
+/// Structured verdict of a guarded evaluation. Non-Ok outcomes carry the
+/// failing axis/kind plus the originating error text for logs.
+struct EvalOutcome {
+  OutcomeKind kind = OutcomeKind::kOk;
+  BudgetKind budget = BudgetKind::kNone;
+  TrapKind trap = TrapKind::kNone;
+  std::string detail;
+
+  bool ok() const { return kind == OutcomeKind::kOk; }
+
+  static EvalOutcome make_ok() { return EvalOutcome{}; }
+  static EvalOutcome budget_exceeded(BudgetKind which, std::string detail) {
+    return EvalOutcome{OutcomeKind::kBudgetExceeded, which, TrapKind::kNone, std::move(detail)};
+  }
+  static EvalOutcome make_trap(TrapKind which, std::string detail) {
+    return EvalOutcome{OutcomeKind::kTrap, BudgetKind::kNone, which, std::move(detail)};
+  }
+  static EvalOutcome crash(std::string detail) {
+    return EvalOutcome{OutcomeKind::kCrash, BudgetKind::kNone, TrapKind::kNone, std::move(detail)};
+  }
+
+  /// "ok", "budget-exceeded(sim-cycles)", "trap(injected)", "crash".
+  std::string to_string() const {
+    switch (kind) {
+      case OutcomeKind::kOk: return "ok";
+      case OutcomeKind::kBudgetExceeded:
+        return std::string("budget-exceeded(") + budget_kind_name(budget) + ")";
+      case OutcomeKind::kTrap: return std::string("trap(") + trap_kind_name(trap) + ")";
+      case OutcomeKind::kCrash: return "crash";
+    }
+    return "?";
+  }
+
+  /// Classification equality (the fuzz oracle's budget tier compares this,
+  /// not the detail text, which may legitimately differ between engines).
+  bool same_classification(const EvalOutcome& other) const {
+    return kind == other.kind && budget == other.budget && trap == other.trap;
+  }
+};
+
+/// Thrown by budget enforcement sites (interpreter engines, VM). Derives
+/// from ith::Error so every existing catch keeps working; the guard layer
+/// catches it first to recover the exact axis.
+class BudgetExceededError : public Error {
+ public:
+  BudgetExceededError(BudgetKind which, const std::string& what) : Error(what), which_(which) {}
+  BudgetKind which() const { return which_; }
+
+ private:
+  BudgetKind which_;
+};
+
+/// Thrown by deterministic fault-injection sites (see fault.hpp). Also an
+/// ith::Error, so un-guarded callers see a normal recoverable error.
+class InjectedFaultError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Classifies the exception currently being handled into an EvalOutcome.
+/// Must be called from inside a catch block.
+inline EvalOutcome classify_current_exception() {
+  try {
+    throw;
+  } catch (const BudgetExceededError& e) {
+    return EvalOutcome::budget_exceeded(e.which(), e.what());
+  } catch (const InjectedFaultError& e) {
+    return EvalOutcome::make_trap(TrapKind::kInjected, e.what());
+  } catch (const Error& e) {
+    return EvalOutcome::make_trap(TrapKind::kRuntime, e.what());
+  } catch (const std::exception& e) {
+    return EvalOutcome::crash(e.what());
+  } catch (...) {
+    return EvalOutcome::crash("unknown exception");
+  }
+}
+
+}  // namespace ith::resilience

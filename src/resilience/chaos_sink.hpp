@@ -1,0 +1,45 @@
+// ChaosSink: fault-injecting TraceSink decorator.
+//
+// Wraps any TraceSink and drops individual writes according to a FaultPlan's
+// kSink site — the deterministic stand-in for a flaky trace file (full disk,
+// broken pipe). Because Context never reads back from its sink, a dropped
+// event must not perturb the traced computation; the chaos tests assert
+// exactly that (tuning results are identical with and without sink faults).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/sink.hpp"
+#include "resilience/fault.hpp"
+
+namespace ith::resilience {
+
+class ChaosSink final : public obs::TraceSink {
+ public:
+  /// Both the inner sink and the plan must outlive this wrapper.
+  ChaosSink(obs::TraceSink& inner, const FaultPlan& plan) : inner_(inner), plan_(plan) {}
+
+  void write(const obs::Event& e) override {
+    // Keyed by arrival sequence: which events drop depends only on the plan
+    // seed and the event's position, never on timing.
+    const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    if (plan_.should_inject(FaultSite::kSink, seq)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    inner_.write(e);
+  }
+
+  void flush() override { inner_.flush(); }
+
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  obs::TraceSink& inner_;
+  const FaultPlan& plan_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace ith::resilience

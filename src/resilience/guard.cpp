@@ -1,0 +1,33 @@
+#include "resilience/guard.hpp"
+
+#include <algorithm>
+
+namespace ith::resilience {
+
+GuardedRun guarded_run(const bc::Program& prog, const rt::MachineModel& machine,
+                       heur::InlineHeuristic& heuristic, vm::VmConfig cfg, int iterations) {
+  const RunBudget& b = cfg.budget;
+  if (b.max_instructions != 0) {
+    cfg.interp_options.max_instructions =
+        std::min(cfg.interp_options.max_instructions, b.max_instructions);
+  }
+  if (b.max_frame_depth != 0) {
+    cfg.interp_options.max_frames = std::min(cfg.interp_options.max_frames, b.max_frame_depth);
+  }
+  if (b.max_arena_words != 0) {
+    cfg.interp_options.max_arena_words =
+        std::min(cfg.interp_options.max_arena_words, b.max_arena_words);
+  }
+
+  GuardedRun out;
+  try {
+    vm::VirtualMachine vm(prog, machine, heuristic, cfg);
+    out.result = vm.run(iterations);
+    out.outcome = EvalOutcome::make_ok();
+  } catch (...) {
+    out.outcome = classify_current_exception();
+  }
+  return out;
+}
+
+}  // namespace ith::resilience

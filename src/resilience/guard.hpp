@@ -1,0 +1,36 @@
+// Resilience layer, part 3: the guarded benchmark run.
+//
+// guarded_run is the only way tuning code executes a benchmark: it maps the
+// RunBudget's interpreter-side axes (instructions, frame depth, arena) onto
+// the engine options, runs the VM, and converts *every* failure — budget
+// exhaustion, injected fault, runtime trap, foreign exception — into a
+// structured EvalOutcome. It never throws, which is the property the
+// evaluator's retry-then-quarantine loop and the GA's long campaigns rely
+// on: a pathological genome is data, not a process death.
+#pragma once
+
+#include "bytecode/program.hpp"
+#include "heuristics/heuristic.hpp"
+#include "resilience/budget.hpp"
+#include "runtime/machine.hpp"
+#include "vm/vm.hpp"
+
+namespace ith::resilience {
+
+/// Verdict plus measurements of one guarded benchmark run. The RunResult is
+/// meaningful only when outcome.ok(); on failure it holds whatever partial
+/// iterations completed (useful for logs, never for fitness).
+struct GuardedRun {
+  EvalOutcome outcome;
+  vm::RunResult result;
+};
+
+/// Runs `iterations` of `prog` under `cfg` — honoring cfg.budget, cfg.faults
+/// and cfg.fault_key — and never throws. The VM enforces the sim-cycle /
+/// compile-cycle / wall-clock axes itself; this function additionally maps
+/// the instruction / frame-depth / arena axes onto cfg.interp_options
+/// (tightening, never loosening, caps the caller already set).
+GuardedRun guarded_run(const bc::Program& prog, const rt::MachineModel& machine,
+                       heur::InlineHeuristic& heuristic, vm::VmConfig cfg, int iterations);
+
+}  // namespace ith::resilience

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "resilience/budget.hpp"
 #include "support/error.hpp"
 
 // Dispatch strategy: computed goto (direct threading) on compilers that
@@ -82,8 +83,15 @@ FastInterpreter::EnterState FastInterpreter::call_into(bc::MethodId id, std::int
   ensure_stack(sp + static_cast<std::size_t>(body.max_operand_depth) + 1);
   frames_.push_back(FastFrame{&body, nullptr, locals_base, sp});
   stats.max_frame_depth = std::max(stats.max_frame_depth, frames_.size());
-  ITH_CHECK(frames_.size() <= options_.max_frames,
-            "simulated stack overflow (recursion too deep)");
+  if (frames_.size() > options_.max_frames) {
+    throw resilience::BudgetExceededError(resilience::BudgetKind::kFrameDepth,
+                                          "simulated stack overflow (recursion too deep)");
+  }
+  if (locals_.size() + stack_.size() > options_.max_arena_words) {
+    throw resilience::BudgetExceededError(
+        resilience::BudgetKind::kArena,
+        "interpreter: arena budget exceeded (locals + operand stack)");
+  }
   return {body.code.data(), locals_.data() + locals_base, stack_.data(), sp};
 }
 
@@ -184,7 +192,9 @@ ExecStats FastInterpreter::run() {
     }
     cycles += pi.base_cost;
     if (--remaining == 0) {
-      throw Error("interpreter: instruction budget exceeded (runaway program?)");
+      throw resilience::BudgetExceededError(
+          resilience::BudgetKind::kInstructions,
+          "interpreter: instruction budget exceeded (runaway program?)");
     }
   };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "resilience/budget.hpp"
 #include "runtime/fast_interpreter.hpp"
 #include "support/error.hpp"
 
@@ -98,7 +99,15 @@ ExecStats ReferenceInterpreter::run() {
     }
     frames.push_back(Frame{&cm, 0, locals_base, stack.size()});
     stats.max_frame_depth = std::max(stats.max_frame_depth, frames.size());
-    ITH_CHECK(frames.size() <= options_.max_frames, "simulated stack overflow (recursion too deep)");
+    if (frames.size() > options_.max_frames) {
+      throw resilience::BudgetExceededError(resilience::BudgetKind::kFrameDepth,
+                                            "simulated stack overflow (recursion too deep)");
+    }
+    if (locals.size() + stack.size() > options_.max_arena_words) {
+      throw resilience::BudgetExceededError(
+          resilience::BudgetKind::kArena,
+          "interpreter: arena budget exceeded (locals + operand stack)");
+    }
   };
 
   const double cpi[3] = {machine_.baseline_cpi, machine_.mid_cpi, machine_.opt_cpi};
@@ -151,7 +160,9 @@ ExecStats ReferenceInterpreter::run() {
     cycles += static_cast<double>(info.machine_words) * cpi[static_cast<int>(cm.tier)];
     ++stats.instructions;
     if (stats.instructions > options_.max_instructions) {
-      throw Error("interpreter: instruction budget exceeded (runaway program?)");
+      throw resilience::BudgetExceededError(
+          resilience::BudgetKind::kInstructions,
+          "interpreter: instruction budget exceeded (runaway program?)");
     }
 
     const std::size_t l = fr.locals_base;

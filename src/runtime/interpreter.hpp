@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -96,6 +97,13 @@ const char* engine_name(EngineKind kind);
 struct InterpreterOptions {
   std::uint64_t max_instructions = 2'000'000'000ULL;  ///< runaway-program guard
   std::size_t max_frames = 4096;                      ///< simulated stack-overflow bound
+  /// Resident locals + operand-stack words before the run is aborted with a
+  /// resilience::BudgetExceededError(kArena). Checked at frame pushes (the
+  /// only points the arenas grow), so the dispatch hot path is untouched.
+  /// The accounting is engine-specific (the fast engine's operand arena is
+  /// sized geometrically) — treat it as a coarse memory guard, not an exact
+  /// high-water mark.
+  std::size_t max_arena_words = std::numeric_limits<std::size_t>::max();
   EngineKind engine = EngineKind::kFast;
 };
 
@@ -118,6 +126,12 @@ class Engine {
   /// Global data segment; persists across run() calls on the same instance.
   std::vector<std::int64_t>& globals() { return globals_; }
   void reset_globals();
+
+  /// Rebinds the per-run() instruction budget. The VM uses this to shrink
+  /// the cap before each iteration when a RunBudget's sim-cycle envelope is
+  /// in force (every engine charges >= 1 cycle per instruction, so the
+  /// remaining-cycle count is a sound instruction bound).
+  void set_instruction_limit(std::uint64_t n) { options_.max_instructions = n; }
 
  protected:
   const bc::Program& prog_;
@@ -152,6 +166,7 @@ class Interpreter {
 
   std::vector<std::int64_t>& globals() { return engine_->globals(); }
   void reset_globals() { engine_->reset_globals(); }
+  void set_instruction_limit(std::uint64_t n) { engine_->set_instruction_limit(n); }
 
   EngineKind engine_kind() const { return kind_; }
 

@@ -48,6 +48,16 @@ class Pcg32 {
   /// Used to hand child components their own deterministic streams.
   Pcg32 split();
 
+  /// Raw generator state, for checkpoint/resume: restoring (state, inc)
+  /// continues the stream bit-identically. `inc` must come from a prior
+  /// raw_inc() (the constructor guarantees it is odd).
+  std::uint64_t raw_state() const { return state_; }
+  std::uint64_t raw_inc() const { return inc_; }
+  void restore(std::uint64_t state, std::uint64_t inc) {
+    state_ = state;
+    inc_ = inc | 1u;  // an even increment would degrade the LCG
+  }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;

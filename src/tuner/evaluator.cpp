@@ -1,41 +1,118 @@
 #include "tuner/evaluator.hpp"
 
+#include <algorithm>
+
+#include "resilience/guard.hpp"
 #include "support/error.hpp"
 
 namespace ith::tuner {
+
+namespace {
+
+/// A failure is worth retrying only if its verdict can change on a later
+/// attempt: injected faults (the fault key mixes in the attempt number),
+/// host wall-clock misses (timing), and foreign crashes. Sim-domain budget
+/// trips and runtime traps are deterministic — same program, same budget,
+/// same verdict — with one exception: when compile-inflation faults are
+/// armed, a compile-cycle trip is the *signature* of an inflated compile
+/// (that is how the fault manifests), so it is transient and retried too.
+bool retryable(const resilience::EvalOutcome& o, bool compile_faults_armed) {
+  return o.trap == resilience::TrapKind::kInjected ||
+         o.budget == resilience::BudgetKind::kWallClock ||
+         o.kind == resilience::OutcomeKind::kCrash ||
+         (compile_faults_armed && o.budget == resilience::BudgetKind::kCompileCycles);
+}
+
+const char* outcome_counter(const resilience::EvalOutcome& o) {
+  switch (o.kind) {
+    case resilience::OutcomeKind::kOk: return "resil.outcome.ok";
+    case resilience::OutcomeKind::kBudgetExceeded: return "resil.outcome.budget";
+    case resilience::OutcomeKind::kTrap: return "resil.outcome.trap";
+    case resilience::OutcomeKind::kCrash: return "resil.outcome.crash";
+  }
+  return "resil.outcome.crash";
+}
+
+}  // namespace
 
 SuiteEvaluator::SuiteEvaluator(std::vector<wl::Workload> suite, EvalConfig config)
     : suite_(std::move(suite)), config_(config) {
   ITH_CHECK(!suite_.empty(), "evaluator needs a non-empty suite");
   ITH_CHECK(config_.iterations >= 1, "need at least one iteration");
+  ITH_CHECK(config_.max_retries >= 0, "max_retries must be >= 0");
   config_.vm_config.scenario = config_.scenario;
   config_.vm_config.obs = config_.obs;
 }
 
-std::vector<BenchmarkResult> SuiteEvaluator::evaluate_heuristic(heur::InlineHeuristic& h) const {
+std::vector<BenchmarkResult> SuiteEvaluator::run_suite(heur::InlineHeuristic& h,
+                                                       std::uint64_t fault_salt,
+                                                       bool allow_faults) const {
   obs::Context* const obs = config_.obs;
   const bool trace = obs != nullptr && obs->enabled(obs::Category::kEval);
   obs::ScopedSpan suite_span(obs, obs::Category::kEval, "eval.suite",
                              trace ? std::vector<obs::Arg>{{"benchmarks", suite_.size()}}
                                    : std::vector<obs::Arg>{});
+  const resilience::FaultPlan* const plan = allow_faults ? config_.vm_config.faults : nullptr;
+  const bool compile_faults = plan != nullptr && plan->armed() &&
+                              plan->enabled(resilience::FaultSite::kCompileInflate);
   std::vector<BenchmarkResult> results;
   results.reserve(suite_.size());
   for (const wl::Workload& w : suite_) {
     const std::uint64_t t0 = trace ? obs->host_now_us() : 0;
-    vm::VirtualMachine machine(w.program, config_.machine, h, config_.vm_config);
-    const vm::RunResult rr = machine.run(config_.iterations);
+    BenchmarkResult br;
+    br.name = w.name;
+
+    const int max_attempts = 1 + config_.max_retries;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      vm::VmConfig cfg = config_.vm_config;
+      if (!allow_faults) cfg.faults = nullptr;
+      cfg.fault_key = resilience::mix_keys(
+          fault_salt, resilience::mix_keys(resilience::hash_string(w.name),
+                                           static_cast<std::uint64_t>(attempt)));
+
+      resilience::GuardedRun gr;
+      if (cfg.faults != nullptr &&
+          cfg.faults->should_inject(resilience::FaultSite::kEvaluator, cfg.fault_key)) {
+        gr.outcome = resilience::EvalOutcome::make_trap(resilience::TrapKind::kInjected,
+                                                        "injected evaluator fault");
+      } else {
+        gr = resilience::guarded_run(w.program, config_.machine, h, cfg, config_.iterations);
+      }
+
+      br.attempts = attempt + 1;
+      br.outcome = gr.outcome;
+      if (gr.outcome.ok()) {
+        br.running_cycles = gr.result.running_cycles;
+        br.total_cycles = gr.result.total_cycles;
+        br.compile_cycles = gr.result.compile_cycles_all;
+        break;
+      }
+      if (attempt + 1 < max_attempts && retryable(gr.outcome, compile_faults)) {
+        if (obs != nullptr) obs->counter("resil.retries").add(1);
+        continue;
+      }
+      break;  // final failure: penalized result (cycle fields stay zero)
+    }
+
+    if (obs != nullptr) obs->counter(outcome_counter(br.outcome)).add(1);
     if (trace) {
       obs->complete(obs::Category::kEval, "eval.bench", obs::Domain::kHost, t0,
                     obs->host_now_us() - t0,
                     {{"bench", w.name},
-                     {"running_cycles", rr.running_cycles},
-                     {"total_cycles", rr.total_cycles},
-                     {"compile_cycles", rr.compile_cycles_all}});
+                     {"running_cycles", br.running_cycles},
+                     {"total_cycles", br.total_cycles},
+                     {"compile_cycles", br.compile_cycles},
+                     {"outcome", br.outcome.to_string()},
+                     {"attempts", br.attempts}});
     }
-    results.push_back(BenchmarkResult{w.name, rr.running_cycles, rr.total_cycles,
-                                      rr.compile_cycles_all});
+    results.push_back(std::move(br));
   }
   return results;
+}
+
+std::vector<BenchmarkResult> SuiteEvaluator::evaluate_heuristic(heur::InlineHeuristic& h,
+                                                                std::uint64_t fault_salt) const {
+  return run_suite(h, fault_salt, /*allow_faults=*/true);
 }
 
 SuiteEvaluator::Results SuiteEvaluator::evaluate(const heur::InlineParams& params) {
@@ -49,7 +126,8 @@ SuiteEvaluator::Results SuiteEvaluator::evaluate(const heur::InlineParams& param
     if (obs != nullptr) obs->counter(what).add(1);
   };
 
-  const heur::InlineParams::Array key = params.to_array();
+  const CacheKey key = params.to_array();
+  bool quarantined = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     bool waited = false;
@@ -66,33 +144,102 @@ SuiteEvaluator::Results SuiteEvaluator::evaluate(const heur::InlineParams& param
       cv_.wait(lock);
     }
     in_flight_.insert(key);
-    ++evaluations_performed_;
+    quarantined = quarantine_.find(key) != quarantine_.end();
+    if (!quarantined) ++evaluations_performed_;
   }
-  cache_event("eval.cache_miss");
+
+  // From here until the key is cached, *any* exit — including a throwing
+  // trace sink inside cache_event or run_suite — must release the key, or
+  // single-flight waiters block forever. RAII, not a catch block, so no
+  // path can be missed. (Local classes have the enclosing member function's
+  // access rights, hence the private member touches.)
+  struct InFlightRelease {
+    SuiteEvaluator* self;
+    const CacheKey& key;
+    bool armed = true;
+    ~InFlightRelease() {
+      if (!armed) return;
+      std::lock_guard<std::mutex> lock(self->mu_);
+      self->in_flight_.erase(key);
+      self->cv_.notify_all();
+    }
+  } release{this, key};
 
   std::vector<BenchmarkResult> results;
-  try {
+  if (quarantined) {
+    if (obs != nullptr) obs->counter("resil.quarantine_hits").add(1);
+    results.reserve(suite_.size());
+    for (const wl::Workload& w : suite_) {
+      BenchmarkResult br;
+      br.name = w.name;
+      br.outcome = resilience::EvalOutcome::make_trap(resilience::TrapKind::kRuntime,
+                                                      "quarantined");
+      br.attempts = 0;
+      results.push_back(std::move(br));
+    }
+  } else {
+    cache_event("eval.cache_miss");
     heur::JikesHeuristic h(params);
-    results = evaluate_heuristic(h);
-  } catch (...) {
-    // Abandon the key so waiters retry (one of them becomes the new owner).
-    std::lock_guard<std::mutex> lock(mu_);
-    in_flight_.erase(key);
-    cv_.notify_all();
-    throw;
+    results = run_suite(h, resilience::hash_string(params.to_string()),
+                        /*allow_faults=*/true);
+    const bool any_failed = std::any_of(results.begin(), results.end(),
+                                        [](const BenchmarkResult& r) { return !r.outcome.ok(); });
+    if (any_failed) {
+      if (obs != nullptr) obs->counter("resil.quarantined").add(1);
+      std::lock_guard<std::mutex> lock(mu_);
+      quarantine_.insert(key);
+    }
   }
 
   std::lock_guard<std::mutex> lock(mu_);
+  release.armed = false;  // the guard would deadlock re-locking mu_ from here
   in_flight_.erase(key);
-  auto slot =
-      cache_.emplace(key, std::make_shared<std::vector<BenchmarkResult>>(std::move(results)))
-          .first->second;
+  // Notify before emplace: if the insert throws, woken waiters re-check
+  // under this same lock and simply become the new owner — no missed wakeup.
   cv_.notify_all();
-  return slot;
+  return cache_.emplace(key, std::make_shared<std::vector<BenchmarkResult>>(std::move(results)))
+      .first->second;
 }
 
 SuiteEvaluator::Results SuiteEvaluator::default_results() {
-  return evaluate(heur::default_params());
+  const heur::InlineParams params = heur::default_params();
+  const CacheKey key = params.to_array();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      const auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+      if (in_flight_.find(key) == in_flight_.end()) break;
+      cv_.wait(lock);
+    }
+    in_flight_.insert(key);
+    ++evaluations_performed_;
+  }
+
+  struct InFlightRelease {
+    SuiteEvaluator* self;
+    const CacheKey& key;
+    bool armed = true;
+    ~InFlightRelease() {
+      if (!armed) return;
+      std::lock_guard<std::mutex> lock(self->mu_);
+      self->in_flight_.erase(key);
+      self->cv_.notify_all();
+    }
+  } release{this, key};
+
+  // Faults suppressed: the baseline is the denominator of every normalized
+  // figure, so a chaos campaign must never see a penalized default run.
+  heur::JikesHeuristic h(params);
+  std::vector<BenchmarkResult> results =
+      run_suite(h, resilience::hash_string(params.to_string()), /*allow_faults=*/false);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  release.armed = false;  // the guard would deadlock re-locking mu_ from here
+  in_flight_.erase(key);
+  cv_.notify_all();
+  return cache_.emplace(key, std::make_shared<std::vector<BenchmarkResult>>(std::move(results)))
+      .first->second;
 }
 
 std::size_t SuiteEvaluator::cache_size() const {
@@ -103,6 +250,24 @@ std::size_t SuiteEvaluator::cache_size() const {
 std::uint64_t SuiteEvaluator::evaluations_performed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return evaluations_performed_;
+}
+
+std::vector<std::vector<int>> SuiteEvaluator::quarantined_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::vector<int>> out;
+  out.reserve(quarantine_.size());
+  for (const CacheKey& k : quarantine_) out.emplace_back(k.begin(), k.end());
+  return out;
+}
+
+void SuiteEvaluator::preload_quarantine(const std::vector<std::vector<int>>& keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::vector<int>& k : keys) {
+    if (k.size() != std::tuple_size_v<CacheKey>) continue;
+    CacheKey key{};
+    std::copy(k.begin(), k.end(), key.begin());
+    quarantine_.insert(key);
+  }
 }
 
 }  // namespace ith::tuner

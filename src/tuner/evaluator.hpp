@@ -15,6 +15,8 @@
 
 #include "heuristics/heuristic.hpp"
 #include "obs/context.hpp"
+#include "resilience/budget.hpp"
+#include "resilience/fault.hpp"
 #include "runtime/machine.hpp"
 #include "vm/vm.hpp"
 #include "workloads/suite.hpp"
@@ -26,6 +28,12 @@ struct BenchmarkResult {
   std::uint64_t running_cycles = 0;
   std::uint64_t total_cycles = 0;
   std::uint64_t compile_cycles = 0;
+  /// Verdict of the guarded run. When not ok(), the cycle fields are zero
+  /// and fitness substitutes kFailurePenalty — never NaN/inf, never a throw.
+  resilience::EvalOutcome outcome{};
+  /// Guarded attempts consumed (1 = first try succeeded; 0 = quarantined,
+  /// never run).
+  int attempts = 1;
 };
 
 struct EvalConfig {
@@ -38,6 +46,14 @@ struct EvalConfig {
   /// VM the evaluator spins up traces into the same sink. Categories: kEval
   /// (per-benchmark/per-suite spans, cache hit/miss/single-flight events).
   obs::Context* obs = nullptr;
+  /// Extra guarded attempts per benchmark after a *retryable* failure —
+  /// one whose verdict can change on retry: injected faults (the fault key
+  /// mixes in the attempt number), wall-clock deadline misses, foreign
+  /// crashes, and — when compile-inflation faults are armed — compile-cycle
+  /// budget trips (the signature of an inflated compile). Other sim-domain
+  /// failures (cycle/frame/arena budgets, runtime traps) are deterministic
+  /// and final on the first attempt.
+  int max_retries = 2;
 };
 
 class SuiteEvaluator {
@@ -55,13 +71,24 @@ class SuiteEvaluator {
   /// vector (pointer-identical). Concurrent calls with the same uncached
   /// params are single-flighted: one caller runs the suite, the others
   /// block until its result lands in the cache instead of recomputing it.
+  ///
+  /// Every benchmark executes under vm_config.budget via a guarded run:
+  /// failures become penalized BenchmarkResults (see BenchmarkResult::
+  /// outcome), never exceptions. Params whose suite still fails after the
+  /// retry allowance are quarantined: later evaluations short-circuit to
+  /// the penalized result without re-running anything.
   Results evaluate(const heur::InlineParams& params);
 
   /// Runs every benchmark under an arbitrary heuristic (not memoized).
-  std::vector<BenchmarkResult> evaluate_heuristic(heur::InlineHeuristic& h) const;
+  /// `fault_salt` differentiates fault-injection draws between logical
+  /// evaluations (the memoized path salts with the params hash).
+  std::vector<BenchmarkResult> evaluate_heuristic(heur::InlineHeuristic& h,
+                                                  std::uint64_t fault_salt = 0) const;
 
   /// Results under the shipped default parameters (computed lazily once;
   /// the denominator for normalized figures and the balance factor).
+  /// Always runs with fault injection suppressed — a chaos campaign must
+  /// never corrupt the normalization baseline.
   Results default_results();
 
   const std::vector<wl::Workload>& suite() const { return suite_; }
@@ -70,6 +97,13 @@ class SuiteEvaluator {
   /// Number of full-suite evaluations actually performed by evaluate()
   /// (cache hits and single-flight waiters excluded).
   std::uint64_t evaluations_performed() const;
+
+  /// Quarantined parameter vectors, widened for checkpoint serialization.
+  std::vector<std::vector<int>> quarantined_keys() const;
+  /// Re-arms the quarantine from a checkpoint; entries with the wrong arity
+  /// are ignored (a checkpoint from a different space fails its fingerprint
+  /// check long before this).
+  void preload_quarantine(const std::vector<std::vector<int>>& keys);
 
  private:
   /// Memoization key: the flattened parameter vector. Sized from
@@ -80,6 +114,11 @@ class SuiteEvaluator {
   using CacheKey = heur::InlineParams::Array;
   static_assert(std::tuple_size_v<CacheKey> == heur::InlineParams::kNumParams);
 
+  /// The uncached evaluation path: every benchmark through guarded_run with
+  /// the retry loop. `allow_faults` is false for the default-params baseline.
+  std::vector<BenchmarkResult> run_suite(heur::InlineHeuristic& h, std::uint64_t fault_salt,
+                                         bool allow_faults) const;
+
   std::vector<wl::Workload> suite_;
   EvalConfig config_;
   std::map<CacheKey, Results> cache_;
@@ -87,6 +126,8 @@ class SuiteEvaluator {
   /// Waiters block on cv_ until the owning thread caches the result (or
   /// abandons the key by exception) rather than re-running the suite.
   std::set<CacheKey> in_flight_;
+  /// Params whose suite failed even after retries; guarded by mu_.
+  std::set<CacheKey> quarantine_;
   std::uint64_t evaluations_performed_ = 0;
   mutable std::mutex mu_;
   std::condition_variable cv_;

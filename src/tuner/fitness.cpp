@@ -19,6 +19,9 @@ double benchmark_metric(Goal goal, const BenchmarkResult& candidate,
                         const BenchmarkResult& with_default) {
   ITH_CHECK(with_default.running_cycles > 0 && with_default.total_cycles > 0,
             "default-heuristic baseline has zero time for " + with_default.name);
+  // Failed guarded runs report zero cycles — checked *before* any cycle
+  // math, or a budget-killed genome would look infinitely fast.
+  if (!candidate.outcome.ok()) return kFailurePenalty;
   switch (goal) {
     case Goal::kRunning:
       return static_cast<double>(candidate.running_cycles) /

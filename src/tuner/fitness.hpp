@@ -24,6 +24,13 @@ enum class Goal { kRunning, kTotal, kBalance };
 
 const char* goal_name(Goal g);
 
+/// Normalized metric assigned to a benchmark whose guarded run failed
+/// (budget exceeded, trap, crash, quarantined): 10x the default heuristic —
+/// decisively worse than any real measurement, but finite, so the geomean
+/// stays well-ordered and the GA ranks failing genomes below every genome
+/// that actually runs. Never NaN, never inf, never an exception.
+inline constexpr double kFailurePenalty = 10.0;
+
 /// Perf(s) for one benchmark under `goal`, given its default-heuristic
 /// measurements (used for the balance factor).
 double benchmark_metric(Goal goal, const BenchmarkResult& candidate,

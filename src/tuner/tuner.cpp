@@ -1,13 +1,31 @@
 #include "tuner/tuner.hpp"
 
+#include "resilience/checkpoint.hpp"
 #include "tuner/parameter_space.hpp"
 
 namespace ith::tuner {
 
-TuneResult tune(SuiteEvaluator& evaluator, Goal goal, ga::GaConfig ga_config) {
+TuneResult tune(SuiteEvaluator& evaluator, Goal goal, ga::GaConfig ga_config,
+                const TuneCheckpointOptions& checkpoint) {
   const bool include_hot = evaluator.config().scenario == vm::Scenario::kAdapt;
   ga::GenomeSpace space = inline_param_space(include_hot);
+
+  resilience::GaCheckpoint resume_state;  // must outlive algo.run()
+  if (!checkpoint.path.empty()) {
+    ga_config.journal = [path = checkpoint.path](const resilience::GaCheckpoint& cp) {
+      resilience::save_checkpoint(path, cp);
+    };
+    ga_config.checkpoint_every = checkpoint.every;
+    ga_config.quarantine_source = [&evaluator] { return evaluator.quarantined_keys(); };
+    if (checkpoint.resume) {
+      resume_state = resilience::load_checkpoint(checkpoint.path);
+      evaluator.preload_quarantine(resume_state.quarantine);
+      ga_config.resume_from = &resume_state;
+    }
+  }
+
   ga::GeneticAlgorithm algo(space, make_fitness(evaluator, goal), ga_config);
+  if (checkpoint.on_generation) algo.set_progress(checkpoint.on_generation);
   TuneResult result;
   result.ga = algo.run();
   result.best = params_from_genome(result.ga.best);

@@ -4,6 +4,8 @@
 // that would be "shipped with the compiler".
 #pragma once
 
+#include <string>
+
 #include "ga/ga.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/fitness.hpp"
@@ -16,9 +18,26 @@ struct TuneResult {
   ga::GaResult ga;
 };
 
+/// Checkpoint/resume policy for tune(). With a non-empty path the GA
+/// journals its complete state there (atomically) after every `every`-th
+/// generation; with `resume` additionally set, tune() loads the checkpoint
+/// first and continues — bit-identically to a run that was never stopped —
+/// re-arming the evaluator's quarantine set along the way.
+struct TuneCheckpointOptions {
+  std::string path;
+  bool resume = false;
+  int every = 1;
+  /// Invoked after each generation completes — crucially, *after* its
+  /// checkpoint has been journaled, so a process killed inside this callback
+  /// (the chaos harness's kill point) always resumes from the generation it
+  /// just finished.
+  std::function<void(const ga::GenerationStats&)> on_generation;
+};
+
 /// Runs the GA. `ga_config.seed_individuals` may be used to inject the
 /// default parameters into the initial population.
-TuneResult tune(SuiteEvaluator& evaluator, Goal goal, ga::GaConfig ga_config);
+TuneResult tune(SuiteEvaluator& evaluator, Goal goal, ga::GaConfig ga_config,
+                const TuneCheckpointOptions& checkpoint = {});
 
 /// Convenience: a GA configuration scaled for the bench harnesses.
 /// Population 20 (the paper's), `generations` as given, memoized,

@@ -1,6 +1,7 @@
 #include "vm/vm.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "support/error.hpp"
 
@@ -54,6 +55,35 @@ VirtualMachine::VirtualMachine(const bc::Program& prog, const rt::MachineModel& 
                                               config_.interp_options);
 }
 
+std::uint64_t VirtualMachine::charge_compile(bc::MethodId id, std::uint64_t cycles) {
+  ++compile_counter_;
+  const resilience::FaultPlan* plan = config_.faults;
+  if (plan != nullptr &&
+      plan->should_inject(
+          resilience::FaultSite::kCompileInflate,
+          resilience::mix_keys(config_.fault_key,
+                               resilience::mix_keys(static_cast<std::uint64_t>(id),
+                                                    compile_counter_)))) {
+    cycles = static_cast<std::uint64_t>(static_cast<double>(cycles) * plan->compile_inflation);
+  }
+  compile_cycles_run_ += cycles;
+  if (config_.budget.max_compile_cycles != 0 &&
+      compile_cycles_run_ > config_.budget.max_compile_cycles) {
+    throw resilience::BudgetExceededError(resilience::BudgetKind::kCompileCycles,
+                                          "compile-cycle budget exceeded");
+  }
+  check_wall();
+  return cycles;
+}
+
+void VirtualMachine::check_wall() const {
+  if (config_.budget.max_wall_ms == 0) return;
+  if (std::chrono::steady_clock::now() >= wall_deadline_) {
+    throw resilience::BudgetExceededError(resilience::BudgetKind::kWallClock,
+                                          "host wall-clock deadline exceeded");
+  }
+}
+
 std::unique_ptr<rt::CompiledMethod> VirtualMachine::compile_baseline(bc::MethodId id) {
   auto cm = std::make_unique<rt::CompiledMethod>();
   cm->body = prog_.method(id);
@@ -66,7 +96,7 @@ std::unique_ptr<rt::CompiledMethod> VirtualMachine::compile_baseline(bc::MethodI
   cm->finalize();
 
   ITH_ASSERT(live_iter_ != nullptr, "compilation outside a run");
-  const std::uint64_t cycles = machine_.baseline_compile_cycles(cm->size_words());
+  const std::uint64_t cycles = charge_compile(id, machine_.baseline_compile_cycles(cm->size_words()));
   live_iter_->compile_cycles += cycles;
   ++live_iter_->baseline_compiles;
   ++live_result_->methods_baseline_compiled;
@@ -116,9 +146,9 @@ std::unique_ptr<rt::CompiledMethod> VirtualMachine::compile_opt(bc::MethodId id,
   cm->finalize();
 
   ITH_ASSERT(live_iter_ != nullptr, "compilation outside a run");
-  const std::uint64_t cycles = tier == rt::Tier::kOpt
-                                   ? machine_.opt_compile_cycles(cm->size_words())
-                                   : machine_.mid_compile_cycles(cm->size_words());
+  const std::uint64_t cycles =
+      charge_compile(id, tier == rt::Tier::kOpt ? machine_.opt_compile_cycles(cm->size_words())
+                                                : machine_.mid_compile_cycles(cm->size_words()));
   live_iter_->compile_cycles += cycles;
   ++live_iter_->opt_compiles;
   ++live_result_->methods_opt_compiled;
@@ -268,24 +298,83 @@ RunResult VirtualMachine::run(int iterations) {
   RunResult result;
   live_result_ = &result;
 
-  for (int iter = 0; iter < iterations; ++iter) {
-    result.iterations.push_back(IterationStats{});
-    live_iter_ = &result.iterations.back();
-    const std::uint64_t iter_start = sim_now_;
-    interp_->reset_globals();  // fresh benchmark input; code/profile/caches stay warm
-    live_iter_->exec = interp_->run();
-    sim_now_ += live_iter_->exec.cycles;  // compiles already advanced the cursor
-    if (obs_ != nullptr && obs_->enabled(obs::Category::kVm)) {
-      obs_->complete(obs::Category::kVm, "vm.iteration", obs::Domain::kSim, iter_start,
-                     sim_now_ - iter_start,
-                     {{"iteration", iter},
-                      {"exec_cycles", live_iter_->exec.cycles},
-                      {"compile_cycles", live_iter_->compile_cycles},
-                      {"instructions", live_iter_->exec.instructions},
-                      {"calls", live_iter_->exec.calls},
-                      {"icache_probes", live_iter_->exec.icache_probes},
-                      {"icache_misses", live_iter_->exec.icache_misses}});
+  const resilience::RunBudget& budget = config_.budget;
+  const std::uint64_t run_start = sim_now_;
+  const std::uint64_t base_insn_cap = config_.interp_options.max_instructions;
+  compile_cycles_run_ = 0;
+  if (budget.max_wall_ms != 0) {
+    wall_deadline_ =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(budget.max_wall_ms);
+  }
+
+  try {
+    for (int iter = 0; iter < iterations; ++iter) {
+      check_wall();
+      // Sim-cycle envelope: abort once the whole run's cycle allowance
+      // (execution + compilation) is spent, and pre-shrink the engine's
+      // instruction budget so a runaway iteration cannot overshoot the
+      // envelope by more than one instruction's cost — every engine charges
+      // at least one cycle per instruction, so remaining cycles bound the
+      // instructions this iteration may retire.
+      bool derived_cap = false;
+      if (budget.max_sim_cycles != 0) {
+        const std::uint64_t used = sim_now_ - run_start;
+        if (used >= budget.max_sim_cycles) {
+          throw resilience::BudgetExceededError(resilience::BudgetKind::kSimCycles,
+                                                "sim-cycle budget exceeded");
+        }
+        const std::uint64_t remaining = budget.max_sim_cycles - used;
+        if (remaining < base_insn_cap) {
+          interp_->set_instruction_limit(remaining);
+          derived_cap = true;
+        }
+      }
+      if (config_.faults != nullptr &&
+          config_.faults->should_inject(
+              resilience::FaultSite::kVmTrap,
+              resilience::mix_keys(config_.fault_key, static_cast<std::uint64_t>(iter)))) {
+        throw resilience::InjectedFaultError("injected VM trap (iteration " +
+                                             std::to_string(iter) + ")");
+      }
+
+      result.iterations.push_back(IterationStats{});
+      live_iter_ = &result.iterations.back();
+      const std::uint64_t iter_start = sim_now_;
+      interp_->reset_globals();  // fresh benchmark input; code/profile/caches stay warm
+      if (derived_cap) {
+        try {
+          live_iter_->exec = interp_->run();
+        } catch (const resilience::BudgetExceededError& e) {
+          // The engine saw the *derived* cap, not the user's instruction
+          // budget — report the envelope that was actually exhausted.
+          if (e.which() == resilience::BudgetKind::kInstructions) {
+            throw resilience::BudgetExceededError(resilience::BudgetKind::kSimCycles,
+                                                  "sim-cycle budget exceeded");
+          }
+          throw;
+        }
+        interp_->set_instruction_limit(base_insn_cap);
+      } else {
+        live_iter_->exec = interp_->run();
+      }
+      sim_now_ += live_iter_->exec.cycles;  // compiles already advanced the cursor
+      if (obs_ != nullptr && obs_->enabled(obs::Category::kVm)) {
+        obs_->complete(obs::Category::kVm, "vm.iteration", obs::Domain::kSim, iter_start,
+                       sim_now_ - iter_start,
+                       {{"iteration", iter},
+                        {"exec_cycles", live_iter_->exec.cycles},
+                        {"compile_cycles", live_iter_->compile_cycles},
+                        {"instructions", live_iter_->exec.instructions},
+                        {"calls", live_iter_->exec.calls},
+                        {"icache_probes", live_iter_->exec.icache_probes},
+                        {"icache_misses", live_iter_->exec.icache_misses}});
+      }
     }
+  } catch (...) {
+    // `result` dies with this frame — never leave pointers into it behind.
+    live_iter_ = nullptr;
+    live_result_ = nullptr;
+    throw;
   }
   live_iter_ = nullptr;
   live_result_ = nullptr;

@@ -23,10 +23,14 @@
 #include <set>
 #include <vector>
 
+#include <chrono>
+
 #include "bytecode/program.hpp"
 #include "heuristics/heuristic.hpp"
 #include "obs/context.hpp"
 #include "opt/optimizer.hpp"
+#include "resilience/budget.hpp"
+#include "resilience/fault.hpp"
 #include "runtime/icache.hpp"
 #include "runtime/interpreter.hpp"
 #include "runtime/machine.hpp"
@@ -70,6 +74,21 @@ struct VmConfig {
   /// their durations sum exactly to RunResult::compile_cycles_all), kVm
   /// (promotions, hot-site trips, OSR, code installs, iteration spans).
   obs::Context* obs = nullptr;
+  /// Per-run() resource envelope. The VM enforces the sim-cycle cap (by
+  /// shrinking the engine's instruction budget each iteration — every engine
+  /// charges >= 1 cycle per instruction), the compile-cycle cap, and the
+  /// host wall-clock deadline; the instruction/frame/arena caps belong to
+  /// interp_options (resilience::guarded_run maps them there). All-zero
+  /// (the default) means unlimited, at the cost of one branch per iteration
+  /// and per compilation.
+  resilience::RunBudget budget{};
+  /// Deterministic fault plan consulted at VM-trap and compile-inflation
+  /// sites. Non-owning, may be null (= no injection, one branch per site);
+  /// must outlive the VM.
+  const resilience::FaultPlan* faults = nullptr;
+  /// Caller identity mixed into every fault-injection key so distinct
+  /// evaluations (genome, workload, attempt) see independent fault draws.
+  std::uint64_t fault_key = 0;
 };
 
 struct IterationStats {
@@ -126,6 +145,13 @@ class VirtualMachine final : private rt::CodeSource {
   void install(bc::MethodId id, std::unique_ptr<rt::CompiledMethod> cm);
   void maybe_recompile(bc::MethodId id);
 
+  /// Applies the kCompileInflate fault (if armed), accrues the cycles
+  /// against this run's compile-cycle budget (throwing kCompileCycles when
+  /// it is exhausted), and returns the possibly-inflated cycle count.
+  std::uint64_t charge_compile(bc::MethodId id, std::uint64_t cycles);
+  /// Throws kWallClock once the host deadline set by run() has passed.
+  void check_wall() const;
+
   const bc::Program& prog_;
   const rt::MachineModel machine_;  // by value: callers may pass temporaries
   heur::InlineHeuristic& heuristic_;
@@ -141,6 +167,10 @@ class VirtualMachine final : private rt::CodeSource {
   std::uint64_t next_code_addr_ = 0x10000;
   IterationStats* live_iter_ = nullptr;  // where compile costs accrue
   RunResult* live_result_ = nullptr;
+
+  std::uint64_t compile_cycles_run_ = 0;  // accrued against budget.max_compile_cycles
+  std::uint64_t compile_counter_ = 0;     // fault-key component: nth compilation
+  std::chrono::steady_clock::time_point wall_deadline_{};
 
   obs::Context* obs_ = nullptr;  // == config_.obs (null: tracing off)
   /// Simulated-cycle cursor for trace timestamps: advanced by every compile

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "heuristics/inline_params.hpp"
+#include "obs/context.hpp"
+#include "obs/sink.hpp"
 #include "support/error.hpp"
 #include "tuner/evaluator.hpp"
 #include "workloads/suite.hpp"
@@ -61,20 +63,44 @@ TEST(SuiteEvaluatorSingleFlight, DistinctKeysEvaluateIndependently) {
   EXPECT_EQ(eval.cache_size(), 2u);
 }
 
-// A throwing evaluation must not leave its key stuck in the in-flight set:
-// the next caller becomes the new owner (and throws again) instead of
-// deadlocking on a result that will never arrive.
+// Benchmark failures are guarded now (they become penalized results, not
+// exceptions), so the remaining way an exception can escape evaluate() while
+// the key is in flight is the observability path itself — e.g. a trace sink
+// whose disk is gone. That exit must release the in-flight key too, or
+// every later caller of the same params deadlocks on a result that will
+// never arrive.
+class ThrowOnceSink final : public obs::TraceSink {
+ public:
+  void write(const obs::Event&) override {
+    if (armed_) {
+      armed_ = false;
+      throw Error("trace disk vanished");
+    }
+  }
+
+ private:
+  bool armed_ = true;
+};
+
 TEST(SuiteEvaluatorSingleFlight, ExceptionReleasesInFlightKey) {
+  ThrowOnceSink sink;
+  obs::Context ctx(&sink);
   std::vector<wl::Workload> suite;
   suite.push_back(wl::make_workload("db"));
   tuner::EvalConfig config;
   config.iterations = 1;
-  config.vm_config.interp_options.max_instructions = 100;  // guaranteed trap
+  config.obs = &ctx;
   tuner::SuiteEvaluator eval(std::move(suite), config);
   const heur::InlineParams params = heur::default_params();
-  EXPECT_THROW(eval.evaluate(params), Error);
-  EXPECT_THROW(eval.evaluate(params), Error);  // retried, not deadlocked
+  EXPECT_THROW(eval.evaluate(params), Error);  // sink throws mid-evaluation
   EXPECT_EQ(eval.cache_size(), 0u);
+
+  // The key was released, so the next caller simply becomes the new owner
+  // and (with the sink now quiet) completes and caches the result.
+  const tuner::SuiteEvaluator::Results results = eval.evaluate(params);
+  ASSERT_NE(results, nullptr);
+  EXPECT_TRUE((*results)[0].outcome.ok());
+  EXPECT_EQ(eval.cache_size(), 1u);
 }
 
 }  // namespace

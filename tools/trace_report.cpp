@@ -195,6 +195,32 @@ int main(int argc, char** argv) {
       std::cout << "Counters (final values):\n";
       t.render(std::cout);
     }
+
+    // Failures: the resilience layer's counters (guarded-run outcomes by
+    // kind, retries, quarantine activity), pulled out of the counter table
+    // into their own section so a chaos campaign's survival story is
+    // readable at a glance.
+    std::map<std::string, std::int64_t> failures;
+    for (const auto& [name, v] : counters) {
+      if (name.rfind("resil.", 0) == 0) failures[name] = v;
+    }
+    if (!failures.empty()) {
+      const std::int64_t ok = failures.count("resil.outcome.ok") ? failures["resil.outcome.ok"] : 0;
+      std::int64_t failed = 0;
+      for (const char* k : {"resil.outcome.budget", "resil.outcome.trap", "resil.outcome.crash"}) {
+        if (failures.count(k)) failed += failures[k];
+      }
+      Table t({"failure counter", "value"});
+      for (const auto& [name, v] : failures) t.add_row({name, std::to_string(v)});
+      std::cout << "\nFailures (guarded evaluation):\n";
+      t.render(std::cout);
+      const std::int64_t runs = ok + failed;
+      if (runs > 0) {
+        std::cout << "survival: " << ok << "/" << runs << " benchmark runs ok ("
+                  << cell(100.0 * static_cast<double>(ok) / static_cast<double>(runs), 1)
+                  << "%)\n";
+      }
+    }
     return 0;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
