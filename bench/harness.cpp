@@ -5,6 +5,7 @@
 
 #include "support/env.hpp"
 #include "support/error.hpp"
+#include "tuner/eval_cache.hpp"
 #include "tuner/parameter_space.hpp"
 
 namespace ith::bench {
@@ -17,6 +18,7 @@ BenchContext::BenchContext(int argc, const char* const* argv, const std::string&
   opts_.population = static_cast<int>(cli_.get_int_or("pop", env_int_or("ITH_GA_POP", 20)));
   opts_.seed = static_cast<std::uint64_t>(cli_.get_int_or("seed", env_int_or("ITH_GA_SEED", 42)));
   opts_.retune = cli_.get_bool_or("retune", env_int_or("ITH_RETUNE", 0) != 0);
+  opts_.eval_cache = cli_.get_or("eval-cache", env_or("ITH_EVAL_CACHE", ""));
   opts_.csv_dir = cli_.get_or("csv-dir", env_or("ITH_CSV_DIR", ""));
   opts_.trace_path = cli_.get_or("trace", "");
   opts_.trace_format = cli_.get_or("trace-format", "jsonl");
@@ -67,7 +69,29 @@ heur::InlineParams BenchContext::tuned_params_for(std::size_t scenario_index) {
   std::cout << "[retuning " << spec.label << " live: pop " << cfg.population << ", up to "
             << cfg.generations << " generations]\n";
   tuner::SuiteEvaluator train(wl::make_suite("specjvm98"), eval_config_for(spec));
-  return tuner::tune(train, spec.goal, cfg).best;
+
+  // Per-scenario cache file: scenarios differ in machine model / scenario /
+  // goal, so they have different evaluator fingerprints and cannot share one.
+  const std::string cache_path =
+      opts_.eval_cache.empty() ? "" : opts_.eval_cache + ".s" + std::to_string(scenario_index);
+  if (!cache_path.empty() && std::ifstream(cache_path).good()) {
+    try {
+      train.restore(tuner::load_eval_cache(cache_path));
+      std::cout << "[eval-cache: warm start from " << cache_path << ", " << train.cache_size()
+                << " cached suite evaluations]\n";
+    } catch (const Error& e) {
+      // Stale or corrupt caches cost a re-evaluation, never correctness.
+      std::cerr << "[eval-cache ignored: " << e.what() << "]\n";
+    }
+  }
+  const heur::InlineParams best = tuner::tune(train, spec.goal, cfg).best;
+  if (!cache_path.empty()) {
+    tuner::save_eval_cache(cache_path, train.snapshot());
+    std::cout << "[eval-cache: saved " << train.cache_size() << " suite evaluations to "
+              << cache_path << " (" << train.evaluations_performed()
+              << " evaluated this run)]\n";
+  }
+  return best;
 }
 
 void BenchContext::print_figure_panels(const ScenarioSpec& spec,

@@ -11,6 +11,14 @@
 //   --seed=N          (ITH_GA_SEED, default 42)
 //   --retune          (ITH_RETUNE=1) re-run the GA instead of using the
 //                     recorded Table-4 parameters
+//   --eval-cache=PATH (ITH_EVAL_CACHE) persistent evaluation cache for
+//                     --retune runs: loaded (if present and compatible)
+//                     before each scenario's GA run and saved back after,
+//                     so repeated retunes skip every suite evaluation they
+//                     have already paid for. Each scenario gets its own
+//                     file, PATH.s<scenario-index>, because different
+//                     scenarios have different evaluator fingerprints. A
+//                     stale or corrupt file is ignored with a warning.
 //   --csv-dir=DIR     (ITH_CSV_DIR) write machine-readable CSV series
 //   --trace=PATH      write a structured trace (off when absent)
 //   --trace-format=F  jsonl (default) or chrome (chrome://tracing/Perfetto)
@@ -45,6 +53,7 @@ struct BenchOptions {
   int population = 20;
   std::uint64_t seed = 42;
   bool retune = false;
+  std::string eval_cache;  ///< empty = no persistent evaluation cache
   std::string csv_dir;
   std::string trace_path;               ///< empty = tracing off
   std::string trace_format = "jsonl";   ///< "jsonl" or "chrome"

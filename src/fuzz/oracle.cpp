@@ -7,6 +7,7 @@
 
 #include "bytecode/verifier.hpp"
 #include "heuristics/heuristic.hpp"
+#include "opt/decision_probe.hpp"
 #include "resilience/budget.hpp"
 #include "runtime/interpreter.hpp"
 #include "runtime/machine.hpp"
@@ -24,6 +25,7 @@ const char* tier_name(TierKind t) {
     case TierKind::kAdaptive: return "adaptive";
     case TierKind::kEngineDiff: return "engine-diff";
     case TierKind::kBudgetDiff: return "budget-diff";
+    case TierKind::kSigEquiv: return "sig-equiv";
   }
   return "?";
 }
@@ -363,9 +365,17 @@ OracleVerdict DifferentialOracle::check_with_options(const bc::Program& prog,
     static_tier(TierKind::kO2, o2);
   }
 
-  // Adaptive tier: the full VM (baseline -> O1 -> O2 ladder, profiling,
-  // optional OSR). Exercises recompilation and live-frame transfer.
-  {
+  // One full adaptive-VM run (baseline -> O1 -> O2 ladder, profiling,
+  // optional OSR) under explicit InlineParams; shared by the adaptive tier
+  // and the signature-equivalence tier.
+  struct AdaptiveOutcome {
+    bool ok = false;
+    std::string error;
+    vm::RunResult rr;
+    std::vector<std::int64_t> globals;
+  };
+  auto run_adaptive = [&](const heur::InlineParams& params) {
+    AdaptiveOutcome out;
     try {
       vm::VmConfig cfg;
       cfg.scenario = vm::Scenario::kAdapt;
@@ -378,21 +388,97 @@ OracleVerdict DifferentialOracle::check_with_options(const bc::Program& prog,
       cfg.interp_options.engine = engine_;
       cfg.simulate_icache = false;  // affects cycles only, not observables
       cfg.enable_osr = enable_osr_;
-      heur::JikesHeuristic h(params_);
+      heur::JikesHeuristic h(params);
       vm::VirtualMachine machine(prog, oracle_machine(), h, cfg);
-      const vm::RunResult rr = machine.run(config_.vm_iterations);
-      for (std::size_t i = 0; i < rr.iterations.size(); ++i) {
-        const std::int64_t exit = rr.iterations[i].exec.exit_value;
+      out.rr = machine.run(config_.vm_iterations);
+      out.globals = machine.globals();
+      out.ok = true;
+    } catch (const Error& e) {
+      out.error = e.what();
+    }
+    return out;
+  };
+
+  // Adaptive tier: exercises recompilation and live-frame transfer.
+  {
+    const AdaptiveOutcome ao = run_adaptive(params_);
+    if (!ao.ok) {
+      record(TierKind::kAdaptive, "trap: " + ao.error);
+    } else {
+      for (std::size_t i = 0; i < ao.rr.iterations.size(); ++i) {
+        const std::int64_t exit = ao.rr.iterations[i].exec.exit_value;
         if (exit != ref.exit_value) {
           record(TierKind::kAdaptive, "iteration " + std::to_string(i + 1) + " exit value " +
                                           std::to_string(exit) + " (want " +
                                           std::to_string(ref.exit_value) + ")");
         }
       }
-      const std::string gd = diff_globals(ref.globals, machine.globals());
+      const std::string gd = diff_globals(ref.globals, ao.globals);
       if (!gd.empty()) record(TierKind::kAdaptive, gd);
-    } catch (const Error& e) {
-      record(TierKind::kAdaptive, std::string("trap: ") + e.what());
+    }
+  }
+
+  // Signature-equivalence tier: perturb the params a few times; any variant
+  // whose decision signature equals the original's must be completely
+  // indistinguishable from it through the adaptive VM — same ExecStats on
+  // every iteration, same compile counts and cycles, same globals. Only
+  // meaningful when the inliner runs (with inlining off the heuristic is
+  // never consulted).
+  if (options.enable_inlining) {
+    Pcg32 srng(config_.seed, /*seq=*/0x736967ULL);  // "sig" stream
+    const auto& ranges = heur::param_ranges();
+    opt::SignatureOptions sopts;
+    sopts.adaptive = true;
+    const std::uint64_t base_sig = opt::decision_signature(prog, params_, limits, sopts).value;
+    std::optional<heur::InlineParams> aliased;
+    for (int v = 0; v < 4 && !aliased; ++v) {
+      heur::InlineParams::Array arr = params_.to_array();
+      const auto k = static_cast<std::size_t>(srng.bounded(static_cast<std::uint32_t>(arr.size())));
+      arr[k] = std::clamp(arr[k] + static_cast<int>(srng.bounded(5)) - 2,
+                          ranges[k].lo, ranges[k].hi);
+      if (arr == params_.to_array()) continue;
+      const heur::InlineParams candidate = heur::InlineParams::from_array(arr);
+      if (opt::decision_signature(prog, candidate, limits, sopts).value == base_sig) {
+        aliased = candidate;
+      }
+    }
+    if (aliased) {
+      const AdaptiveOutcome a = run_adaptive(params_);
+      const AdaptiveOutcome b = run_adaptive(*aliased);
+      if (a.ok != b.ok) {
+        record(TierKind::kSigEquiv,
+               std::string("signature-equal params disagree on trapping: ") +
+                   (a.ok ? "ok" : a.error) + " vs " + (b.ok ? "ok" : b.error));
+      } else if (a.ok) {
+        if (a.rr.iterations.size() != b.rr.iterations.size()) {
+          record(TierKind::kSigEquiv, "iteration counts differ");
+        } else {
+          for (std::size_t i = 0; i < a.rr.iterations.size(); ++i) {
+            const vm::IterationStats& ia = a.rr.iterations[i];
+            const vm::IterationStats& ib = b.rr.iterations[i];
+            const std::string sd = diff_stats(ia.exec, ib.exec);
+            if (!sd.empty()) {
+              record(TierKind::kSigEquiv,
+                     "iteration " + std::to_string(i + 1) + " ExecStats differ:" + sd);
+            }
+            if (ia.compile_cycles != ib.compile_cycles ||
+                ia.baseline_compiles != ib.baseline_compiles ||
+                ia.opt_compiles != ib.opt_compiles) {
+              record(TierKind::kSigEquiv,
+                     "iteration " + std::to_string(i + 1) + " compile stats differ");
+            }
+          }
+        }
+        if (a.rr.total_cycles != b.rr.total_cycles ||
+            a.rr.running_cycles != b.rr.running_cycles ||
+            a.rr.compile_cycles_all != b.rr.compile_cycles_all ||
+            a.rr.recompilations != b.rr.recompilations ||
+            a.rr.code_words_emitted != b.rr.code_words_emitted) {
+          record(TierKind::kSigEquiv, "aggregate run statistics differ");
+        }
+        const std::string gd = diff_globals(a.globals, b.globals);
+        if (!gd.empty()) record(TierKind::kSigEquiv, gd);
+      }
     }
   }
 

@@ -31,6 +31,16 @@
 // evaluation layer the tuner depends on: an engine that trips the wrong
 // budget (or none) under pressure corrupts penalized fitness silently.
 //
+// Finally a signature-equivalence tier guards the tuner's decision-
+// signature cache (opt/decision_probe.hpp): it perturbs the seed's
+// InlineParams a few times, and whenever a perturbed vector maps to the
+// *same* decision signature as the original over this program, both are run
+// through the full adaptive VM — every iteration's ExecStats, the compile
+// statistics, and the final globals must be bit-identical. A divergence
+// here means the signature is collapsing params that are in fact
+// behaviourally different, i.e. the evaluation cache would return wrong
+// fitness.
+//
 // The reference run also sets the dynamic-instruction budget for the other
 // tiers, so a transformation that introduces non-termination is reported as
 // a divergence rather than hanging the fuzzer.
@@ -82,7 +92,15 @@ struct OracleConfig {
   std::optional<rt::EngineKind> forced_engine;
 };
 
-enum class TierKind : std::uint8_t { kReference, kO1, kO2, kAdaptive, kEngineDiff, kBudgetDiff };
+enum class TierKind : std::uint8_t {
+  kReference,
+  kO1,
+  kO2,
+  kAdaptive,
+  kEngineDiff,
+  kBudgetDiff,
+  kSigEquiv,
+};
 
 const char* tier_name(TierKind t);
 

@@ -157,15 +157,16 @@ GaResult GeneticAlgorithm::run() {
     gs.best_genome = pop[bi];
     result.history.push_back(gs);
     if (config_.obs != nullptr && config_.obs->enabled(obs::Category::kGa)) {
+      std::vector<obs::Arg> args{{"generation", gs.generation},
+                                 {"best", gs.best},
+                                 {"mean", gs.mean},
+                                 {"worst", gs.worst},
+                                 {"diversity", gs.diversity},
+                                 {"evaluations", result.evaluations},
+                                 {"cache_hits", result.cache_hits}};
+      if (config_.generation_args) config_.generation_args(args);
       config_.obs->instant(obs::Category::kGa, "ga.generation", obs::Domain::kHost,
-                           config_.obs->host_now_us(),
-                           {{"generation", gs.generation},
-                            {"best", gs.best},
-                            {"mean", gs.mean},
-                            {"worst", gs.worst},
-                            {"diversity", gs.diversity},
-                            {"evaluations", result.evaluations},
-                            {"cache_hits", result.cache_hits}});
+                           config_.obs->host_now_us(), std::move(args));
     }
 
     if (gs.best < best_ever) {

@@ -64,6 +64,11 @@ struct GaConfig {
   /// Source of the evaluator's quarantine set, snapshotted into every
   /// checkpoint so a resumed run skips known-bad genomes immediately.
   std::function<std::vector<std::vector<int>>()> quarantine_source;
+  /// When set, invoked while assembling each per-generation "ga.generation"
+  /// trace instant; append extra obs::Args to enrich the event (the tuner
+  /// adds signature-collapse statistics this way). Only called when obs is
+  /// non-null and kGa tracing is enabled.
+  std::function<void(std::vector<obs::Arg>&)> generation_args;
 };
 
 struct GenerationStats {

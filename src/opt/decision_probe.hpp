@@ -1,0 +1,100 @@
+// Decision probe: replays the inliner's recursive decision procedure for a
+// program without transforming or executing any code.
+//
+// The probe walks a method exactly the way Inliner::run does — same
+// structural guards in the same order, same size arithmetic after simulated
+// splicing (bytecode/size_estimator), same depth/chain bookkeeping — and
+// records every heuristic consultation it predicts. Because the splice only
+// rewrites operands (and kRet into kJmp) while per-instruction word
+// estimates depend on the opcode alone, the probe's virtual size accounting
+// is exact, so its predicted decisions match the real inliner bit for bit
+// (enforced by tests/opt/decision_probe_test.cpp over the fuzz corpus).
+//
+// On top of the replay sits the decision *signature*: a canonical FNV-1a
+// hash of every decision the Figure 3/4 heuristic with a given parameter
+// vector would make over the program, across every profile-consistent
+// hot/cold labelling of call sites. Two parameter vectors with equal
+// signatures drive the optimizer to identical code at every compilation the
+// VM could ever perform, hence identical ExecStats — which is what lets the
+// SuiteEvaluator collapse behaviourally-equivalent genomes onto one cache
+// entry (see DESIGN.md "Decision-signature caching").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bytecode/program.hpp"
+#include "heuristics/heuristic.hpp"
+#include "opt/inliner.hpp"
+
+namespace ith::opt {
+
+/// One predicted heuristic consultation, mirroring the fields the Inliner
+/// attaches to its `inline.decision` trace events.
+struct ProbeDecision {
+  bc::MethodId root = -1;        ///< method being compiled
+  bc::MethodId callee = -1;
+  std::size_t call_pc = 0;       ///< pc of the kCall in the evolving body
+  int depth = 0;
+  int callee_size = 0;           ///< estimated words of the original callee
+  int caller_size = 0;           ///< estimated words of the evolving body
+  bool is_hot = false;
+  std::uint64_t site_count = 0;
+  bool inlined = false;
+  const char* rule = "opaque";
+};
+
+/// Replays Inliner::run's decision procedure under a concrete site oracle.
+class DecisionProbe {
+ public:
+  /// All references are non-owning and must outlive the probe. The
+  /// heuristic is consulted through decide() (the same entry point the
+  /// Inliner uses when tracing decisions).
+  DecisionProbe(const bc::Program& prog, const heur::InlineHeuristic& heuristic,
+                SiteOracle oracle = cold_site, InlineLimits limits = {});
+
+  /// Predicts every heuristic consultation Inliner::run(root) would make,
+  /// in consultation order. `stats` (optional) receives the InlineStats the
+  /// real run would report. No code is produced or mutated.
+  std::vector<ProbeDecision> probe_method(bc::MethodId root, InlineStats* stats = nullptr) const;
+
+ private:
+  const bc::Program& prog_;
+  const heur::InlineHeuristic& heuristic_;
+  SiteOracle oracle_;
+  InlineLimits limits_;
+};
+
+struct SignatureOptions {
+  /// Explore every profile-consistent hot/cold labelling of origin call
+  /// sites (the adaptive scenario, where recompilations can see any profile
+  /// state). False = a single all-cold replay (the all-opt scenario, whose
+  /// oracle is always cold_site).
+  bool adaptive = true;
+  /// Ceiling on consultations+forks across the whole program. Divergent
+  /// labellings explore a decision *tree*, which is exponential in the
+  /// worst case; past this budget the signature falls back to hashing the
+  /// raw parameter vector (sound — no collapse — and flagged `exact=false`).
+  std::size_t max_events = std::size_t{1} << 14;
+};
+
+struct SignatureResult {
+  std::uint64_t value = 0;
+  /// False when the event budget overflowed and `value` is merely the raw
+  /// parameter hash (still a valid cache key, just collapse-free).
+  bool exact = true;
+  std::uint64_t consultations = 0;  ///< heuristic consultations explored
+  std::uint64_t forks = 0;          ///< hot/cold divergences explored
+};
+
+/// Canonical decision signature of the Figure 3/4 heuristic with `params`
+/// over `prog`: equal signatures (with exact=true) imply the optimizer
+/// produces identical code at every compilation under either parameter
+/// vector, for every reachable profile state. Valid for heuristics whose
+/// verdict depends on the site profile only through `is_hot` (the Jikes
+/// fig3/fig4 family — site_count is ignored by the decision rules).
+SignatureResult decision_signature(const bc::Program& prog, const heur::InlineParams& params,
+                                   InlineLimits limits, const SignatureOptions& opts = {});
+
+}  // namespace ith::opt

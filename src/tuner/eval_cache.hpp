@@ -1,0 +1,34 @@
+// Persistent evaluation cache: serializes an EvalCacheSnapshot (the
+// SuiteEvaluator's signature->results map plus the quarantine) to a single
+// binary file, so a later tuning run against the same evaluator
+// configuration starts warm and skips every suite execution it has already
+// paid for. Format "ITHEVC1": 8-byte magic, payload size, FNV-1a checksum,
+// payload — the same tamper-evident envelope (and tmp+rename atomic
+// publish) as the GA checkpoint in resilience/checkpoint.hpp.
+//
+// The configuration fingerprint inside the snapshot is what makes reuse
+// safe: SuiteEvaluator::restore() refuses a snapshot whose fingerprint does
+// not match the live evaluator, so a cache recorded under a different
+// machine model / scenario / fault plan / workload set can never leak stale
+// results into a run.
+#pragma once
+
+#include <string>
+
+#include "tuner/evaluator.hpp"
+
+namespace ith::tuner {
+
+/// Writes the snapshot to `path` atomically (tmp file + rename): readers see
+/// the old cache or the new one, never a torn file. Throws ith::Error on I/O
+/// failure.
+void save_eval_cache(const std::string& path, const EvalCacheSnapshot& snap);
+
+/// Loads and validates a cache file. Throws ith::Error with a distinct
+/// message for each failure mode: unopenable file, bad magic, truncation,
+/// trailing bytes, checksum mismatch. Fingerprint compatibility is *not*
+/// checked here — that is SuiteEvaluator::restore()'s job, against the live
+/// configuration.
+EvalCacheSnapshot load_eval_cache(const std::string& path);
+
+}  // namespace ith::tuner

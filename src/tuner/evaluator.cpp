@@ -1,7 +1,10 @@
 #include "tuner/evaluator.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <string_view>
 
+#include "opt/decision_probe.hpp"
 #include "resilience/guard.hpp"
 #include "support/error.hpp"
 
@@ -31,6 +34,31 @@ const char* outcome_counter(const resilience::EvalOutcome& o) {
     case resilience::OutcomeKind::kCrash: return "resil.outcome.crash";
   }
   return "resil.outcome.crash";
+}
+
+std::uint64_t mix_u64(std::uint64_t h, std::uint64_t v) { return resilience::mix_keys(h, v); }
+
+std::uint64_t mix_double(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return mix_u64(h, bits);
+}
+
+std::uint64_t hash_program(const bc::Program& prog) {
+  std::uint64_t h = resilience::hash_string(prog.name());
+  h = mix_u64(h, prog.globals_size());
+  h = mix_u64(h, static_cast<std::uint64_t>(prog.entry()));
+  for (const bc::Method& m : prog.methods()) {
+    h = mix_u64(h, resilience::hash_string(m.name()));
+    h = mix_u64(h, static_cast<std::uint64_t>(m.num_args()));
+    h = mix_u64(h, static_cast<std::uint64_t>(m.num_locals()));
+    for (const bc::Instruction& insn : m.code()) {
+      h = mix_u64(h, static_cast<std::uint64_t>(insn.op));
+      h = mix_u64(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(insn.a)));
+      h = mix_u64(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(insn.b)));
+    }
+  }
+  return h;
 }
 
 }  // namespace
@@ -115,55 +143,114 @@ std::vector<BenchmarkResult> SuiteEvaluator::evaluate_heuristic(heur::InlineHeur
   return run_suite(h, fault_salt, /*allow_faults=*/true);
 }
 
-SuiteEvaluator::Results SuiteEvaluator::evaluate(const heur::InlineParams& params) {
+SuiteEvaluator::Signature SuiteEvaluator::signature_of(const heur::InlineParams& params) {
+  const ParamKey key = params.to_array();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = param_sigs_.find(key);
+    if (it != param_sigs_.end()) return it->second;
+  }
+
+  // Probe outside the lock: the signature is a pure function of (program,
+  // params, limits), so a concurrent duplicate probe lands the same value.
   obs::Context* const obs = config_.obs;
   const bool trace = obs != nullptr && obs->enabled(obs::Category::kEval);
-  const auto cache_event = [&](const char* what) {
-    if (trace) {
-      obs->instant(obs::Category::kEval, what, obs::Domain::kHost, obs->host_now_us(),
-                   {{"params", params.to_string()}});
-    }
-    if (obs != nullptr) obs->counter(what).add(1);
-  };
+  const std::uint64_t t0 = obs != nullptr ? obs->host_now_us() : 0;
 
-  const CacheKey key = params.to_array();
+  Signature sig = resilience::hash_string("ith-suite-signature-v1");
+  bool exact = true;
+  std::uint64_t consultations = 0;
+  std::uint64_t forks = 0;
+  if (!config_.vm_config.opt_options.enable_inlining) {
+    // With inlining off the heuristic is never consulted: every parameter
+    // vector compiles identically, so all params share one signature.
+    sig = mix_u64(sig, resilience::hash_string("inlining-disabled"));
+  } else {
+    opt::SignatureOptions opts;
+    opts.adaptive = config_.scenario == vm::Scenario::kAdapt;
+    for (const wl::Workload& w : suite_) {
+      const opt::SignatureResult r =
+          opt::decision_signature(w.program, params, config_.vm_config.inline_limits, opts);
+      sig = mix_u64(sig, r.value);
+      exact = exact && r.exact;
+      consultations += r.consultations;
+      forks += r.forks;
+    }
+  }
+
+  if (obs != nullptr) {
+    const std::uint64_t dur = obs->host_now_us() - t0;
+    obs->counter("sig.probes").add(1);
+    obs->counter("sig.probe_us").add(dur);
+    if (!exact) obs->counter("sig.overflow").add(1);
+    if (trace) {
+      obs->complete(obs::Category::kEval, "sig.probe", obs::Domain::kHost, t0, dur,
+                    {{"params", params.to_string()},
+                     {"signature", static_cast<std::int64_t>(sig)},
+                     {"consultations", consultations},
+                     {"forks", forks},
+                     {"exact", exact}});
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, fresh] = param_sigs_.emplace(key, sig);
+  if (fresh && obs != nullptr) {
+    bool collapsed = false;
+    for (const auto& [other_key, other_sig] : param_sigs_) {
+      if (other_sig == sig && other_key != key) {
+        collapsed = true;
+        break;
+      }
+    }
+    if (collapsed) obs->counter("sig.collapsed").add(1);
+  }
+  return it->second;
+}
+
+SuiteEvaluator::Results SuiteEvaluator::evaluate_signature(
+    Signature sig, bool allow_quarantine,
+    const std::function<std::vector<BenchmarkResult>()>& compute,
+    const std::function<void(const char*)>& cache_event) {
+  obs::Context* const obs = config_.obs;
   bool quarantined = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     bool waited = false;
     for (;;) {
-      const auto it = cache_.find(key);
+      const auto it = cache_.find(sig);
       if (it != cache_.end()) {
         cache_event(waited ? "eval.singleflight_wait" : "eval.cache_hit");
         return it->second;
       }
-      // Single-flight: if another thread is already evaluating this key,
-      // wait for its result instead of running the whole suite again.
-      if (in_flight_.find(key) == in_flight_.end()) break;
+      // Single-flight: if another thread is already evaluating this
+      // signature, wait for its result instead of running the whole suite
+      // again.
+      if (in_flight_.find(sig) == in_flight_.end()) break;
       waited = true;
       cv_.wait(lock);
     }
-    in_flight_.insert(key);
-    quarantined = quarantine_.find(key) != quarantine_.end();
+    in_flight_.insert(sig);
+    quarantined = allow_quarantine && quarantine_.find(sig) != quarantine_.end();
     if (!quarantined) ++evaluations_performed_;
   }
 
-  // From here until the key is cached, *any* exit — including a throwing
-  // trace sink inside cache_event or run_suite — must release the key, or
-  // single-flight waiters block forever. RAII, not a catch block, so no
-  // path can be missed. (Local classes have the enclosing member function's
-  // access rights, hence the private member touches.)
+  // From here until the signature is cached, *any* exit — including a
+  // throwing trace sink inside cache_event or the compute body — must
+  // release it, or single-flight waiters block forever. RAII, not a catch
+  // block, so no path can be missed. (Local classes have the enclosing
+  // member function's access rights, hence the private member touches.)
   struct InFlightRelease {
     SuiteEvaluator* self;
-    const CacheKey& key;
+    Signature sig;
     bool armed = true;
     ~InFlightRelease() {
       if (!armed) return;
       std::lock_guard<std::mutex> lock(self->mu_);
-      self->in_flight_.erase(key);
+      self->in_flight_.erase(sig);
       self->cv_.notify_all();
     }
-  } release{this, key};
+  } release{this, sig};
 
   std::vector<BenchmarkResult> results;
   if (quarantined) {
@@ -179,67 +266,65 @@ SuiteEvaluator::Results SuiteEvaluator::evaluate(const heur::InlineParams& param
     }
   } else {
     cache_event("eval.cache_miss");
-    heur::JikesHeuristic h(params);
-    results = run_suite(h, resilience::hash_string(params.to_string()),
-                        /*allow_faults=*/true);
+    results = compute();
     const bool any_failed = std::any_of(results.begin(), results.end(),
                                         [](const BenchmarkResult& r) { return !r.outcome.ok(); });
-    if (any_failed) {
+    if (allow_quarantine && any_failed) {
       if (obs != nullptr) obs->counter("resil.quarantined").add(1);
       std::lock_guard<std::mutex> lock(mu_);
-      quarantine_.insert(key);
+      quarantine_.insert(sig);
     }
   }
 
   std::lock_guard<std::mutex> lock(mu_);
   release.armed = false;  // the guard would deadlock re-locking mu_ from here
-  in_flight_.erase(key);
+  in_flight_.erase(sig);
   // Notify before emplace: if the insert throws, woken waiters re-check
   // under this same lock and simply become the new owner — no missed wakeup.
   cv_.notify_all();
-  return cache_.emplace(key, std::make_shared<std::vector<BenchmarkResult>>(std::move(results)))
+  return cache_.emplace(sig, std::make_shared<std::vector<BenchmarkResult>>(std::move(results)))
       .first->second;
+}
+
+SuiteEvaluator::Results SuiteEvaluator::evaluate(const heur::InlineParams& params) {
+  obs::Context* const obs = config_.obs;
+  const bool trace = obs != nullptr && obs->enabled(obs::Category::kEval);
+  const Signature sig = signature_of(params);
+  const auto cache_event = [&](const char* what) {
+    if (trace) {
+      obs->instant(obs::Category::kEval, what, obs::Domain::kHost, obs->host_now_us(),
+                   {{"params", params.to_string()}, {"signature", static_cast<std::int64_t>(sig)}});
+    }
+    if (obs != nullptr) {
+      obs->counter(what).add(1);
+      obs->counter(std::string_view(what) == "eval.cache_miss" ? "sig.misses" : "sig.hits").add(1);
+    }
+  };
+  // The fault salt is the *signature*, not the raw params: aliased param
+  // vectors must see identical fault draws, or a transient fault could make
+  // "behaviourally equivalent" genomes observably different.
+  return evaluate_signature(sig, /*allow_quarantine=*/true,
+                            [&] {
+                              heur::JikesHeuristic h(params);
+                              return run_suite(h, sig, /*allow_faults=*/true);
+                            },
+                            cache_event);
 }
 
 SuiteEvaluator::Results SuiteEvaluator::default_results() {
   const heur::InlineParams params = heur::default_params();
-  const CacheKey key = params.to_array();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    for (;;) {
-      const auto it = cache_.find(key);
-      if (it != cache_.end()) return it->second;
-      if (in_flight_.find(key) == in_flight_.end()) break;
-      cv_.wait(lock);
-    }
-    in_flight_.insert(key);
-    ++evaluations_performed_;
-  }
-
-  struct InFlightRelease {
-    SuiteEvaluator* self;
-    const CacheKey& key;
-    bool armed = true;
-    ~InFlightRelease() {
-      if (!armed) return;
-      std::lock_guard<std::mutex> lock(self->mu_);
-      self->in_flight_.erase(key);
-      self->cv_.notify_all();
-    }
-  } release{this, key};
-
+  const Signature sig = signature_of(params);
   // Faults suppressed: the baseline is the denominator of every normalized
-  // figure, so a chaos campaign must never see a penalized default run.
-  heur::JikesHeuristic h(params);
-  std::vector<BenchmarkResult> results =
-      run_suite(h, resilience::hash_string(params.to_string()), /*allow_faults=*/false);
-
-  std::lock_guard<std::mutex> lock(mu_);
-  release.armed = false;  // the guard would deadlock re-locking mu_ from here
-  in_flight_.erase(key);
-  cv_.notify_all();
-  return cache_.emplace(key, std::make_shared<std::vector<BenchmarkResult>>(std::move(results)))
-      .first->second;
+  // figure, so a chaos campaign must never see a penalized default run. The
+  // quarantine is bypassed for the same reason (a quarantined signature
+  // aliasing the defaults must not poison the baseline); no cache events
+  // are emitted, matching the historical behaviour of this path.
+  return evaluate_signature(sig, /*allow_quarantine=*/false,
+                            [&, params] {
+                              heur::JikesHeuristic h(params);
+                              return run_suite(h, sig, /*allow_faults=*/false);
+                            },
+                            [](const char*) {});
 }
 
 std::size_t SuiteEvaluator::cache_size() const {
@@ -252,21 +337,139 @@ std::uint64_t SuiteEvaluator::evaluations_performed() const {
   return evaluations_performed_;
 }
 
+std::size_t SuiteEvaluator::params_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return param_sigs_.size();
+}
+
+std::size_t SuiteEvaluator::signatures_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<Signature> distinct;
+  for (const auto& [key, sig] : param_sigs_) distinct.insert(sig);
+  return distinct.size();
+}
+
+std::uint64_t SuiteEvaluator::cache_fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fingerprint_.has_value()) return *fingerprint_;
+
+  std::uint64_t fp = resilience::hash_string("ith-eval-cache-v1");
+  const rt::MachineModel& m = config_.machine;
+  fp = mix_u64(fp, resilience::hash_string(m.name));
+  fp = mix_double(fp, m.baseline_cpi);
+  fp = mix_double(fp, m.mid_cpi);
+  fp = mix_double(fp, m.opt_cpi);
+  fp = mix_u64(fp, m.call_overhead_cycles);
+  fp = mix_u64(fp, m.icache_bytes);
+  fp = mix_u64(fp, m.icache_line_bytes);
+  fp = mix_u64(fp, m.icache_assoc);
+  fp = mix_u64(fp, m.icache_miss_cycles);
+  fp = mix_u64(fp, m.bytes_per_word);
+  fp = mix_double(fp, m.baseline_compile_cycles_per_word);
+  fp = mix_double(fp, m.opt_compile_cycles_per_word);
+  fp = mix_double(fp, m.opt_compile_exponent);
+  fp = mix_double(fp, m.clock_hz);
+  fp = mix_double(fp, m.mid_compile_fraction);
+
+  fp = mix_u64(fp, static_cast<std::uint64_t>(config_.scenario));
+  fp = mix_u64(fp, static_cast<std::uint64_t>(config_.iterations));
+  fp = mix_u64(fp, static_cast<std::uint64_t>(config_.max_retries));
+
+  const vm::VmConfig& v = config_.vm_config;
+  fp = mix_u64(fp, v.hot_method_threshold);
+  fp = mix_u64(fp, v.hot_site_threshold);
+  fp = mix_u64(fp, v.rehot_multiplier);
+  fp = mix_u64(fp, static_cast<std::uint64_t>(v.inline_limits.hard_depth_cap));
+  fp = mix_u64(fp, static_cast<std::uint64_t>(v.inline_limits.max_recursive_occurrences));
+  fp = mix_u64(fp, static_cast<std::uint64_t>(v.inline_limits.max_body_words));
+  fp = mix_u64(fp, v.simulate_icache ? 1 : 0);
+  fp = mix_u64(fp, v.enable_osr ? 1 : 0);
+  fp = mix_u64(fp, v.interp_options.max_instructions);
+  fp = mix_u64(fp, v.interp_options.max_frames);
+  fp = mix_u64(fp, v.interp_options.max_arena_words);
+  fp = mix_u64(fp, static_cast<std::uint64_t>(v.interp_options.engine));
+
+  const opt::OptimizerOptions& o = v.opt_options;
+  std::uint64_t flags = 0;
+  for (const bool b : {o.enable_inlining, o.enable_folding, o.enable_copyprop, o.enable_dce,
+                       o.enable_branch_simplify, o.enable_algebraic, o.enable_compare_fusion,
+                       o.enable_tail_recursion}) {
+    flags = (flags << 1) | (b ? 1 : 0);
+  }
+  fp = mix_u64(fp, flags);
+  fp = mix_u64(fp, static_cast<std::uint64_t>(o.max_iterations));
+
+  const resilience::RunBudget& b = v.budget;
+  fp = mix_u64(fp, b.max_sim_cycles);
+  fp = mix_u64(fp, b.max_compile_cycles);
+  fp = mix_u64(fp, b.max_instructions);
+  fp = mix_u64(fp, b.max_frame_depth);
+  fp = mix_u64(fp, b.max_arena_words);
+  fp = mix_u64(fp, b.max_wall_ms);
+
+  // Results under fault injection depend on the plan (penalized entries,
+  // attempt counts), so two runs only share a cache when their plans match.
+  if (v.faults != nullptr && v.faults->armed()) {
+    fp = mix_u64(fp, v.faults->seed);
+    fp = mix_double(fp, v.faults->rate);
+    fp = mix_u64(fp, v.faults->sites);
+    fp = mix_double(fp, v.faults->compile_inflation);
+  } else {
+    fp = mix_u64(fp, resilience::hash_string("no-faults"));
+  }
+
+  fp = mix_u64(fp, suite_.size());
+  for (const wl::Workload& w : suite_) {
+    fp = mix_u64(fp, resilience::hash_string(w.name));
+    fp = mix_u64(fp, hash_program(w.program));
+  }
+
+  fingerprint_ = fp;
+  return fp;
+}
+
+EvalCacheSnapshot SuiteEvaluator::snapshot() const {
+  EvalCacheSnapshot snap;
+  snap.fingerprint = cache_fingerprint();
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.entries.reserve(cache_.size());
+  for (const auto& [sig, results] : cache_) {
+    snap.entries.push_back(EvalCacheSnapshot::Entry{sig, *results});
+  }
+  snap.quarantined.assign(quarantine_.begin(), quarantine_.end());
+  return snap;
+}
+
+void SuiteEvaluator::restore(const EvalCacheSnapshot& snap) {
+  ITH_CHECK(snap.fingerprint == cache_fingerprint(),
+            "evaluation cache fingerprint mismatch (different evaluator configuration)");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const EvalCacheSnapshot::Entry& e : snap.entries) {
+    // Never displace a live entry: an in-flight owner is about to publish
+    // the same results anyway.
+    cache_.emplace(e.signature, std::make_shared<std::vector<BenchmarkResult>>(e.results));
+  }
+  quarantine_.insert(snap.quarantined.begin(), snap.quarantined.end());
+}
+
 std::vector<std::vector<int>> SuiteEvaluator::quarantined_keys() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::vector<int>> out;
   out.reserve(quarantine_.size());
-  for (const CacheKey& k : quarantine_) out.emplace_back(k.begin(), k.end());
+  for (const Signature sig : quarantine_) {
+    out.push_back({static_cast<int>(static_cast<std::uint32_t>(sig & 0xffffffffULL)),
+                   static_cast<int>(static_cast<std::uint32_t>(sig >> 32))});
+  }
   return out;
 }
 
 void SuiteEvaluator::preload_quarantine(const std::vector<std::vector<int>>& keys) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const std::vector<int>& k : keys) {
-    if (k.size() != std::tuple_size_v<CacheKey>) continue;
-    CacheKey key{};
-    std::copy(k.begin(), k.end(), key.begin());
-    quarantine_.insert(key);
+    if (k.size() != 2) continue;  // pre-signature (param-keyed) checkpoint entry
+    const Signature sig = static_cast<std::uint64_t>(static_cast<std::uint32_t>(k[0])) |
+                          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k[1])) << 32);
+    quarantine_.insert(sig);
   }
 }
 

@@ -1,13 +1,20 @@
 // SuiteEvaluator: runs a benchmark suite under a candidate heuristic and
 // reports per-benchmark running/total cycles. This is the expensive inner
-// loop of tuning, so results are memoized by parameter value.
+// loop of tuning, so results are memoized — in two levels. Level 1 maps a
+// parameter vector to its *decision signature* (a cheap static probe of
+// every inline decision the params imply; see opt/decision_probe.hpp).
+// Level 2 maps signatures to suite results. Distinct params that drive the
+// optimizer to identical decisions collapse onto one signature, so only one
+// of them ever pays for a real suite run.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <tuple>
@@ -44,7 +51,8 @@ struct EvalConfig {
   /// Observability context. Non-owning, may be null (= tracing off, zero
   /// cost); must outlive the evaluator. Overwrites vm_config.obs, so every
   /// VM the evaluator spins up traces into the same sink. Categories: kEval
-  /// (per-benchmark/per-suite spans, cache hit/miss/single-flight events).
+  /// (per-benchmark/per-suite spans, cache hit/miss/single-flight events,
+  /// sig.probe spans).
   obs::Context* obs = nullptr;
   /// Extra guarded attempts per benchmark after a *retryable* failure —
   /// one whose verdict can change on retry: injected faults (the fault key
@@ -56,9 +64,28 @@ struct EvalConfig {
   int max_retries = 2;
 };
 
+/// Serializable image of the evaluator's signature-level state: every
+/// signature with completed results plus the quarantine set, stamped with a
+/// fingerprint of everything that could change what a suite run returns
+/// (machine model, scenario, VM/optimizer configuration, fault plan,
+/// workload programs). eval_cache.hpp persists this as an ITHEVC1 file.
+struct EvalCacheSnapshot {
+  std::uint64_t fingerprint = 0;
+  struct Entry {
+    std::uint64_t signature = 0;
+    std::vector<BenchmarkResult> results;
+  };
+  std::vector<Entry> entries;
+  std::vector<std::uint64_t> quarantined;
+};
+
 class SuiteEvaluator {
  public:
   SuiteEvaluator(std::vector<wl::Workload> suite, EvalConfig config);
+
+  /// Decision signature of one parameter vector over the whole suite: the
+  /// level-2 cache key, the quarantine key, and the fault salt.
+  using Signature = std::uint64_t;
 
   /// One memoized suite run. Shared ownership: the pointer (and everything
   /// it reaches) stays valid for as long as the caller holds it, even after
@@ -67,21 +94,25 @@ class SuiteEvaluator {
   using Results = std::shared_ptr<const std::vector<BenchmarkResult>>;
 
   /// Runs every benchmark under the Figure 3/4 heuristic with `params`.
-  /// Memoized — repeated calls with equal params return the *same* shared
-  /// vector (pointer-identical). Concurrent calls with the same uncached
-  /// params are single-flighted: one caller runs the suite, the others
-  /// block until its result lands in the cache instead of recomputing it.
+  /// Memoized by decision signature — calls whose params imply the same
+  /// inline decisions (not merely equal params) return the *same* shared
+  /// vector (pointer-identical) after one cheap probe. Concurrent calls
+  /// with an uncached signature are single-flighted: one caller runs the
+  /// suite, the others block until its result lands in the cache instead
+  /// of recomputing it.
   ///
   /// Every benchmark executes under vm_config.budget via a guarded run:
   /// failures become penalized BenchmarkResults (see BenchmarkResult::
-  /// outcome), never exceptions. Params whose suite still fails after the
-  /// retry allowance are quarantined: later evaluations short-circuit to
-  /// the penalized result without re-running anything.
+  /// outcome), never exceptions. Signatures whose suite still fails after
+  /// the retry allowance are quarantined: later evaluations of *any* param
+  /// vector mapping to that signature short-circuit to the penalized
+  /// result without re-running anything.
   Results evaluate(const heur::InlineParams& params);
 
   /// Runs every benchmark under an arbitrary heuristic (not memoized).
   /// `fault_salt` differentiates fault-injection draws between logical
-  /// evaluations (the memoized path salts with the params hash).
+  /// evaluations (the memoized path salts with the decision signature, so
+  /// signature-aliased params see identical fault draws).
   std::vector<BenchmarkResult> evaluate_heuristic(heur::InlineHeuristic& h,
                                                   std::uint64_t fault_salt = 0) const;
 
@@ -91,44 +122,77 @@ class SuiteEvaluator {
   /// never corrupt the normalization baseline.
   Results default_results();
 
+  /// The level-1 lookup: memoized decision signature of `params`. Public
+  /// because collapse statistics and tests want the mapping without paying
+  /// for a suite run. First call per distinct params runs the probe (traced
+  /// as a "sig.probe" kEval span; counters sig.probes / sig.collapsed /
+  /// sig.overflow / sig.probe_us).
+  Signature signature_of(const heur::InlineParams& params);
+
   const std::vector<wl::Workload>& suite() const { return suite_; }
   const EvalConfig& config() const { return config_; }
   std::size_t cache_size() const;
   /// Number of full-suite evaluations actually performed by evaluate()
-  /// (cache hits and single-flight waiters excluded).
+  /// (cache hits, signature collapses and single-flight waiters excluded).
   std::uint64_t evaluations_performed() const;
+  /// Distinct parameter vectors probed so far (level-1 size).
+  std::size_t params_seen() const;
+  /// Distinct decision signatures those params collapsed onto.
+  std::size_t signatures_seen() const;
 
-  /// Quarantined parameter vectors, widened for checkpoint serialization.
+  /// Fingerprint of everything that determines suite results for a given
+  /// signature. Snapshots carry it; restore() refuses a mismatch.
+  std::uint64_t cache_fingerprint() const;
+
+  /// Copies the completed signature->results entries and the quarantine
+  /// set. In-flight evaluations are not included.
+  EvalCacheSnapshot snapshot() const;
+  /// Merges a snapshot produced by an identically-configured evaluator:
+  /// restored entries satisfy later evaluate() calls without a run (and
+  /// without counting as evaluations_performed). Throws ith::Error when the
+  /// snapshot's fingerprint does not match cache_fingerprint().
+  void restore(const EvalCacheSnapshot& snap);
+
+  /// Quarantined signatures, widened for checkpoint serialization (two
+  /// ints per signature: low word, high word).
   std::vector<std::vector<int>> quarantined_keys() const;
   /// Re-arms the quarantine from a checkpoint; entries with the wrong arity
-  /// are ignored (a checkpoint from a different space fails its fingerprint
-  /// check long before this).
+  /// are ignored (this silently drops quarantine entries from pre-signature
+  /// checkpoints, which merely costs a re-evaluation).
   void preload_quarantine(const std::vector<std::vector<int>>& keys);
 
  private:
-  /// Memoization key: the flattened parameter vector. Sized from
+  /// Level-1 key: the flattened parameter vector. Sized from
   /// InlineParams::kNumParams (not a literal) so growing InlineParams by a
   /// field can never silently alias cache entries — the sizeof bridge in
   /// inline_params.hpp refuses to compile until kNumParams (and with it
   /// this key) is widened too.
-  using CacheKey = heur::InlineParams::Array;
-  static_assert(std::tuple_size_v<CacheKey> == heur::InlineParams::kNumParams);
+  using ParamKey = heur::InlineParams::Array;
+  static_assert(std::tuple_size_v<ParamKey> == heur::InlineParams::kNumParams);
 
   /// The uncached evaluation path: every benchmark through guarded_run with
   /// the retry loop. `allow_faults` is false for the default-params baseline.
   std::vector<BenchmarkResult> run_suite(heur::InlineHeuristic& h, std::uint64_t fault_salt,
                                          bool allow_faults) const;
 
+  /// Shared single-flight body of evaluate()/default_results(): looks up /
+  /// claims `sig`, running `compute` only when this caller owns the miss.
+  Results evaluate_signature(Signature sig, bool allow_quarantine,
+                             const std::function<std::vector<BenchmarkResult>()>& compute,
+                             const std::function<void(const char*)>& cache_event);
+
   std::vector<wl::Workload> suite_;
   EvalConfig config_;
-  std::map<CacheKey, Results> cache_;
-  /// Keys currently being evaluated by some thread; guarded by mu_.
+  std::map<ParamKey, Signature> param_sigs_;  ///< level 1; guarded by mu_
+  std::map<Signature, Results> cache_;        ///< level 2; guarded by mu_
+  /// Signatures currently being evaluated by some thread; guarded by mu_.
   /// Waiters block on cv_ until the owning thread caches the result (or
-  /// abandons the key by exception) rather than re-running the suite.
-  std::set<CacheKey> in_flight_;
-  /// Params whose suite failed even after retries; guarded by mu_.
-  std::set<CacheKey> quarantine_;
+  /// abandons the signature by exception) rather than re-running the suite.
+  std::set<Signature> in_flight_;
+  /// Signatures whose suite failed even after retries; guarded by mu_.
+  std::set<Signature> quarantine_;
   std::uint64_t evaluations_performed_ = 0;
+  mutable std::optional<std::uint64_t> fingerprint_;  ///< guarded by mu_
   mutable std::mutex mu_;
   std::condition_variable cv_;
 };

@@ -24,12 +24,32 @@ TuneResult tune(SuiteEvaluator& evaluator, Goal goal, ga::GaConfig ga_config,
     }
   }
 
+  // Per-generation signature-collapse statistics: how many distinct param
+  // vectors the GA has asked about versus how many distinct decision
+  // signatures (= real suite runs, at most) they collapsed onto.
+  ga_config.generation_args = [&evaluator](std::vector<obs::Arg>& args) {
+    const std::uint64_t params_seen = evaluator.params_seen();
+    const std::uint64_t sigs_seen = evaluator.signatures_seen();
+    args.push_back({"distinct_params", params_seen});
+    args.push_back({"distinct_signatures", sigs_seen});
+    args.push_back({"collapse_ratio", sigs_seen == 0 ? 1.0
+                                                     : static_cast<double>(params_seen) /
+                                                           static_cast<double>(sigs_seen)});
+  };
+
   ga::GeneticAlgorithm algo(space, make_fitness(evaluator, goal), ga_config);
   if (checkpoint.on_generation) algo.set_progress(checkpoint.on_generation);
   TuneResult result;
   result.ga = algo.run();
   result.best = params_from_genome(result.ga.best);
   result.best_fitness = result.ga.best_fitness;
+  if (ga_config.obs != nullptr) {
+    const std::uint64_t params_seen = evaluator.params_seen();
+    const std::uint64_t sigs_seen = evaluator.signatures_seen();
+    ga_config.obs->counter("ga.distinct_params").add(params_seen);
+    ga_config.obs->counter("ga.distinct_signatures").add(sigs_seen);
+    ga_config.obs->counter("ga.evaluations_saved").add(params_seen - sigs_seen);
+  }
   return result;
 }
 

@@ -50,17 +50,39 @@ TEST(SuiteEvaluatorSingleFlight, ConcurrentSameKeyEvaluatesOnce) {
   EXPECT_EQ(eval.evaluations_performed(), 1u);
 }
 
-TEST(SuiteEvaluatorSingleFlight, DistinctKeysEvaluateIndependently) {
+TEST(SuiteEvaluatorSingleFlight, DistinctSignaturesEvaluateIndependently) {
   tuner::SuiteEvaluator eval = make_small_evaluator();
   heur::InlineParams a = heur::default_params();
   heur::InlineParams b = heur::default_params();
-  b.max_inline_depth += 1;
+  // Params that imply different inline decisions (refuse everything) — a
+  // mere numeric tweak would collapse onto a's decision signature and share
+  // its cache slot.
+  b.callee_max_size = 0;
+  b.always_inline_size = 0;
+  ASSERT_NE(eval.signature_of(a), eval.signature_of(b));
   std::thread ta([&] { eval.evaluate(a); });
   std::thread tb([&] { eval.evaluate(b); });
   ta.join();
   tb.join();
   EXPECT_EQ(eval.evaluations_performed(), 2u);
   EXPECT_EQ(eval.cache_size(), 2u);
+}
+
+TEST(SuiteEvaluatorSingleFlight, AliasedParamsCollapseOntoOneEvaluation) {
+  tuner::SuiteEvaluator eval = make_small_evaluator();
+  heur::InlineParams a = heur::default_params();
+  heur::InlineParams b = heur::default_params();
+  // Raising a cap that is not the binding constraint changes no decision, so
+  // both params map to one signature and the second call is a pure hit.
+  b.max_inline_depth += 1;
+  ASSERT_EQ(eval.signature_of(a), eval.signature_of(b));
+  const tuner::SuiteEvaluator::Results ra = eval.evaluate(a);
+  const tuner::SuiteEvaluator::Results rb = eval.evaluate(b);
+  EXPECT_EQ(ra.get(), rb.get());  // pointer-identical shared results
+  EXPECT_EQ(eval.evaluations_performed(), 1u);
+  EXPECT_EQ(eval.cache_size(), 1u);
+  EXPECT_EQ(eval.params_seen(), 2u);
+  EXPECT_EQ(eval.signatures_seen(), 1u);
 }
 
 // Benchmark failures are guarded now (they become penalized results, not

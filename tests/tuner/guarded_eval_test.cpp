@@ -18,7 +18,11 @@ namespace {
 
 heur::InlineParams candidate_params() {
   heur::InlineParams p = heur::default_params();
-  p.max_inline_depth += 1;  // distinct from the default-baseline cache key
+  // The cache is keyed by decision signature, so merely tweaking a param is
+  // not enough to get a fresh cache slot — the *decisions* must change.
+  // Refusing every callee is guaranteed to differ from the defaults.
+  p.callee_max_size = 0;
+  p.always_inline_size = 0;
   return p;
 }
 
@@ -76,7 +80,10 @@ TEST(GuardedEvaluation, TransientFaultIsRetriedToSuccess) {
   const heur::InlineParams params = candidate_params();
   // Replicate the evaluator's fault-key derivation and pick a plan seed for
   // which attempt 0 faults and attempt 1 does not — the retry must clear it.
-  const std::uint64_t salt = resilience::hash_string(params.to_string());
+  // The salt is the decision signature (not the raw params), so that
+  // signature-aliased params draw identical faults; the signature ignores
+  // the fault plan, so a fault-free evaluator can compute it up front.
+  const std::uint64_t salt = make_evaluator(nullptr, /*retries=*/0).signature_of(params);
   const std::uint64_t key0 =
       resilience::mix_keys(salt, resilience::mix_keys(resilience::hash_string("db"), 0));
   const std::uint64_t key1 =

@@ -1,20 +1,120 @@
-// Writes the interpreter perf-trajectory data point: runs the dispatch
-// micro-benchmark over both engines and emits BENCH_interpreter.json
-// (instructions/sec and ns/instruction per engine, fixed workloads, pinned
-// seed). CI uploads the file as an artifact; committing a refreshed copy at
-// the repo root records the trajectory commit-over-commit.
+// Writes perf-trajectory data points. Two modes:
 //
-//   bench_json [OUTPUT_PATH]     (default: BENCH_interpreter.json)
+//   bench_json [OUTPUT_PATH]
+//     Runs the dispatch micro-benchmark over both engines and emits
+//     BENCH_interpreter.json (instructions/sec and ns/instruction per
+//     engine, fixed workloads, pinned seed).
+//
+//   bench_json --tuning [OUTPUT_PATH]
+//     Times one cold and one warm tuning run (default GA config, fixed
+//     seed) and emits BENCH_tuning.json: tune wall-clock for each, the
+//     signature-collapse statistics, and how many real suite evaluations
+//     the two cache levels saved. The warm run restores the cold run's
+//     evaluation-cache snapshot, so it must perform zero real suite
+//     executions and land on the identical winner — both are recorded.
+//
+// CI uploads the files as artifacts; committing a refreshed copy at the
+// repo root records the trajectory commit-over-commit.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "dispatch_bench.hpp"
 #include "support/error.hpp"
+#include "tuner/parameter_space.hpp"
+#include "tuner/tuner.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+struct TuneSample {
+  double seconds = 0.0;
+  std::uint64_t params_seen = 0;
+  std::uint64_t distinct_signatures = 0;
+  std::uint64_t real_evaluations = 0;
+  std::string winner;
+  double fitness = 0.0;
+};
+
+TuneSample timed_tune(ith::tuner::SuiteEvaluator& evaluator, const ith::ga::GaConfig& ga_cfg) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const ith::tuner::TuneResult result =
+      ith::tuner::tune(evaluator, ith::tuner::Goal::kTotal, ga_cfg, {});
+  const auto t1 = clock::now();
+  TuneSample s;
+  s.seconds = std::chrono::duration<double>(t1 - t0).count();
+  s.params_seen = evaluator.params_seen();
+  s.distinct_signatures = evaluator.signatures_seen();
+  s.real_evaluations = evaluator.evaluations_performed();
+  s.winner = result.best.to_string();
+  s.fitness = result.best_fitness;
+  return s;
+}
+
+int run_tuning_bench(const std::string& path) {
+  constexpr int kGenerations = 8;
+  constexpr std::uint64_t kSeed = 42;
+  const std::string suite_name = "specjvm98";
+
+  ith::ga::GaConfig ga_cfg = ith::tuner::default_ga_config(kGenerations, kSeed);
+  ga_cfg.seed_individuals.push_back(
+      ith::tuner::genome_from_params(ith::heur::default_params(), /*include_hot=*/true));
+
+  ith::tuner::EvalConfig ec;  // defaults: Pentium-4 model, Adapt, 2 iterations
+  ith::tuner::SuiteEvaluator cold_eval(ith::wl::make_suite(suite_name), ec);
+  const TuneSample cold = timed_tune(cold_eval, ga_cfg);
+
+  ith::tuner::SuiteEvaluator warm_eval(ith::wl::make_suite(suite_name), ec);
+  warm_eval.restore(cold_eval.snapshot());
+  const TuneSample warm = timed_tune(warm_eval, ga_cfg);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_json: cannot write " << path << "\n";
+    return 1;
+  }
+  char buf[64];
+  auto num = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+    return std::string(buf);
+  };
+  out << "{\n"
+      << "  \"benchmark\": \"tuning_eval_cache\",\n"
+      << "  \"unit\": \"seconds per tuning run\",\n"
+      << "  \"config\": {\"suite\": \"" << suite_name << "\", \"generations\": " << kGenerations
+      << ", \"population\": " << ga_cfg.population << ", \"seed\": " << kSeed << "},\n"
+      << "  \"cold\": {\"seconds\": " << num(cold.seconds)
+      << ", \"params_seen\": " << cold.params_seen
+      << ", \"distinct_signatures\": " << cold.distinct_signatures
+      << ", \"real_evaluations\": " << cold.real_evaluations << "},\n"
+      << "  \"warm\": {\"seconds\": " << num(warm.seconds)
+      << ", \"real_evaluations\": " << warm.real_evaluations << "},\n"
+      << "  \"evaluations_saved_by_collapse\": " << (cold.params_seen - cold.distinct_signatures)
+      << ",\n"
+      << "  \"evaluations_saved_by_persistence\": "
+      << (warm.distinct_signatures - warm.real_evaluations) << ",\n"
+      << "  \"warm_speedup\": " << num(warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0)
+      << ",\n"
+      << "  \"winners_match\": " << (cold.winner == warm.winner ? "true" : "false") << ",\n"
+      << "  \"winner\": \"" << cold.winner << "\"\n"
+      << "}\n";
+  std::cout << "wrote " << path << " (cold " << num(cold.seconds) << "s, warm "
+            << num(warm.seconds) << "s, " << cold.real_evaluations << " real evaluations for "
+            << cold.params_seen << " params; warm real evaluations " << warm.real_evaluations
+            << ", winners " << (cold.winner == warm.winner ? "match" : "DIFFER") << ")\n";
+  return cold.winner == warm.winner && warm.real_evaluations == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  const std::string path = argc > 1 ? argv[1] : "BENCH_interpreter.json";
   try {
+    if (argc > 1 && std::string(argv[1]) == "--tuning") {
+      return run_tuning_bench(argc > 2 ? argv[2] : "BENCH_tuning.json");
+    }
+    const std::string path = argc > 1 ? argv[1] : "BENCH_interpreter.json";
     ith::bench::DispatchBenchConfig config;
     const auto results = ith::bench::run_dispatch_bench(config);
     std::ofstream out(path);

@@ -37,6 +37,12 @@
 //   --resume               continue from --checkpoint instead of starting over
 //   --kill-at=G            exit(3) right after generation G's checkpoint lands
 //   --trace=PATH           write a JSONL trace (feed it to trace_report)
+//   --eval-cache=PATH      persistent evaluation cache: load it before the
+//                          tune (cold start if absent; warn and start cold on
+//                          corruption/fingerprint mismatch) and save the
+//                          merged cache back after. A warm cache whose
+//                          configuration matches performs zero real suite
+//                          executions. Composes with --resume.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -51,6 +57,7 @@
 #include "resilience/fault.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "tuner/eval_cache.hpp"
 #include "tuner/parameter_space.hpp"
 #include "tuner/tuner.hpp"
 #include "workloads/suite.hpp"
@@ -147,6 +154,22 @@ int main(int argc, char** argv) {
     if (plan.armed()) ec.vm_config.faults = &plan;
     tuner::SuiteEvaluator evaluator(std::move(suite), ec);
 
+    const std::string eval_cache_path = cli.get_or("eval-cache", "");
+    if (!eval_cache_path.empty()) {
+      if (std::ifstream(eval_cache_path).good()) {
+        try {
+          evaluator.restore(tuner::load_eval_cache(eval_cache_path));
+          std::cout << "eval-cache: warm start from " << eval_cache_path << " ("
+                    << evaluator.cache_size() << " cached suite evaluations)\n";
+        } catch (const Error& e) {
+          // A stale or corrupt cache costs re-evaluation, never correctness.
+          std::cerr << "warning: ignoring evaluation cache: " << e.what() << "\n";
+        }
+      } else {
+        std::cout << "eval-cache: cold start (no file at " << eval_cache_path << ")\n";
+      }
+    }
+
     ga::GaConfig ga_cfg;
     ga_cfg.population = static_cast<int>(cli.get_int_or("pop", 8));
     ga_cfg.generations = static_cast<int>(cli.get_int_or("generations", 6));
@@ -187,9 +210,22 @@ int main(int argc, char** argv) {
     ctx.flush();
     sink.reset();
 
+    if (!eval_cache_path.empty()) {
+      tuner::save_eval_cache(eval_cache_path, evaluator.snapshot());
+      std::cout << "eval-cache: saved " << evaluator.cache_size() << " suite evaluations to "
+                << eval_cache_path << "\n";
+    }
+
     std::cout << "BEST " << result.best.to_string() << " fitness=" << result.best_fitness << "\n";
     std::cout << "evaluations=" << result.ga.evaluations << " cache_hits=" << result.ga.cache_hits
               << " generations_run=" << result.ga.history.size() << "\n";
+    const std::uint64_t params_seen = evaluator.params_seen();
+    const std::uint64_t sigs_seen = evaluator.signatures_seen();
+    const std::uint64_t real_evals = evaluator.evaluations_performed();
+    std::cout << "eval-cache: params_seen=" << params_seen << " distinct_signatures=" << sigs_seen
+              << " real_evaluations=" << real_evals
+              << " saved_by_collapse=" << (params_seen - sigs_seen)
+              << " saved_by_persistence=" << (sigs_seen - std::min(sigs_seen, real_evals)) << "\n";
 
     std::uint64_t ok = 0, failed = 0;
     std::cout << "resilience counters:\n";

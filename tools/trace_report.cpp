@@ -196,6 +196,47 @@ int main(int argc, char** argv) {
       t.render(std::cout);
     }
 
+    // Signature cache: the decision-probe layer's counters (probe activity,
+    // hit/miss traffic at the signature-keyed result cache) plus the
+    // tuner's collapse totals, summarized so a tuning trace answers "how
+    // many suite runs did the cache save" at a glance.
+    std::map<std::string, std::int64_t> sig_counters;
+    for (const auto& [name, v] : counters) {
+      if (name.rfind("sig.", 0) == 0 || name.rfind("ga.distinct_", 0) == 0 ||
+          name == "ga.evaluations_saved") {
+        sig_counters[name] = v;
+      }
+    }
+    if (!sig_counters.empty()) {
+      Table t({"signature counter", "value"});
+      for (const auto& [name, v] : sig_counters) t.add_row({name, std::to_string(v)});
+      std::cout << "\nSignature cache (decision-probe collapse):\n";
+      t.render(std::cout);
+      auto val = [&](const char* k) {
+        return sig_counters.count(k) ? sig_counters[k] : std::int64_t{0};
+      };
+      const std::int64_t hits = val("sig.hits");
+      const std::int64_t misses = val("sig.misses");
+      if (hits + misses > 0) {
+        std::cout << "signature cache hit rate: " << hits << "/" << (hits + misses) << " ("
+                  << cell(100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses),
+                          1)
+                  << "%)\n";
+      }
+      const std::int64_t dp = val("ga.distinct_params");
+      const std::int64_t ds = val("ga.distinct_signatures");
+      if (ds > 0) {
+        std::cout << "collapse: " << dp << " distinct params -> " << ds << " signatures ("
+                  << cell(static_cast<double>(dp) / static_cast<double>(ds), 2)
+                  << "x fewer suite runs)\n";
+      }
+      const std::int64_t probes = val("sig.probes");
+      if (probes > 0) {
+        std::cout << "probe cost: " << val("sig.probe_us") << " us over " << probes
+                  << " probes\n";
+      }
+    }
+
     // Failures: the resilience layer's counters (guarded-run outcomes by
     // kind, retries, quarantine activity), pulled out of the counter table
     // into their own section so a chaos campaign's survival story is
