@@ -35,9 +35,10 @@ enum class Category : std::uint32_t {
   kInline = 1u << 3,   ///< per-call-site inlining decisions (voluminous)
   kEval = 1u << 4,     ///< suite evaluator: benchmark runs, cache traffic
   kGa = 1u << 5,       ///< GA per-generation fitness/diversity
+  kServe = 1u << 6,    ///< serving tier: epochs, installs, retune verdicts
 };
 
-inline constexpr std::uint32_t kAllCategories = 0x3f;
+inline constexpr std::uint32_t kAllCategories = 0x7f;
 
 const char* category_name(Category c);
 

@@ -8,7 +8,7 @@ namespace {
 
 bool known_category(const std::string& cat) {
   for (const Category c : {Category::kVm, Category::kCompile, Category::kOpt, Category::kInline,
-                           Category::kEval, Category::kGa}) {
+                           Category::kEval, Category::kGa, Category::kServe}) {
     if (cat == category_name(c)) return true;
   }
   return false;

@@ -1,0 +1,118 @@
+// OnlineController: decides whether a candidate parameter vector is worth
+// installing on the serving fleet.
+//
+// Candidates come from a shadow GA running over the *batch* variants of the
+// serving workloads (same handler methods, LCG-generated requests — see
+// workloads.hpp), evaluated through a SuiteEvaluator so all the offline
+// machinery applies unchanged: decision-signature collapse, guarded
+// evaluation, retry-then-quarantine. On top of that the controller adds the
+// serving-specific gates, in order:
+//
+//   1. signature skip   — the candidate's decision signature equals the
+//                         installed one: the optimizer would compile
+//                         identical code, so an install would pay a full
+//                         recompilation storm for a guaranteed no-op.
+//   2. quarantine retry — a quarantined signature gets ONE release+re-run
+//                         (release_quarantine); without this, a seed genome
+//                         quarantined by a transient fault pins every later
+//                         retune of that genome to the penalty result
+//                         forever (starvation — the offline GA just mutates
+//                         away, but a controller keeps proposing the
+//                         incumbent's neighborhood).
+//   3. fault gate       — any benchmark with a non-ok guarded outcome
+//                         rejects the candidate: never install a genome the
+//                         shadow run could not complete.
+//   4. SLO gate         — reject when the predicted post-install worst-case
+//                         request (recompilation storm + one steady-state
+//                         request) exceeds the SLO envelope.
+//   5. improvement gate — install only on a strict fitness improvement over
+//                         the currently-installed parameters.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "heuristics/inline_params.hpp"
+#include "obs/context.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/fitness.hpp"
+
+namespace ith::serving {
+
+struct OnlineTunerConfig {
+  tuner::Goal goal = tuner::Goal::kBalance;
+  /// Request-latency envelope in simulated cycles; 0 disables the SLO gate.
+  std::uint64_t slo_cycles = 0;
+  /// Enables gate 2 (one release+re-run per quarantined signature).
+  bool retry_quarantined = true;
+  obs::Context* obs = nullptr;
+};
+
+enum class RetuneAction : std::uint8_t {
+  kInstalled,
+  kSkippedSignature,
+  kSkippedWorse,
+  kRejectedFault,
+  kRejectedSlo,
+};
+
+const char* retune_action_name(RetuneAction a);
+
+struct RetuneDecision {
+  RetuneAction action = RetuneAction::kSkippedSignature;
+  tuner::SuiteEvaluator::Signature signature = 0;
+  /// Candidate's normalized suite fitness (only when the shadow run
+  /// happened, i.e. not kSkippedSignature).
+  double fitness = 0.0;
+  /// Predicted worst-case request after an install: recompilation storm
+  /// plus one steady-state request, max over workloads.
+  std::uint64_t predicted_worst = 0;
+  bool released_quarantine = false;
+};
+
+class OnlineController {
+ public:
+  struct Stats {
+    std::size_t considered = 0;
+    std::size_t installed = 0;
+    std::size_t skipped_signature = 0;
+    std::size_t skipped_worse = 0;
+    std::size_t rejected_fault = 0;
+    std::size_t rejected_slo = 0;
+    std::size_t quarantine_released = 0;
+  };
+
+  /// `shadow` must evaluate the kBatch serving suite and outlive the
+  /// controller. The initial parameters are evaluated immediately (they are
+  /// the improvement gate's baseline) — with fault injection active this can
+  /// itself quarantine; consider() then applies the retry path.
+  OnlineController(tuner::SuiteEvaluator& shadow, heur::InlineParams initial,
+                   OnlineTunerConfig config);
+
+  /// Runs the five gates over one candidate. Never throws on candidate
+  /// failures (they are data). On kInstalled the controller's installed
+  /// state advances; physically swapping the fleet's VMs is the driver's
+  /// job (rollout policy).
+  RetuneDecision consider(const heur::InlineParams& candidate);
+
+  const heur::InlineParams& installed() const { return installed_; }
+  double installed_fitness() const { return installed_fitness_; }
+  tuner::SuiteEvaluator::Signature installed_signature() const { return installed_sig_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  double fitness_of(const tuner::SuiteEvaluator::Results& results);
+  /// Max over workloads of (total - running) + ceil(running / kBatchRequests).
+  static std::uint64_t predict_worst(const std::vector<tuner::BenchmarkResult>& results);
+
+  tuner::SuiteEvaluator& shadow_;
+  OnlineTunerConfig config_;
+  heur::InlineParams installed_;
+  tuner::SuiteEvaluator::Signature installed_sig_ = 0;
+  double installed_fitness_ = 0.0;
+  /// Signatures already granted their one quarantine release.
+  std::set<tuner::SuiteEvaluator::Signature> released_;
+  Stats stats_;
+};
+
+}  // namespace ith::serving

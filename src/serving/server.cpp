@@ -1,0 +1,64 @@
+#include "serving/server.hpp"
+
+#include <utility>
+
+#include "serving/workloads.hpp"
+
+namespace ith::serving {
+
+ServerInstance::ServerInstance(const bc::Program& prog, const rt::MachineModel& machine,
+                               heur::InlineParams params, InstanceOptions opts)
+    : prog_(prog), machine_(machine), params_(params), opts_(opts) {
+  rebuild();
+}
+
+void ServerInstance::rebuild() {
+  heuristic_ = std::make_unique<heur::JikesHeuristic>(params_);
+  vm::VmConfig cfg;
+  cfg.scenario = opts_.scenario;
+  cfg.interp_options = opts_.interp;
+  cfg.obs = opts_.obs;
+  cfg.budget = opts_.budget;
+  cfg.faults = opts_.faults;
+  // The hook reads the mailbox this instance's serve() fills; `this` is
+  // stable because the driver holds instances by unique_ptr.
+  cfg.iteration_input = [this](int /*iteration*/, std::vector<std::int64_t>& globals) {
+    globals[kSlotKey] = in_key_;
+    globals[kSlotOp] = in_op_;
+    globals[kSlotSize] = in_size_;
+  };
+  vm_ = std::make_unique<vm::VirtualMachine>(prog_, machine_, *heuristic_, cfg);
+}
+
+ServeResult ServerInstance::serve(const Request& req) {
+  in_key_ = req.key;
+  in_op_ = req.op;
+  in_size_ = req.size;
+  vm_->set_fault_key(resilience::mix_keys(opts_.fault_key, req.id));
+  ++served_;
+  ServeResult r;
+  try {
+    const vm::RunResult run = vm_->run(1);
+    r.service_cycles = run.total_cycles;
+    r.ok = true;
+    r.outcome = resilience::EvalOutcome::make_ok();
+  } catch (...) {
+    r.outcome = resilience::classify_current_exception();
+    r.ok = false;
+    ++faults_;
+    if (opts_.obs != nullptr) opts_.obs->counter("serve.request_faults").add(1);
+    // A faulted VM may hold partial state (half-run setup, tripped budget
+    // bookkeeping); rebuild so the fault stays confined to this request.
+    rebuild();
+  }
+  return r;
+}
+
+void ServerInstance::install(const heur::InlineParams& params) {
+  params_ = params;
+  rebuild();
+  ++installs_;
+  if (opts_.obs != nullptr) opts_.obs->counter("serve.installs").add(1);
+}
+
+}  // namespace ith::serving

@@ -1,0 +1,104 @@
+// ServerInstance: one long-lived VM serving requests.
+//
+// The batch pipeline builds a fresh VirtualMachine per evaluation; the
+// serving tier inverts that. An instance owns a persistent VM and executes
+// exactly one request per run(1) call, so compiled code, profile counters
+// and the instruction cache stay warm across requests, state built by the
+// program's setup() persists in the globals (VmConfig::iteration_input
+// suppresses the per-iteration reset), and a request that trips method
+// promotion pays that recompilation inside its own latency — the
+// tail-latency coupling this tier exists to measure.
+//
+// install() swaps the inlining parameters by rebuilding the VM: all code is
+// dropped and the next requests absorb the recompilation storm plus a
+// setup() re-run, exactly like a JIT flushing its code cache on a heuristic
+// change. serve() never throws: a request that faults (injected fault,
+// budget trip, runtime trap) reports ok=false and the instance rebuilds
+// itself so later requests see a healthy VM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bytecode/program.hpp"
+#include "heuristics/heuristic.hpp"
+#include "obs/context.hpp"
+#include "resilience/budget.hpp"
+#include "resilience/fault.hpp"
+#include "runtime/machine.hpp"
+#include "vm/vm.hpp"
+
+namespace ith::serving {
+
+/// One request of the open-loop arrival stream.
+struct Request {
+  std::uint64_t id = 0;       ///< global sequence number (stable record slot)
+  std::uint64_t arrival = 0;  ///< arrival time, simulated cycles
+  std::int64_t key = 0;
+  std::int64_t op = 0;
+  std::int64_t size = 0;
+};
+
+/// What one serve() call measured.
+struct ServeResult {
+  /// Simulated cycles the request consumed (execution + any compilation it
+  /// triggered). Meaningful only when ok.
+  std::uint64_t service_cycles = 0;
+  bool ok = false;
+  resilience::EvalOutcome outcome{};
+};
+
+struct InstanceOptions {
+  vm::Scenario scenario = vm::Scenario::kAdapt;
+  rt::InterpreterOptions interp{};
+  /// Per-request resource envelope (0 = unlimited); enforced by the VM.
+  resilience::RunBudget budget{};
+  /// Fault plan + per-instance key component; each request additionally
+  /// mixes its id so every request sees an independent draw.
+  const resilience::FaultPlan* faults = nullptr;
+  std::uint64_t fault_key = 0;
+  obs::Context* obs = nullptr;
+};
+
+class ServerInstance {
+ public:
+  /// `prog` must outlive the instance (the machine model is copied).
+  ServerInstance(const bc::Program& prog, const rt::MachineModel& machine,
+                 heur::InlineParams params, InstanceOptions opts);
+
+  /// Serves one request on the persistent VM. Never throws; on failure the
+  /// VM is rebuilt (fresh code + globals) so the next request starts clean.
+  ServeResult serve(const Request& req);
+
+  /// Installs new inlining parameters by rebuilding the VM. The next
+  /// requests pay the full recompilation storm. Counted in installs().
+  void install(const heur::InlineParams& params);
+
+  const heur::InlineParams& params() const { return params_; }
+  std::size_t installs() const { return installs_; }
+  std::size_t requests_served() const { return served_; }
+  std::size_t faults_seen() const { return faults_; }
+
+  /// Next time this instance is free, simulated cycles. The driver advances
+  /// it: start = max(arrival, clock), clock = start + service.
+  std::uint64_t clock = 0;
+
+ private:
+  void rebuild();
+
+  const bc::Program& prog_;
+  rt::MachineModel machine_;
+  heur::InlineParams params_;
+  InstanceOptions opts_;
+  std::unique_ptr<heur::JikesHeuristic> heuristic_;
+  std::unique_ptr<vm::VirtualMachine> vm_;
+  // Request-parameter mailbox read by the iteration_input hook.
+  std::int64_t in_key_ = 0;
+  std::int64_t in_op_ = 0;
+  std::int64_t in_size_ = 0;
+  std::size_t installs_ = 0;
+  std::size_t served_ = 0;
+  std::size_t faults_ = 0;
+};
+
+}  // namespace ith::serving

@@ -1,0 +1,318 @@
+// Serving workload programs. See workloads.hpp for the model each one
+// follows. Both modes of a workload build the shared request-handling
+// methods first (identical builder-call order, same seeded RNG, hence
+// bit-identical bodies) and differ only in main.
+
+#include "serving/workloads.hpp"
+
+#include <functional>
+
+#include "bytecode/builder.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "workloads/shapes.hpp"
+
+namespace ith::serving {
+
+namespace {
+
+using wl::emit_counted_loop;
+using wl::emit_expr;
+using wl::make_chain;
+using wl::make_cond_chain;
+using wl::make_dispatcher;
+using wl::make_leaf;
+using wl::make_mid;
+
+/// Table/dictionary slots each program keeps at kSlotHeap.
+constexpr std::int64_t kTable = 64;
+
+/// In-bytecode LCG constants for kBatch pseudo-request generation.
+constexpr std::int64_t kLcgMul = 1103515245;
+constexpr std::int64_t kLcgAdd = 12345;
+constexpr std::int64_t kLcgMod = 1073741824;  // 2^30 (const_ immediates are 32-bit signed)
+
+/// setup(): fills the program's table through `seed_fn` (one call per slot,
+/// warming its profile) and raises the setup flag. Returns the table size.
+void emit_setup(bc::ProgramBuilder& pb, const std::string& seed_fn) {
+  auto& s = pb.method("setup", 0, 2);
+  emit_counted_loop(s, "fill", 0, kTable, [&] {
+    s.load(0).const_(kSlotHeap).add();  // index
+    s.load(0).call(seed_fn, 1);         // value
+    s.gstore();
+  });
+  s.const_(kSlotSetup).const_(1).gstore();
+  s.ret_const(kTable);
+}
+
+/// kServe main: lazy setup, then one request from the globals ABI through
+/// `handler` (which takes the listed global slots as arguments).
+void emit_serve_main(bc::ProgramBuilder& pb, const std::string& handler,
+                     const std::vector<int>& arg_slots) {
+  auto& m = pb.method("main", 0, 1);
+  m.const_(kSlotSetup).gload().jnz("ready");
+  m.call("setup", 0).pop();
+  m.label("ready");
+  for (const int slot : arg_slots) m.const_(slot).gload();
+  m.call(handler, static_cast<int>(arg_slots.size())).store(0);
+  m.const_(kSlotResult).load(0).gstore();
+  m.load(0).halt();
+  pb.entry("main");
+}
+
+/// kBatch main: eager setup, then kBatchRequests pseudo-requests from an
+/// in-bytecode LCG. `emit_request` receives the method builder with the
+/// fresh LCG value in local 2 and must leave the handler's result on the
+/// stack.
+template <typename RequestFn>
+void emit_batch_main(bc::ProgramBuilder& pb, std::int64_t lcg_seed, RequestFn&& emit_request) {
+  auto& m = pb.method("main", 0, 3);
+  m.call("setup", 0).pop();
+  m.const_(0).store(1);
+  m.const_(lcg_seed).store(2);
+  emit_counted_loop(m, "req", 0, kBatchRequests, [&] {
+    m.load(2).const_(kLcgMul).mul().const_(kLcgAdd).add().const_(kLcgMod).mod().store(2);
+    emit_request(m);
+    m.load(1).add().store(1);
+  });
+  m.load(1).halt();
+  pb.entry("main");
+}
+
+// kv_server: hash + bounded probe over the global table; rare whole-table
+// scan. Key-value lookups are call-bound through tiny hash/compare leaves,
+// so CALLEE/ALWAYS_INLINE sizes and the probe chain depth all matter.
+bc::Program build_kv_server(ServingMode mode) {
+  Pcg32 rng(0x5E11F00Du, 17);
+  bc::ProgramBuilder pb(mode == ServingMode::kServe ? "kv_server" : "kv_server.batch", 256);
+
+  make_leaf(pb, "hash_leaf", 2, 9, rng);
+  make_chain(pb, "hash", /*levels=*/3, 2, 8, "hash_leaf", rng);  // hash_0
+  make_leaf(pb, "probe_cmp", 2, 7, rng);
+  make_leaf(pb, "seed_val", 1, 8, rng);
+  make_chain(pb, "rebal", /*levels=*/2, 2, 10, "probe_cmp", rng);  // rebal_0
+
+  // heavy_scan(key, h): the rare whole-table walk behind the latency tail.
+  auto& hs = pb.method("heavy_scan", 2, 4);
+  hs.const_(0).store(3);
+  emit_counted_loop(hs, "hs", 2, 48, [&] {
+    hs.load(1).load(2).add().const_(kTable).mod().const_(kSlotHeap).add().gload();
+    hs.load(0).call("probe_cmp", 2);
+    hs.load(3).add().store(3);
+  });
+  hs.load(3).ret();
+
+  // kv_get(key, salt): hash chain, probe walk of 1 + key%7 slots, heavy
+  // scan on every 97th key.
+  auto& g = pb.method("kv_get", 2, 6);
+  g.load(0).load(1).call("hash_0", 2);
+  g.const_(kTable).mod().const_(kTable).add().const_(kTable).mod().store(2);
+  g.const_(1).load(0).const_(7).mod().add().store(5);
+  g.const_(0).store(4);
+  g.const_(0).store(3);
+  g.label("probe");
+  g.load(3).load(5).cmplt().jz("probe_done");
+  g.load(2).load(3).add().const_(kTable).mod().const_(kSlotHeap).add().gload();
+  g.load(0).call("probe_cmp", 2).load(4).add().store(4);
+  g.load(3).const_(1).add().store(3);
+  g.jmp("probe");
+  g.label("probe_done");
+  g.load(0).const_(97).mod().jnz("skip_heavy");
+  g.load(0).load(2).call("heavy_scan", 2).load(4).add().store(4);
+  g.label("skip_heavy");
+  g.load(4).ret();
+
+  // kv_put(key, salt): hash, table store, rebalance chain.
+  auto& p = pb.method("kv_put", 2, 4);
+  p.load(0).load(1).call("hash_0", 2);
+  p.const_(kTable).mod().const_(kTable).add().const_(kTable).mod().store(2);
+  p.load(2).const_(kSlotHeap).add().load(0).gstore();
+  p.load(0).load(2).call("rebal_0", 2).store(3);
+  p.load(3).load(2).add().ret();
+
+  // handle(key, op): op parity picks get vs put.
+  auto& h = pb.method("handle", 2, 2);
+  h.load(1).const_(2).mod().jnz("do_put");
+  h.load(0).load(1).call("kv_get", 2).ret();
+  h.label("do_put");
+  h.load(0).load(1).call("kv_put", 2).ret();
+
+  emit_setup(pb, "seed_val");
+  if (mode == ServingMode::kServe) {
+    emit_serve_main(pb, "handle", {kSlotKey, kSlotOp});
+  } else {
+    emit_batch_main(pb, 987654321, [](bc::MethodBuilder& m) {
+      m.load(2).const_(4096).mod();  // key
+      m.load(2);                     // op (parity taken inside handle)
+      m.call("handle", 2);
+    });
+  }
+  return pb.build();
+}
+
+// query_dispatch: two-level plan dispatch to six plan bodies. Scan plans
+// loop filter+project leaves, join plans walk a probe chain per row,
+// aggregate plans feed a conditional chain whose call frequency decays with
+// depth (the shape that punishes over-deep inlining).
+bc::Program build_query_dispatch(ServingMode mode) {
+  Pcg32 rng(0xD15AA7C4u, 19);
+  bc::ProgramBuilder pb(mode == ServingMode::kServe ? "query_dispatch" : "query_dispatch.batch",
+                        256);
+
+  make_leaf(pb, "filt", 2, 8, rng);
+  make_leaf(pb, "proj", 2, 7, rng);
+  make_leaf(pb, "agg_leaf", 2, 6, rng);
+  make_leaf(pb, "cat_val", 1, 7, rng);
+  make_chain(pb, "joinp", /*levels=*/3, 2, 9, "filt", rng);            // joinp_0
+  make_cond_chain(pb, "agg", /*levels=*/4, 8, "agg_leaf", 2, rng);     // agg_0
+
+  // Every plan takes (plan, packed): packed = key*32 + rows-seed. The row
+  // loop length is the per-request cost knob; `inner` is the per-row body.
+  const auto make_plan = [&](const std::string& name, int extra,
+                             const std::function<void(bc::MethodBuilder&)>& inner) {
+    auto& q = pb.method(name, 2, 6);
+    q.const_(2).load(1).const_(14).mod().add().store(2);  // rows = 2 + packed%14
+    q.load(1).const_(32).div().store(5);                  // key
+    q.const_(0).store(4);
+    q.const_(0).store(3);
+    q.label("rows");
+    q.load(3).load(2).cmplt().jz("done");
+    inner(q);
+    q.load(4).add().store(4);
+    emit_expr(q, rng, {3, 4, 5}, extra, true);
+    q.load(4).add().store(4);
+    q.load(3).const_(1).add().store(3);
+    q.jmp("rows");
+    q.label("done");
+    q.load(4).ret();
+  };
+  make_plan("plan_scan_a", 6, [](bc::MethodBuilder& q) {
+    q.load(5).load(3).add().load(0).call("filt", 2);
+    q.load(5).call("proj", 2);
+  });
+  make_plan("plan_scan_b", 10, [](bc::MethodBuilder& q) {
+    q.load(5).load(3).add().load(3).call("filt", 2);
+    q.load(0).call("proj", 2);
+  });
+  make_plan("plan_join_a", 5, [](bc::MethodBuilder& q) {
+    q.load(5).load(3).add().load(0).call("joinp_0", 2);
+  });
+  make_plan("plan_join_b", 8, [](bc::MethodBuilder& q) {
+    q.load(5).load(3).add().load(4).call("joinp_0", 2);
+    q.load(5).call("proj", 2);
+  });
+  make_plan("plan_agg_a", 4, [](bc::MethodBuilder& q) {
+    q.load(5).load(3).add().load(2).call("agg_0", 2);
+  });
+  make_plan("plan_agg_b", 7, [](bc::MethodBuilder& q) {
+    q.load(5).load(3).add().load(0).call("agg_0", 2);
+    q.load(3).call("filt", 2);
+  });
+  make_dispatcher(pb, "plan_dispatch",
+                  {"plan_scan_a", "plan_scan_b", "plan_join_a", "plan_join_b", "plan_agg_a",
+                   "plan_agg_b"});
+
+  // query_req(key, plan, size): packs the request and dispatches.
+  auto& r = pb.method("query_req", 3, 4);
+  r.load(1);                                                       // plan selector
+  r.load(0).const_(4096).mod().const_(32).mul();                   // key*32
+  r.load(2).const_(32).mod().add();                                // + size%32
+  r.call("plan_dispatch", 2).ret();
+
+  emit_setup(pb, "cat_val");
+  if (mode == ServingMode::kServe) {
+    emit_serve_main(pb, "query_req", {kSlotKey, kSlotOp, kSlotSize});
+  } else {
+    emit_batch_main(pb, 24680246, [](bc::MethodBuilder& m) {
+      m.load(2);                       // key
+      m.load(2).const_(4).div();       // plan
+      m.load(2).const_(32).div();      // size
+      m.call("query_req", 3);
+    });
+  }
+  return pb.build();
+}
+
+// text_pipe: staged pipeline (tokenize -> lookup -> score) over a
+// per-request sentence length, with occasional very long sentences.
+bc::Program build_text_pipe(ServingMode mode) {
+  Pcg32 rng(0x7E87B19Eu, 23);
+  bc::ProgramBuilder pb(mode == ServingMode::kServe ? "text_pipe" : "text_pipe.batch", 256);
+
+  make_leaf(pb, "n1", 1, 6, rng);
+  make_leaf(pb, "n2", 1, 5, rng);
+  make_leaf(pb, "emit_tok", 2, 7, rng);
+  make_leaf(pb, "dict_val", 1, 6, rng);
+  make_mid(pb, "tokenize", 2, 14, 3, {"n1", "n2"}, rng);
+  make_cond_chain(pb, "lookup", /*levels=*/4, 9, "emit_tok", 2, rng);  // lookup_0
+  make_chain(pb, "score", /*levels=*/2, 2, 8, "emit_tok", rng);        // score_0
+
+  // sentence(key, len): the per-token pipeline loop.
+  auto& s = pb.method("sentence", 2, 6);
+  s.const_(0).store(3);
+  s.const_(0).store(2);
+  s.label("tok");
+  s.load(2).load(1).cmplt().jz("done");
+  // tok = (key*31 + i*7 + 3) mod 211
+  s.load(0).const_(31).mul().load(2).const_(7).mul().add().const_(3).add().const_(211).mod();
+  s.store(4);
+  s.load(4).load(2).call("tokenize", 2).store(5);
+  s.load(5).load(4).call("lookup_0", 2).store(5);
+  s.load(5).load(4).call("score_0", 2).load(3).add().store(3);
+  s.load(4).const_(kTable).mod().const_(kSlotHeap).add().gload().load(3).add().store(3);
+  s.load(2).const_(1).add().store(2);
+  s.jmp("tok");
+  s.label("done");
+  s.load(3).ret();
+
+  // text_req(key, size): sentence length 4 + size%24, 64 for every 89th key.
+  auto& r = pb.method("text_req", 2, 3);
+  r.const_(4).load(1).const_(24).mod().add().store(2);
+  r.load(0).const_(89).mod().jnz("not_heavy");
+  r.const_(64).store(2);
+  r.label("not_heavy");
+  r.load(0).load(2).call("sentence", 2).ret();
+
+  emit_setup(pb, "dict_val");
+  if (mode == ServingMode::kServe) {
+    emit_serve_main(pb, "text_req", {kSlotKey, kSlotSize});
+  } else {
+    emit_batch_main(pb, 13579135, [](bc::MethodBuilder& m) {
+      m.load(2).const_(8192).mod();    // key
+      m.load(2).const_(32).div();      // size
+      m.call("text_req", 2);
+    });
+  }
+  return pb.build();
+}
+
+}  // namespace
+
+const std::vector<std::string>& serving_names() {
+  static const std::vector<std::string> kNames = {"kv_server", "query_dispatch", "text_pipe"};
+  return kNames;
+}
+
+wl::Workload make_serving_workload(const std::string& name, ServingMode mode) {
+  if (name == "kv_server") {
+    return {"kv_server", "masstree-shaped key-value store (hash + probe chain, rare scans)",
+            "serving", build_kv_server(mode)};
+  }
+  if (name == "query_dispatch") {
+    return {"query_dispatch", "shore-shaped query-plan dispatch (6 plans, per-request rows)",
+            "serving", build_query_dispatch(mode)};
+  }
+  if (name == "text_pipe") {
+    return {"text_pipe", "moses-shaped text pipeline (tokenize/lookup/score per token)",
+            "serving", build_text_pipe(mode)};
+  }
+  throw Error("unknown serving workload: " + name);
+}
+
+std::vector<wl::Workload> make_serving_suite(ServingMode mode) {
+  std::vector<wl::Workload> suite;
+  for (const std::string& n : serving_names()) suite.push_back(make_serving_workload(n, mode));
+  return suite;
+}
+
+}  // namespace ith::serving

@@ -463,6 +463,25 @@ std::vector<std::vector<int>> SuiteEvaluator::quarantined_keys() const {
   return out;
 }
 
+bool SuiteEvaluator::release_quarantine(Signature sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // An in-flight owner is about to publish results for this signature; a
+  // concurrent release would race its cache insert. Refuse — the caller can
+  // simply retry after the evaluation lands.
+  if (in_flight_.find(sig) != in_flight_.end()) return false;
+  const bool was_quarantined = quarantine_.erase(sig) != 0;
+  if (was_quarantined) {
+    cache_.erase(sig);  // the cached entry is the penalty result, not data
+    if (config_.obs != nullptr) config_.obs->counter("resil.quarantine_released").add(1);
+  }
+  return was_quarantined;
+}
+
+bool SuiteEvaluator::is_quarantined(Signature sig) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantine_.find(sig) != quarantine_.end();
+}
+
 void SuiteEvaluator::preload_quarantine(const std::vector<std::vector<int>>& keys) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const std::vector<int>& k : keys) {

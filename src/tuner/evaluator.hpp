@@ -161,6 +161,19 @@ class SuiteEvaluator {
   /// checkpoints, which merely costs a re-evaluation).
   void preload_quarantine(const std::vector<std::vector<int>>& keys);
 
+  /// Lifts the quarantine on `sig` and drops its cached (penalized) results
+  /// so the next evaluate() of any aliasing params performs a fresh guarded
+  /// run. Returns true when the signature was actually quarantined. This is
+  /// the online tuner's retry path: the quarantine is keyed on signature,
+  /// so a seed genome quarantined by a transient fault would otherwise pin
+  /// every later retune of that genome to the penalty result forever —
+  /// starvation, since the controller can never observe it recovering.
+  /// No-op (returns false) while the signature is in flight.
+  bool release_quarantine(Signature sig);
+
+  /// True while `sig` is in the quarantine set.
+  bool is_quarantined(Signature sig) const;
+
  private:
   /// Level-1 key: the flattened parameter vector. Sized from
   /// InlineParams::kNumParams (not a literal) so growing InlineParams by a

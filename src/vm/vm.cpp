@@ -340,7 +340,14 @@ RunResult VirtualMachine::run(int iterations) {
       result.iterations.push_back(IterationStats{});
       live_iter_ = &result.iterations.back();
       const std::uint64_t iter_start = sim_now_;
-      interp_->reset_globals();  // fresh benchmark input; code/profile/caches stay warm
+      if (config_.iteration_input) {
+        // Serving mode: globals persist across iterations (the program's
+        // lazily-built tables survive) and the hook writes this request's
+        // parameters into their slots.
+        config_.iteration_input(iter, interp_->globals());
+      } else {
+        interp_->reset_globals();  // fresh benchmark input; code/profile/caches stay warm
+      }
       if (derived_cap) {
         try {
           live_iter_->exec = interp_->run();

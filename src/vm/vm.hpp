@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <set>
 #include <vector>
@@ -89,6 +90,14 @@ struct VmConfig {
   /// Caller identity mixed into every fault-injection key so distinct
   /// evaluations (genome, workload, attempt) see independent fault draws.
   std::uint64_t fault_key = 0;
+  /// Per-iteration input hook for request-driven serving (src/serving/).
+  /// When set, run() invokes it before each iteration *instead of*
+  /// resetting the global data segment, so state built by earlier
+  /// iterations (a key-value table, a loaded model) persists across
+  /// requests and the hook writes only the request parameters into their
+  /// ABI slots. Null (the default) keeps the batch-benchmark behaviour:
+  /// every iteration starts from zeroed globals.
+  std::function<void(int iteration, std::vector<std::int64_t>& globals)> iteration_input;
 };
 
 struct IterationStats {
@@ -127,6 +136,12 @@ class VirtualMachine final : private rt::CodeSource {
 
   const rt::ProfileData& profile() const { return profile_; }
   const VmConfig& config() const { return config_; }
+
+  /// Rebinds the fault-key component of the config between run() calls.
+  /// The serving tier calls run(1) once per request on a long-lived VM and
+  /// needs each request to see an independent fault draw — without this the
+  /// per-iteration key (which restarts at 0 every run()) would repeat.
+  void set_fault_key(std::uint64_t key) { config_.fault_key = key; }
 
   /// Final global data segment (state after the most recent run iteration).
   /// Differential testing compares this against a reference execution.

@@ -1,0 +1,161 @@
+// LatencyDigest: exact nearest-rank quantiles checked against a hand-rolled
+// sorted-vector oracle (ties, single sample, heavy tail), and merge checked
+// for associativity/commutativity up to sample-multiset equality — the
+// property that lets per-instance shards combine in any thread-pool order.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serving/latency.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace ith {
+namespace {
+
+/// Independent nearest-rank oracle: the ceil(q*n)-th smallest sample,
+/// with q=0 mapped to the minimum.
+std::uint64_t oracle_quantile(std::vector<std::uint64_t> v, double q) {
+  std::sort(v.begin(), v.end());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(v.size())));
+  if (rank == 0) rank = 1;
+  if (rank > v.size()) rank = v.size();
+  return v[rank - 1];
+}
+
+const double kProbes[] = {0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0};
+
+void expect_matches_oracle(const std::vector<std::uint64_t>& samples) {
+  serving::LatencyDigest d;
+  for (const std::uint64_t s : samples) d.add(s);
+  ASSERT_EQ(d.count(), samples.size());
+  for (const double q : kProbes) {
+    EXPECT_EQ(d.quantile(q), oracle_quantile(samples, q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyDigest, SingleSample) {
+  serving::LatencyDigest d;
+  d.add(1234);
+  EXPECT_EQ(d.count(), 1u);
+  for (const double q : kProbes) EXPECT_EQ(d.quantile(q), 1234u) << "q=" << q;
+  EXPECT_EQ(d.min(), 1234u);
+  EXPECT_EQ(d.max(), 1234u);
+  EXPECT_EQ(d.mean(), 1234u);
+  EXPECT_EQ(d.total(), 1234u);
+}
+
+TEST(LatencyDigest, AllTiedSamples) {
+  expect_matches_oracle(std::vector<std::uint64_t>(37, 500));
+}
+
+TEST(LatencyDigest, MixedTies) {
+  // Runs of equal values around the common percentile cut points.
+  std::vector<std::uint64_t> v;
+  for (int i = 0; i < 50; ++i) v.push_back(100);
+  for (int i = 0; i < 45; ++i) v.push_back(200);
+  for (int i = 0; i < 4; ++i) v.push_back(300);
+  v.push_back(400);
+  expect_matches_oracle(v);
+}
+
+TEST(LatencyDigest, HeavyTail) {
+  // The serving tier's shape: a tight body plus a few enormous outliers.
+  // p50/p95 must stay in the body while p99/max pick out the tail exactly.
+  std::vector<std::uint64_t> v;
+  Pcg32 rng(42, 7);
+  for (int i = 0; i < 990; ++i) v.push_back(1000 + rng.bounded(100));
+  for (int i = 0; i < 10; ++i) v.push_back(1'000'000 + rng.bounded(1000));
+  expect_matches_oracle(v);
+
+  serving::LatencyDigest d;
+  for (const std::uint64_t s : v) d.add(s);
+  EXPECT_LT(d.p95(), 2000u);
+  EXPECT_GE(d.quantile(0.999), 1'000'000u);
+}
+
+TEST(LatencyDigest, RandomVectorsMatchOracle) {
+  Pcg32 rng(1, 99);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::uint64_t> v;
+    const std::size_t n = 1 + rng.bounded(257);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Small bound forces plenty of ties.
+      v.push_back(rng.bounded(round % 2 == 0 ? 10u : 100'000u));
+    }
+    expect_matches_oracle(v);
+  }
+}
+
+TEST(LatencyDigest, MeanAndTotal) {
+  serving::LatencyDigest d;
+  for (const std::uint64_t s : {10u, 20u, 31u}) d.add(s);
+  EXPECT_EQ(d.total(), 61u);
+  EXPECT_EQ(d.mean(), 20u);  // 61/3 rounded down
+}
+
+TEST(LatencyDigest, MergeIsAssociativeAndCommutative) {
+  Pcg32 rng(3, 11);
+  std::vector<std::uint64_t> all;
+  serving::LatencyDigest a, b, c;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t s = rng.bounded(1u << 20);
+    all.push_back(s);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(s);
+  }
+
+  serving::LatencyDigest left;  // (a+b)+c
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+  serving::LatencyDigest right;  // a+(c+b), different grouping AND order
+  serving::LatencyDigest cb;
+  cb.merge(c);
+  cb.merge(b);
+  right.merge(a);
+  right.merge(cb);
+  serving::LatencyDigest flat;  // no sharding at all
+  for (const std::uint64_t s : all) flat.add(s);
+
+  ASSERT_EQ(left.count(), all.size());
+  ASSERT_EQ(right.count(), all.size());
+  EXPECT_EQ(left.sorted_samples(), flat.sorted_samples());
+  EXPECT_EQ(right.sorted_samples(), flat.sorted_samples());
+  EXPECT_EQ(left.total(), flat.total());
+  EXPECT_EQ(right.total(), flat.total());
+  for (const double q : kProbes) {
+    EXPECT_EQ(left.quantile(q), flat.quantile(q)) << "q=" << q;
+    EXPECT_EQ(right.quantile(q), flat.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyDigest, MergeEmptyIsNoOp) {
+  serving::LatencyDigest d, empty;
+  d.add(5);
+  d.merge(empty);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_EQ(d.total(), 5u);
+  empty.merge(d);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.p50(), 5u);
+}
+
+TEST(LatencyDigest, EmptyDigestThrows) {
+  const serving::LatencyDigest d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_THROW(d.quantile(0.5), Error);
+  EXPECT_THROW(d.mean(), Error);
+}
+
+TEST(LatencyDigest, QuantileRangeChecked) {
+  serving::LatencyDigest d;
+  d.add(1);
+  EXPECT_THROW(d.quantile(-0.1), Error);
+  EXPECT_THROW(d.quantile(1.1), Error);
+}
+
+}  // namespace
+}  // namespace ith

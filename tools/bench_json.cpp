@@ -13,6 +13,12 @@
 //     evaluation-cache snapshot, so it must perform zero real suite
 //     executions and land on the identical winner — both are recorded.
 //
+//   bench_json --serving [OUTPUT_PATH]
+//     Runs the serving tier (online re-tuning on, fixed seed/load) and
+//     emits BENCH_serving.json: exact p50/p95/p99 request latency in
+//     simulated cycles per workload, SLO violations, fleet installs, and
+//     the tuned genome each service converged to.
+//
 // CI uploads the files as artifacts; committing a refreshed copy at the
 // repo root records the trajectory commit-over-commit.
 #include <chrono>
@@ -21,6 +27,7 @@
 #include <string>
 
 #include "dispatch_bench.hpp"
+#include "serving/driver.hpp"
 #include "support/error.hpp"
 #include "tuner/parameter_space.hpp"
 #include "tuner/tuner.hpp"
@@ -107,12 +114,67 @@ int run_tuning_bench(const std::string& path) {
   return cold.winner == warm.winner && warm.real_evaluations == 0 ? 0 : 1;
 }
 
+int run_serving_bench(const std::string& path) {
+  ith::serving::ServingConfig config;
+  config.seed = 1;
+  config.instances = 2;
+  config.requests = 384;
+  config.load = 0.7;
+  config.online_tune = true;
+  config.ga_generations = 4;
+  config.ga_population = 8;
+  config.ga_seed = 7;
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const ith::serving::ServeReport report = ith::serving::run_serving(config);
+  const double seconds = std::chrono::duration<double>(clock::now() - t0).count();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_json: cannot write " << path << "\n";
+    return 1;
+  }
+  char buf[64];
+  auto num = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+    return std::string(buf);
+  };
+  out << "{\n  \"benchmark\": \"serving_latency\",\n"
+      << "  \"unit\": \"simulated cycles per request\",\n"
+      << "  \"config\": {\"seed\": " << config.seed << ", \"instances\": " << config.instances
+      << ", \"requests\": " << config.requests << ", \"load\": " << num(config.load)
+      << ", \"generations\": " << config.ga_generations
+      << ", \"population\": " << config.ga_population << "},\n"
+      << "  \"wall_seconds\": " << num(seconds) << ",\n"
+      << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < report.workloads.size(); ++i) {
+    const ith::serving::WorkloadServeReport& w = report.workloads[i];
+    out << "    {\"name\": \"" << w.name << "\", \"p50\": " << w.digest.p50()
+        << ", \"p95\": " << w.digest.p95() << ", \"p99\": " << w.digest.p99()
+        << ", \"mean\": " << w.digest.mean() << ", \"slo_violations\": " << w.slo_violations
+        << ", \"installs\": " << w.installs << ", \"final_fitness\": " << num(w.final_fitness)
+        << ", \"final_params\": \"" << w.final_params.to_string() << "\"}"
+        << (i + 1 < report.workloads.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << " (" << num(seconds) << "s";
+  for (const ith::serving::WorkloadServeReport& w : report.workloads) {
+    std::cout << "; " << w.name << " p99=" << w.digest.p99();
+  }
+  std::cout << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     if (argc > 1 && std::string(argv[1]) == "--tuning") {
       return run_tuning_bench(argc > 2 ? argv[2] : "BENCH_tuning.json");
+    }
+    if (argc > 1 && std::string(argv[1]) == "--serving") {
+      return run_serving_bench(argc > 2 ? argv[2] : "BENCH_serving.json");
     }
     const std::string path = argc > 1 ? argv[1] : "BENCH_interpreter.json";
     ith::bench::DispatchBenchConfig config;

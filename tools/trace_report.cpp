@@ -237,6 +237,44 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Serving: the serving tier's counters (request/SLO accounting, fleet
+    // installs) plus the online controller's retune verdicts, aggregated
+    // from serve.retune instants so a serving trace answers "did the tuner
+    // converge, and what did each proposal cost" at a glance.
+    std::map<std::string, std::int64_t> serving;
+    for (const auto& [name, v] : counters) {
+      if (name.rfind("serve.", 0) == 0) serving[name] = v;
+    }
+    std::map<std::string, std::int64_t> retune_actions;
+    for (const JsonValue& e : events) {
+      if (get_str(e, "name") != "serve.retune") continue;
+      const JsonValue* args = e.find("args");
+      if (args == nullptr) continue;
+      const std::string action = get_str(*args, "action");
+      if (!action.empty()) ++retune_actions[action];
+    }
+    if (!serving.empty() || !retune_actions.empty()) {
+      std::cout << "\nServing:\n";
+      if (!serving.empty()) {
+        Table t({"serving counter", "value"});
+        for (const auto& [name, v] : serving) t.add_row({name, std::to_string(v)});
+        t.render(std::cout);
+      }
+      if (!retune_actions.empty()) {
+        Table t({"retune verdict", "count"});
+        for (const auto& [name, n] : retune_actions) t.add_row({name, std::to_string(n)});
+        t.render(std::cout);
+      }
+      const std::int64_t reqs = serving.count("serve.requests") ? serving["serve.requests"] : 0;
+      const std::int64_t viol =
+          serving.count("serve.slo_violations") ? serving["serve.slo_violations"] : 0;
+      if (reqs > 0) {
+        std::cout << "SLO: " << (reqs - viol) << "/" << reqs << " requests within envelope ("
+                  << cell(100.0 * static_cast<double>(reqs - viol) / static_cast<double>(reqs), 1)
+                  << "%)\n";
+      }
+    }
+
     // Failures: the resilience layer's counters (guarded-run outcomes by
     // kind, retries, quarantine activity), pulled out of the counter table
     // into their own section so a chaos campaign's survival story is
