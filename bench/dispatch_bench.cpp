@@ -73,37 +73,46 @@ std::vector<NamedProgram> dispatch_programs(const DispatchBenchConfig& config) {
   return out;
 }
 
-struct EngineTiming {
-  rt::ExecStats cold;   ///< stats of the cold (warm-up) run, fresh icache
-  double best_seconds;  ///< fastest of `repeats` steady-state runs
+/// One engine variant held live across the whole measurement: its source,
+/// icache and interpreter outlive the interleaved timing rounds below.
+struct EngineBench {
+  std::unique_ptr<PlainSource> source;
+  std::unique_ptr<rt::ICache> icache;
+  std::unique_ptr<rt::Interpreter> interp;
+  rt::ExecStats cold;  ///< stats of the cold (warm-up) run, fresh icache
+  double best_seconds = std::numeric_limits<double>::infinity();
 };
 
-EngineTiming measure_engine(const bc::Program& prog, const rt::MachineModel& machine,
-                            rt::EngineKind kind, const DispatchBenchConfig& config) {
-  PlainSource source(prog);
-  std::optional<rt::ICache> icache;
+EngineBench setup_engine(const bc::Program& prog, const rt::MachineModel& machine,
+                         rt::EngineKind kind, rt::FusionPolicy fusion,
+                         const DispatchBenchConfig& config) {
+  EngineBench b;
+  b.source = std::make_unique<PlainSource>(prog);
   if (config.with_icache) {
-    icache.emplace(machine.icache_bytes, machine.icache_line_bytes, machine.icache_assoc);
+    b.icache = std::make_unique<rt::ICache>(machine.icache_bytes, machine.icache_line_bytes,
+                                            machine.icache_assoc);
   }
   rt::InterpreterOptions opts;
   opts.engine = kind;
-  rt::Interpreter interp(prog, machine, source, icache ? &*icache : nullptr, opts);
+  opts.fusion = fusion;
+  b.interp = std::make_unique<rt::Interpreter>(prog, machine, *b.source, b.icache.get(), opts);
 
   // Cold run: pays predecoding, arena growth, and icache fill once, and
   // yields the stats used for the cross-engine equality check.
-  const rt::ExecStats cold = interp.run();
+  b.cold = b.interp->run();
+  return b;
+}
 
-  double best = std::numeric_limits<double>::infinity();
-  for (int r = 0; r < config.repeats; ++r) {
-    interp.reset_globals();
-    const auto t0 = std::chrono::steady_clock::now();
-    const rt::ExecStats stats = interp.run();
-    const auto t1 = std::chrono::steady_clock::now();
-    ITH_CHECK(stats.instructions == cold.instructions,
-              "dispatch bench: instruction count drifted across repeats");
-    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
-  }
-  return {cold, best};
+/// One steady-state timing round. The best (minimum) across rounds is the
+/// reported time, rejecting transient interference.
+void time_round(EngineBench& b) {
+  b.interp->reset_globals();
+  const auto t0 = std::chrono::steady_clock::now();
+  const rt::ExecStats stats = b.interp->run();
+  const auto t1 = std::chrono::steady_clock::now();
+  ITH_CHECK(stats.instructions == b.cold.instructions,
+            "dispatch bench: instruction count drifted across repeats");
+  b.best_seconds = std::min(b.best_seconds, std::chrono::duration<double>(t1 - t0).count());
 }
 
 std::string format_double(double v, int precision) {
@@ -126,36 +135,65 @@ std::vector<DispatchMeasurement> run_dispatch_bench(const DispatchBenchConfig& c
   const rt::MachineModel machine = rt::pentium4_model();
   std::vector<DispatchMeasurement> out;
   for (const NamedProgram& np : dispatch_programs(config)) {
-    const EngineTiming fast = measure_engine(np.program, machine, rt::EngineKind::kFast, config);
-    const EngineTiming ref =
-        measure_engine(np.program, machine, rt::EngineKind::kReference, config);
-    if (!(fast.cold == ref.cold)) {
+    EngineBench fast = setup_engine(np.program, machine, rt::EngineKind::kFast,
+                                    rt::default_fusion_policy(), config);
+    EngineBench nofuse = setup_engine(np.program, machine, rt::EngineKind::kFast,
+                                      rt::FusionPolicy::kOff, config);
+    EngineBench ref = setup_engine(np.program, machine, rt::EngineKind::kReference,
+                                   rt::FusionPolicy::kOff, config);
+    if (!(fast.cold == ref.cold) || !(nofuse.cold == ref.cold)) {
       throw Error("dispatch bench: engines disagree on '" + np.name +
                   "' — refusing to time non-equivalent executions");
     }
-    for (const auto* t : {&fast, &ref}) {
+    // Timing rounds are interleaved across the three variants instead of
+    // exhausting one engine's repeats before the next: when the host's
+    // effective speed drifts mid-benchmark (CPU steal on a shared core,
+    // frequency changes), every variant samples the same slow and fast
+    // windows, so the reported speedup RATIOS stay stable even when the
+    // absolute throughput numbers move.
+    for (int r = 0; r < config.repeats; ++r) {
+      time_round(fast);
+      time_round(nofuse);
+      time_round(ref);
+    }
+    const struct {
+      const EngineBench* t;
+      const char* engine;
+    } variants[] = {{&fast, "fast"}, {&nofuse, "fast-nofuse"}, {&ref, "reference"}};
+    for (const auto& v : variants) {
       DispatchMeasurement m;
       m.workload = np.name;
-      m.engine = (t == &fast) ? "fast" : "reference";
-      m.instructions = t->cold.instructions;
-      m.sim_cycles = t->cold.cycles;
-      m.best_seconds = t->best_seconds;
-      m.insns_per_sec = static_cast<double>(t->cold.instructions) / t->best_seconds;
-      m.ns_per_insn = t->best_seconds * 1e9 / static_cast<double>(t->cold.instructions);
+      m.engine = v.engine;
+      m.instructions = v.t->cold.instructions;
+      m.sim_cycles = v.t->cold.cycles;
+      m.best_seconds = v.t->best_seconds;
+      m.insns_per_sec = static_cast<double>(v.t->cold.instructions) / v.t->best_seconds;
+      m.ns_per_insn = v.t->best_seconds * 1e9 / static_cast<double>(v.t->cold.instructions);
       out.push_back(std::move(m));
     }
   }
   return out;
 }
 
-double geomean_speedup(const std::vector<DispatchMeasurement>& ms) {
+double geomean_ratio(const std::vector<DispatchMeasurement>& ms, const std::string& num,
+                     const std::string& den) {
   double log_sum = 0.0;
   int n = 0;
-  for (std::size_t i = 0; i + 1 < ms.size(); i += 2) {
-    log_sum += std::log(ms[i].insns_per_sec / ms[i + 1].insns_per_sec);
-    ++n;
+  for (const DispatchMeasurement& m : ms) {
+    if (m.engine != num) continue;
+    for (const DispatchMeasurement& d : ms) {
+      if (d.engine == den && d.workload == m.workload) {
+        log_sum += std::log(m.insns_per_sec / d.insns_per_sec);
+        ++n;
+        break;
+      }
+    }
   }
   return n == 0 ? 1.0 : std::exp(log_sum / n);
+}
+
+double geomean_speedup(const std::vector<DispatchMeasurement>& ms) {
+  return geomean_ratio(ms, "fast", "reference");
 }
 
 void write_bench_json(std::ostream& os, const DispatchBenchConfig& config,
@@ -165,7 +203,8 @@ void write_bench_json(std::ostream& os, const DispatchBenchConfig& config,
   os << "  \"unit\": \"interpreted instructions per wall-clock second\",\n";
   os << "  \"config\": {\"repeats\": " << config.repeats << ", \"run_scale\": "
      << format_double(config.run_scale, 2) << ", \"fuzz_seed\": " << config.fuzz_seed
-     << ", \"icache\": " << (config.with_icache ? "true" : "false") << "},\n";
+     << ", \"icache\": " << (config.with_icache ? "true" : "false") << ", \"fusion\": \""
+     << rt::fusion_policy_name(rt::default_fusion_policy()) << "\"},\n";
   os << "  \"results\": [\n";
   for (std::size_t i = 0; i < ms.size(); ++i) {
     const DispatchMeasurement& m = ms[i];
@@ -178,7 +217,11 @@ void write_bench_json(std::ostream& os, const DispatchBenchConfig& config,
   }
   os << "  ],\n";
   os << "  \"geomean_speedup_fast_over_reference\": " << format_double(geomean_speedup(ms), 3)
-     << "\n";
+     << ",\n";
+  os << "  \"geomean_speedup_unfused_over_reference\": "
+     << format_double(geomean_ratio(ms, "fast-nofuse", "reference"), 3) << ",\n";
+  os << "  \"geomean_speedup_fast_over_unfused\": "
+     << format_double(geomean_ratio(ms, "fast", "fast-nofuse"), 3) << "\n";
   os << "}\n";
 }
 
@@ -203,8 +246,12 @@ void print_dispatch_table(std::ostream& os, const std::vector<DispatchMeasuremen
     for (std::size_t p = cols.size(); p < 8; ++p) os << ' ';
     os << cols << "\n";
   }
-  os << "\ngeomean speedup (fast / reference): "
+  os << "\ngeomean speedup (fast / reference):        "
      << format_double(geomean_speedup(ms), 2) << "x\n";
+  os << "geomean speedup (fast-nofuse / reference): "
+     << format_double(geomean_ratio(ms, "fast-nofuse", "reference"), 2) << "x\n";
+  os << "geomean speedup (fast / fast-nofuse):      "
+     << format_double(geomean_ratio(ms, "fast", "fast-nofuse"), 2) << "x\n";
 }
 
 }  // namespace ith::bench

@@ -21,7 +21,7 @@ namespace ith::bench {
 
 struct DispatchMeasurement {
   std::string workload;
-  std::string engine;              ///< "fast" or "reference"
+  std::string engine;              ///< "fast", "fast-nofuse" or "reference"
   std::uint64_t instructions = 0;  ///< per run (engine-invariant)
   std::uint64_t sim_cycles = 0;    ///< simulated cycles, cold icache run
   double best_seconds = 0.0;       ///< fastest repeat
@@ -41,11 +41,22 @@ struct DispatchBenchConfig {
 /// JSON is comparable commit-over-commit.
 std::vector<std::string> dispatch_workload_names(const DispatchBenchConfig& config);
 
-/// Runs every workload under both engines. Verifies on the way that the two
-/// engines produced identical ExecStats for the cold run (throws ith::Error
-/// otherwise — a benchmark that measures two different computations is
-/// meaningless). Results are ordered workload-major, fast engine first.
+/// Runs every workload under three engine variants: "fast" (the predecoded
+/// engine at the ambient fusion policy, i.e. ITH_FUSION), "fast-nofuse"
+/// (fusion forced off — isolates the superinstruction win from the
+/// predecode/threading win), and "reference". Verifies on the way that all
+/// three produced identical ExecStats for the cold run (throws ith::Error
+/// otherwise — a benchmark that measures different computations is
+/// meaningless). Timing rounds are interleaved across the variants so a
+/// mid-benchmark change in effective host speed (CPU steal, frequency
+/// drift) cancels out of the reported ratios. Results are ordered
+/// workload-major: fast, fast-nofuse, reference.
 std::vector<DispatchMeasurement> run_dispatch_bench(const DispatchBenchConfig& config);
+
+/// Geometric-mean instructions/sec ratio of engine `num` over engine `den`
+/// across workloads (both must be present for every workload).
+double geomean_ratio(const std::vector<DispatchMeasurement>& ms, const std::string& num,
+                     const std::string& den);
 
 /// Geometric-mean speedup of fast over reference (instructions/sec ratio).
 double geomean_speedup(const std::vector<DispatchMeasurement>& ms);

@@ -13,6 +13,13 @@
 // budget for the observability layer — with a null obs context the fast
 // engine must keep its full speedup over the reference engine.
 //
+// The guard is fusion-policy aware: under ITH_FUSION=0 the "fast" engine
+// runs unfused, so the guard compares against the baseline's recorded
+// *unfused* geomean (geomean_speedup_unfused_over_reference) instead of
+// the headline fused number — the same recorded document guards both CI
+// legs. On failure it prints a per-workload current-vs-recorded breakdown
+// so the offending workload is identifiable without rerunning locally.
+//
 // The simulated ExecStats are checked for cross-engine equality before any
 // timing is reported, so a regression in the equivalence guarantee fails
 // the benchmark instead of skewing it.
@@ -20,25 +27,87 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "dispatch_bench.hpp"
+#include "runtime/predecode.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
 
 namespace {
 
-double baseline_geomean_speedup(const std::string& path) {
+ith::JsonValue load_baseline(const std::string& path) {
   std::ifstream in(path);
   ITH_CHECK(in.is_open(), "cannot open baseline " + path);
   std::stringstream buf;
   buf << in.rdbuf();
-  const ith::JsonValue doc = ith::parse_json(buf.str());
+  return ith::parse_json(buf.str());
+}
+
+/// The recorded geomean the current run must hold. Selected by the active
+/// fusion policy; documents recorded before fusion existed only carry the
+/// fast/reference field, which is the correct unfused baseline for them.
+double baseline_geomean_speedup(const ith::JsonValue& doc, const std::string& path,
+                                bool fusion_off) {
+  if (fusion_off) {
+    if (const ith::JsonValue* v = doc.find("geomean_speedup_unfused_over_reference");
+        v != nullptr && v->kind == ith::JsonValue::Kind::kNumber) {
+      return v->number;
+    }
+  }
   const ith::JsonValue* v = doc.find("geomean_speedup_fast_over_reference");
   ITH_CHECK(v != nullptr && v->kind == ith::JsonValue::Kind::kNumber,
             path + ": geomean_speedup_fast_over_reference missing");
   return v->number;
+}
+
+/// Per-workload fast-engine/reference speedups from a baseline document's
+/// results array. `fast_engine` is "fast" or "fast-nofuse"; falls back to
+/// "fast" rows when the document predates the three-variant format.
+std::map<std::string, double> baseline_workload_speedups(const ith::JsonValue& doc,
+                                                         const std::string& fast_engine) {
+  std::map<std::string, double> fast_ips, ref_ips;
+  const ith::JsonValue* results = doc.find("results");
+  if (results == nullptr || results->kind != ith::JsonValue::Kind::kArray) return {};
+  for (const ith::JsonValue& row : results->items) {
+    const ith::JsonValue* wl = row.find("workload");
+    const ith::JsonValue* engine = row.find("engine");
+    const ith::JsonValue* ips = row.find("insns_per_sec");
+    if (wl == nullptr || engine == nullptr || ips == nullptr) continue;
+    if (engine->str == fast_engine || (fast_ips.count(wl->str) == 0 && engine->str == "fast")) {
+      fast_ips[wl->str] = ips->number;
+    } else if (engine->str == "reference") {
+      ref_ips[wl->str] = ips->number;
+    }
+  }
+  std::map<std::string, double> out;
+  for (const auto& [wl, ips] : fast_ips) {
+    if (ref_ips.count(wl) != 0 && ref_ips[wl] > 0) out[wl] = ips / ref_ips[wl];
+  }
+  return out;
+}
+
+void print_guard_breakdown(const std::vector<ith::bench::DispatchMeasurement>& results,
+                           const std::map<std::string, double>& recorded) {
+  std::cerr << "per-workload speedup (fast / reference), current vs recorded:\n";
+  std::map<std::string, double> fast_ips, ref_ips;
+  for (const auto& m : results) {
+    if (m.engine == "fast") fast_ips[m.workload] = m.insns_per_sec;
+    if (m.engine == "reference") ref_ips[m.workload] = m.insns_per_sec;
+  }
+  for (const auto& [wl, ips] : fast_ips) {
+    if (ref_ips.count(wl) == 0) continue;
+    const double current = ips / ref_ips[wl];
+    std::cerr << "  " << wl << ": " << current << "x";
+    const auto it = recorded.find(wl);
+    if (it != recorded.end()) {
+      std::cerr << " (recorded " << it->second << "x, " << (current / it->second - 1.0) * 100
+                << "% drift)";
+    }
+    std::cerr << "\n";
+  }
 }
 
 }  // namespace
@@ -77,13 +146,18 @@ int main(int argc, char** argv) {
       std::cout << "wrote " << json_path << "\n";
     }
     if (!guard_path.empty()) {
-      const double baseline = baseline_geomean_speedup(guard_path);
+      const bool fusion_off = ith::rt::default_fusion_policy() == ith::rt::FusionPolicy::kOff;
+      const ith::JsonValue doc = load_baseline(guard_path);
+      const double baseline = baseline_geomean_speedup(doc, guard_path, fusion_off);
       const double current = ith::bench::geomean_speedup(results);
       const double floor = baseline * (1.0 - tolerance);
       std::cout << "guard: geomean speedup " << current << " vs recorded " << baseline
-                << " (floor " << floor << ", tolerance " << tolerance * 100 << "%)\n";
+                << " (fusion " << ith::rt::fusion_policy_name(ith::rt::default_fusion_policy())
+                << ", floor " << floor << ", tolerance " << tolerance * 100 << "%)\n";
       if (current < floor) {
         std::cerr << "micro_dispatch: fast-engine speedup regressed below the guard floor\n";
+        print_guard_breakdown(
+            results, baseline_workload_speedups(doc, fusion_off ? "fast-nofuse" : "fast"));
         return 1;
       }
       std::cout << "guard: OK\n";

@@ -14,6 +14,17 @@ bool known_category(const std::string& cat) {
   return false;
 }
 
+// Counter events ('C') form the machine-read surface of the trace, so their
+// arg keys are held to a registry of known families; span/instant args stay
+// free-form (they are human-read annotations).
+bool known_counter_family(const std::string& key) {
+  for (const char* prefix :
+       {"vm.", "ga.", "sig.", "serve.", "resil.", "eval.", "rt.fused"}) {
+    if (key.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::optional<std::string> validate_event(const JsonValue& record) {
@@ -65,6 +76,9 @@ std::optional<std::string> validate_event(const JsonValue& record) {
       if (key.empty()) return "empty arg key";
       if (!value.is_number() && !value.is_string()) {
         return "arg '" + key + "' is neither number nor string";
+      }
+      if (phase == 'C' && !known_counter_family(key)) {
+        return "counter '" + key + "' is not in a known counter family";
       }
     }
   }

@@ -10,6 +10,10 @@
 //   dur  : number >= 0, required iff ph == "X"
 //   args : object of string -> number|string (optional)
 //
+// Counter events ("C") additionally require every arg key to belong to a
+// registered counter family (vm. | ga. | sig. | serve. | resil. | eval. |
+// rt.fused*) so dashboards never silently chart a typo'd counter name.
+//
 // trace_report uses the same routine, so "validates in CI" and "parses in
 // the report tool" can never drift apart.
 #pragma once

@@ -48,14 +48,14 @@ PredecodedBody& FastInterpreter::body_for(const CompiledMethod& cm) {
     retired_.push_back(std::move(slot.pb));
   }
   slot.cm = &cm;
-  slot.pb = std::make_unique<PredecodedBody>(predecode(cm, machine_));
+  slot.pb = std::make_unique<PredecodedBody>(predecode(cm, machine_, options_.fusion, &fusion_stats_));
   return *slot.pb;
 }
 
 PredecodedBody& FastInterpreter::attach(const CompiledMethod& cm, const void* const* labels) {
   PredecodedBody& body = body_for(cm);
   if (labels != nullptr && !body.threaded) {
-    for (PredecodedInsn& pi : body.code) pi.target = labels[static_cast<int>(pi.op)];
+    for (PredecodedInsn& pi : body.code) pi.target = labels[static_cast<int>(pi.xop)];
     body.threaded = true;
   }
   return body;
@@ -147,12 +147,23 @@ ExecStats FastInterpreter::run() {
   std::uint64_t remaining = budget_steps;
 
 #if ITH_COMPUTED_GOTO
-  static_assert(bc::kNumOps == 23, "update kLabels when the instruction set changes");
-  static const void* const kLabels[bc::kNumOps] = {
+  static_assert(kNumXOps == 46, "update kLabels when the extended instruction set changes");
+  static const void* const kLabels[kNumXOps] = {
+      // bc::Op mirror region (unfused dispatch)
       &&lbl_kConst, &&lbl_kLoad,  &&lbl_kStore, &&lbl_kAdd,    &&lbl_kSub,  &&lbl_kMul,
       &&lbl_kDiv,   &&lbl_kMod,   &&lbl_kNeg,   &&lbl_kCmpLt,  &&lbl_kCmpLe, &&lbl_kCmpEq,
       &&lbl_kCmpNe, &&lbl_kJmp,   &&lbl_kJz,    &&lbl_kJnz,    &&lbl_kCall, &&lbl_kRet,
-      &&lbl_kGLoad, &&lbl_kGStore, &&lbl_kPop,  &&lbl_kNop,    &&lbl_kHalt};
+      &&lbl_kGLoad, &&lbl_kGStore, &&lbl_kPop,  &&lbl_kNop,    &&lbl_kHalt,
+      // fused superinstructions
+      &&lbl_kFConstAdd, &&lbl_kFConstSub, &&lbl_kFConstMul,
+      &&lbl_kFLoadLoadAdd, &&lbl_kFLoadLoadSub, &&lbl_kFLoadLoadMul,
+      &&lbl_kFCmpLtJz, &&lbl_kFCmpLtJnz, &&lbl_kFCmpLeJz, &&lbl_kFCmpLeJnz,
+      &&lbl_kFCmpEqJz, &&lbl_kFCmpEqJnz, &&lbl_kFCmpNeJz, &&lbl_kFCmpNeJnz,
+      &&lbl_kFLoadConstCmpLtJz, &&lbl_kFLoadConstCmpLtJnz,
+      &&lbl_kFLoadConstCmpLeJz, &&lbl_kFLoadConstCmpLeJnz,
+      &&lbl_kFLoadConstCmpEqJz, &&lbl_kFLoadConstCmpEqJnz,
+      &&lbl_kFLoadConstCmpNeJz, &&lbl_kFLoadConstCmpNeJnz,
+      &&lbl_kFRetChained};
 #endif
 
   // Current-frame state, mirrored from frames_.back() into locals so the
@@ -224,7 +235,7 @@ ExecStats FastInterpreter::run() {
 
 #else  // dense-switch fallback
 
-#define ITH_CASE(op) case bc::Op::op:
+#define ITH_CASE(op) case XOp::op:
 #define ITH_DISPATCH() continue
 #define ITH_NEXT() \
   {                \
@@ -234,9 +245,40 @@ ExecStats FastInterpreter::run() {
 
   for (;;) {
     account(*ip);
-    switch (ip->op) {
+    switch (ip->xop) {
 
 #endif  // ITH_COMPUTED_GOTO
+
+// Taken-branch tail shared by the plain jump handlers and every fused
+// cmp+branch form. The branch instruction lives at ip[OFF] (OFF > 0 when a
+// fused head carries a trailing branch component); a non-positive delta is
+// a back edge — profile tick plus OSR window — exactly as in the reference
+// engine, with the target computed relative to the branch's own pc.
+//
+// Plain block, NOT do{}while(0): in dense-switch mode ITH_DISPATCH() is a
+// `continue` that must reach the dispatch for-loop — a do-while wrapper
+// would swallow it and fall out of the macro into the next case label.
+#define ITH_TAKEN_BRANCH(OFF)                                                  \
+  {                                                                            \
+    const std::int32_t d = (ip + (OFF))->a;                                    \
+    if (d <= 0) {                                                              \
+      const PredecodedBody& body = *frames_.back().pb;                         \
+      source_.on_back_edge(body.cm->method_id);                                \
+      const auto target =                                                      \
+          static_cast<std::size_t>(((ip + (OFF)) - body.code.data()) + d);     \
+      EnterState st;                                                           \
+      if (try_osr(target, sp, stats, labels, st)) {                            \
+        ip = st.ip;                                                            \
+        loc = st.loc;                                                          \
+        stk = st.stk;                                                          \
+        sp = st.sp;                                                            \
+        current_line = ~0ULL;                                                  \
+        ITH_DISPATCH();                                                        \
+      }                                                                        \
+    }                                                                          \
+    ip += (OFF) + d;                                                           \
+    ITH_DISPATCH();                                                            \
+  }
 
       ITH_CASE(kConst) {
         stk[sp++] = ip->a;
@@ -314,67 +356,13 @@ ExecStats FastInterpreter::run() {
       // Jumps advance ip by the predecoded pc-relative delta; a non-positive
       // delta is a back edge (profile tick + OSR window), handled off the
       // straight-line path with the frame's code base reloaded on demand.
-      ITH_CASE(kJmp) {
-        const std::int32_t d = ip->a;
-        if (d <= 0) {
-          const PredecodedBody& body = *frames_.back().pb;
-          source_.on_back_edge(body.cm->method_id);
-          const auto target = static_cast<std::size_t>((ip - body.code.data()) + d);
-          EnterState st;
-          if (try_osr(target, sp, stats, labels, st)) {
-            ip = st.ip;
-            loc = st.loc;
-            stk = st.stk;
-            sp = st.sp;
-            current_line = ~0ULL;
-            ITH_DISPATCH();
-          }
-        }
-        ip += d;
-        ITH_DISPATCH();
-      }
+      ITH_CASE(kJmp) { ITH_TAKEN_BRANCH(0); }
       ITH_CASE(kJz) {
-        if (stk[--sp] == 0) {
-          const std::int32_t d = ip->a;
-          if (d <= 0) {
-            const PredecodedBody& body = *frames_.back().pb;
-            source_.on_back_edge(body.cm->method_id);
-            const auto target = static_cast<std::size_t>((ip - body.code.data()) + d);
-            EnterState st;
-            if (try_osr(target, sp, stats, labels, st)) {
-              ip = st.ip;
-              loc = st.loc;
-              stk = st.stk;
-              sp = st.sp;
-              current_line = ~0ULL;
-              ITH_DISPATCH();
-            }
-          }
-          ip += d;
-          ITH_DISPATCH();
-        }
+        if (stk[--sp] == 0) ITH_TAKEN_BRANCH(0);
         ITH_NEXT();
       }
       ITH_CASE(kJnz) {
-        if (stk[--sp] != 0) {
-          const std::int32_t d = ip->a;
-          if (d <= 0) {
-            const PredecodedBody& body = *frames_.back().pb;
-            source_.on_back_edge(body.cm->method_id);
-            const auto target = static_cast<std::size_t>((ip - body.code.data()) + d);
-            EnterState st;
-            if (try_osr(target, sp, stats, labels, st)) {
-              ip = st.ip;
-              loc = st.loc;
-              stk = st.stk;
-              sp = st.sp;
-              current_line = ~0ULL;
-              ITH_DISPATCH();
-            }
-          }
-          ip += d;
-          ITH_DISPATCH();
-        }
+        if (stk[--sp] != 0) ITH_TAKEN_BRANCH(0);
         ITH_NEXT();
       }
       ITH_CASE(kCall) {
@@ -395,7 +383,12 @@ ExecStats FastInterpreter::run() {
         current_line = ~0ULL;  // control transferred: next account probes callee
         ITH_DISPATCH();
       }
+      // kFRetChained is the fused {kCall, kRet} mark on a caller's return:
+      // same handler, entered either by normal dispatch (a jump can land on
+      // the kRet directly) or by the chain loop below.
+      ITH_CASE(kFRetChained)
       ITH_CASE(kRet) {
+      ret_chain:
         const std::int64_t value = stk[--sp];
         const FastFrame& leaving = frames_.back();
         ITH_ASSERT(sp == leaving.stack_floor, "operand stack unbalanced at return");
@@ -410,6 +403,14 @@ ExecStats FastInterpreter::run() {
         const FastFrame& fr = frames_.back();
         ip = fr.resume;
         loc = locals_.data() + fr.locals_base;  // shrink never reallocates
+        if (ip->xop == XOp::kFRetChained) {
+          // The caller immediately returns our value: account the chained
+          // kRet exactly as a dispatch would (probe + cost + budget), then
+          // pop the next frame with a direct branch instead of an indirect
+          // dispatch.
+          account(*ip);
+          goto ret_chain;
+        }
         ITH_DISPATCH();
       }
       ITH_CASE(kGLoad) {
@@ -441,6 +442,105 @@ ExecStats FastInterpreter::run() {
         goto done;
       }
 
+      // ---- fused superinstructions (predecode.cpp's pattern table) ----
+      //
+      // Cost-conservation rule: the dispatch that reached a fused head has
+      // already accounted the head; the handler accounts every remaining
+      // component with the SAME account() call, in original program order,
+      // before using its operands. Cycles therefore accumulate in the exact
+      // IEEE addition order of the unfused stream, icache lines are probed
+      // per component, and the budget countdown throws at the identical
+      // instruction — the fused win is eliminated dispatch and operand-stack
+      // traffic, never skipped accounting.
+
+// Like ITH_TAKEN_BRANCH these are plain blocks so dense-switch mode's
+// `continue` dispatch reaches the for-loop instead of a do-while wrapper.
+#define ITH_FUSED_CMP_BRANCH(CMP, TAKEN_ON)                               \
+  {                                                                       \
+    account(ip[1]);                                                       \
+    sp -= 2;                                                              \
+    if ((stk[sp] CMP stk[sp + 1]) == (TAKEN_ON)) ITH_TAKEN_BRANCH(1);     \
+    ip += 2;                                                              \
+    ITH_DISPATCH();                                                       \
+  }
+
+#define ITH_FUSED_GUARD(CMP, TAKEN_ON)                                    \
+  {                                                                       \
+    account(ip[1]);                                                       \
+    account(ip[2]);                                                       \
+    account(ip[3]);                                                       \
+    if ((loc[ip->a] CMP static_cast<std::int64_t>(ip[1].a)) == (TAKEN_ON)) \
+      ITH_TAKEN_BRANCH(3);                                                \
+    ip += 4;                                                              \
+    ITH_DISPATCH();                                                       \
+  }
+
+      ITH_CASE(kFConstAdd) {
+        account(ip[1]);
+        stk[sp - 1] = static_cast<std::int64_t>(static_cast<std::uint64_t>(stk[sp - 1]) +
+                                                static_cast<std::uint64_t>(ip->a));
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFConstSub) {
+        account(ip[1]);
+        stk[sp - 1] = static_cast<std::int64_t>(static_cast<std::uint64_t>(stk[sp - 1]) -
+                                                static_cast<std::uint64_t>(ip->a));
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFConstMul) {
+        account(ip[1]);
+        stk[sp - 1] = static_cast<std::int64_t>(static_cast<std::uint64_t>(stk[sp - 1]) *
+                                                static_cast<std::uint64_t>(ip->a));
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLoadLoadAdd) {
+        account(ip[1]);
+        account(ip[2]);
+        stk[sp++] = static_cast<std::int64_t>(static_cast<std::uint64_t>(loc[ip->a]) +
+                                              static_cast<std::uint64_t>(loc[ip[1].a]));
+        ip += 3;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLoadLoadSub) {
+        account(ip[1]);
+        account(ip[2]);
+        stk[sp++] = static_cast<std::int64_t>(static_cast<std::uint64_t>(loc[ip->a]) -
+                                              static_cast<std::uint64_t>(loc[ip[1].a]));
+        ip += 3;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLoadLoadMul) {
+        account(ip[1]);
+        account(ip[2]);
+        stk[sp++] = static_cast<std::int64_t>(static_cast<std::uint64_t>(loc[ip->a]) *
+                                              static_cast<std::uint64_t>(loc[ip[1].a]));
+        ip += 3;
+        ITH_DISPATCH();
+      }
+      // A kJz takes when the comparison was false, a kJnz when it was true.
+      ITH_CASE(kFCmpLtJz) { ITH_FUSED_CMP_BRANCH(<, false); }
+      ITH_CASE(kFCmpLtJnz) { ITH_FUSED_CMP_BRANCH(<, true); }
+      ITH_CASE(kFCmpLeJz) { ITH_FUSED_CMP_BRANCH(<=, false); }
+      ITH_CASE(kFCmpLeJnz) { ITH_FUSED_CMP_BRANCH(<=, true); }
+      ITH_CASE(kFCmpEqJz) { ITH_FUSED_CMP_BRANCH(==, false); }
+      ITH_CASE(kFCmpEqJnz) { ITH_FUSED_CMP_BRANCH(==, true); }
+      ITH_CASE(kFCmpNeJz) { ITH_FUSED_CMP_BRANCH(!=, false); }
+      ITH_CASE(kFCmpNeJnz) { ITH_FUSED_CMP_BRANCH(!=, true); }
+      // The 4-long while-guard form never touches the operand stack: the
+      // comparison reads the local and the immediate directly, and the two
+      // transient pushes of the unfused form were dead on both paths.
+      ITH_CASE(kFLoadConstCmpLtJz) { ITH_FUSED_GUARD(<, false); }
+      ITH_CASE(kFLoadConstCmpLtJnz) { ITH_FUSED_GUARD(<, true); }
+      ITH_CASE(kFLoadConstCmpLeJz) { ITH_FUSED_GUARD(<=, false); }
+      ITH_CASE(kFLoadConstCmpLeJnz) { ITH_FUSED_GUARD(<=, true); }
+      ITH_CASE(kFLoadConstCmpEqJz) { ITH_FUSED_GUARD(==, false); }
+      ITH_CASE(kFLoadConstCmpEqJnz) { ITH_FUSED_GUARD(==, true); }
+      ITH_CASE(kFLoadConstCmpNeJz) { ITH_FUSED_GUARD(!=, false); }
+      ITH_CASE(kFLoadConstCmpNeJnz) { ITH_FUSED_GUARD(!=, true); }
+
 #if !ITH_COMPUTED_GOTO
     }  // switch: every case dispatches or exits, control never falls out
   }
@@ -455,5 +555,8 @@ done:
 #undef ITH_CASE
 #undef ITH_DISPATCH
 #undef ITH_NEXT
+#undef ITH_TAKEN_BRANCH
+#undef ITH_FUSED_CMP_BRANCH
+#undef ITH_FUSED_GUARD
 
 }  // namespace ith::rt

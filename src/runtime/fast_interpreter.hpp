@@ -34,6 +34,8 @@ class FastInterpreter final : public Engine {
 
   ExecStats run() override;
 
+  const FusionStats* fusion_stats() const override { return &fusion_stats_; }
+
  private:
   /// An active frame. `resume` is only meaningful for suspended frames
   /// (callers): the instruction after their kCall.
@@ -85,6 +87,7 @@ class FastInterpreter final : public Engine {
   };
   std::vector<Slot> predecoded_;  // indexed by method id
   std::vector<std::unique_ptr<PredecodedBody>> retired_;
+  FusionStats fusion_stats_;  // accumulated across predecodes
 
   // Execution arenas, reused across run() calls.
   std::vector<FastFrame> frames_;

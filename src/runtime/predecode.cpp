@@ -1,12 +1,140 @@
 #include "runtime/predecode.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 
 #include "support/error.hpp"
 
 namespace ith::rt {
 
-PredecodedBody predecode(const CompiledMethod& cm, const MachineModel& machine) {
+// The XOp mirror region must stay numerically identical to bc::Op: unfused
+// entries are threaded through labels[int(xop)] and dense-switched on xop.
+static_assert(static_cast<int>(XOp::kConst) == static_cast<int>(bc::Op::kConst) &&
+                  static_cast<int>(XOp::kJmp) == static_cast<int>(bc::Op::kJmp) &&
+                  static_cast<int>(XOp::kRet) == static_cast<int>(bc::Op::kRet) &&
+                  static_cast<int>(XOp::kHalt) == static_cast<int>(bc::Op::kHalt),
+              "XOp's mirror region drifted from bc::Op");
+
+FusionPolicy default_fusion_policy() {
+  const char* raw = std::getenv("ITH_FUSION");
+  const std::string v = raw == nullptr ? std::string() : std::string(raw);
+  if (v.empty() || v == "1" || v == "promoted") return FusionPolicy::kPromotedOnly;
+  if (v == "0" || v == "off") return FusionPolicy::kOff;
+  if (v == "all") return FusionPolicy::kAll;
+  throw Error("ITH_FUSION=" + v + " is not a fusion policy (use 0/off, 1/promoted, or all)");
+}
+
+const char* fusion_policy_name(FusionPolicy policy) {
+  switch (policy) {
+    case FusionPolicy::kOff: return "off";
+    case FusionPolicy::kPromotedOnly: return "promoted";
+    case FusionPolicy::kAll: return "all";
+  }
+  return "?";
+}
+
+const std::vector<FusionRule>& fusion_rules() {
+  using bc::Op;
+  // Longest patterns first: the scan takes the first rule that matches at a
+  // pc, so a 4-long guard wins over its embedded cmp+branch pair. Every
+  // rule's interior components are straight-line (no jump/call/ret heads
+  // except as the designated final component), which is what makes the
+  // head-executes-all rewrite safe.
+  static const std::vector<FusionRule> kRules = {
+      {"load_const_cmplt_jz", 4, 0, XOp::kFLoadConstCmpLtJz,
+       {Op::kLoad, Op::kConst, Op::kCmpLt, Op::kJz}},
+      {"load_const_cmplt_jnz", 4, 0, XOp::kFLoadConstCmpLtJnz,
+       {Op::kLoad, Op::kConst, Op::kCmpLt, Op::kJnz}},
+      {"load_const_cmple_jz", 4, 0, XOp::kFLoadConstCmpLeJz,
+       {Op::kLoad, Op::kConst, Op::kCmpLe, Op::kJz}},
+      {"load_const_cmple_jnz", 4, 0, XOp::kFLoadConstCmpLeJnz,
+       {Op::kLoad, Op::kConst, Op::kCmpLe, Op::kJnz}},
+      {"load_const_cmpeq_jz", 4, 0, XOp::kFLoadConstCmpEqJz,
+       {Op::kLoad, Op::kConst, Op::kCmpEq, Op::kJz}},
+      {"load_const_cmpeq_jnz", 4, 0, XOp::kFLoadConstCmpEqJnz,
+       {Op::kLoad, Op::kConst, Op::kCmpEq, Op::kJnz}},
+      {"load_const_cmpne_jz", 4, 0, XOp::kFLoadConstCmpNeJz,
+       {Op::kLoad, Op::kConst, Op::kCmpNe, Op::kJz}},
+      {"load_const_cmpne_jnz", 4, 0, XOp::kFLoadConstCmpNeJnz,
+       {Op::kLoad, Op::kConst, Op::kCmpNe, Op::kJnz}},
+      {"load_load_add", 3, 0, XOp::kFLoadLoadAdd, {Op::kLoad, Op::kLoad, Op::kAdd, Op::kNop}},
+      {"load_load_sub", 3, 0, XOp::kFLoadLoadSub, {Op::kLoad, Op::kLoad, Op::kSub, Op::kNop}},
+      {"load_load_mul", 3, 0, XOp::kFLoadLoadMul, {Op::kLoad, Op::kLoad, Op::kMul, Op::kNop}},
+      {"const_add", 2, 0, XOp::kFConstAdd, {Op::kConst, Op::kAdd, Op::kNop, Op::kNop}},
+      {"const_sub", 2, 0, XOp::kFConstSub, {Op::kConst, Op::kSub, Op::kNop, Op::kNop}},
+      {"const_mul", 2, 0, XOp::kFConstMul, {Op::kConst, Op::kMul, Op::kNop, Op::kNop}},
+      {"cmplt_jz", 2, 0, XOp::kFCmpLtJz, {Op::kCmpLt, Op::kJz, Op::kNop, Op::kNop}},
+      {"cmplt_jnz", 2, 0, XOp::kFCmpLtJnz, {Op::kCmpLt, Op::kJnz, Op::kNop, Op::kNop}},
+      {"cmple_jz", 2, 0, XOp::kFCmpLeJz, {Op::kCmpLe, Op::kJz, Op::kNop, Op::kNop}},
+      {"cmple_jnz", 2, 0, XOp::kFCmpLeJnz, {Op::kCmpLe, Op::kJnz, Op::kNop, Op::kNop}},
+      {"cmpeq_jz", 2, 0, XOp::kFCmpEqJz, {Op::kCmpEq, Op::kJz, Op::kNop, Op::kNop}},
+      {"cmpeq_jnz", 2, 0, XOp::kFCmpEqJnz, {Op::kCmpEq, Op::kJnz, Op::kNop, Op::kNop}},
+      {"cmpne_jz", 2, 0, XOp::kFCmpNeJz, {Op::kCmpNe, Op::kJz, Op::kNop, Op::kNop}},
+      {"cmpne_jnz", 2, 0, XOp::kFCmpNeJnz, {Op::kCmpNe, Op::kJnz, Op::kNop, Op::kNop}},
+      // The return of a caller-side call+return pair is rewritten (not the
+      // call): the callee's kRet reloads the caller's resume ip, sees the
+      // kFRetChained mark, and chains into the next return without an
+      // indirect dispatch. Correct for any callee — "leaf" is simply the
+      // depth-1 case where exactly one chain step fires.
+      {"call_ret", 2, 1, XOp::kFRetChained, {Op::kCall, Op::kRet, Op::kNop, Op::kNop}},
+  };
+  return kRules;
+}
+
+FusionStats::FusionStats() : rule_hits(fusion_rules().size(), 0) {}
+
+namespace {
+
+/// The table-driven fusion scan. Rewrites only the xop/fuse_len of the
+/// designated entry per match — operands, costs, lines, and jump deltas are
+/// untouched, and interior entries keep their mirror xop so any control
+/// transfer landing mid-window executes the components unfused.
+void apply_fusion(PredecodedBody& pb, FusionStats* stats) {
+  const std::vector<FusionRule>& rules = fusion_rules();
+  std::vector<PredecodedInsn>& code = pb.code;
+  bool any = false;
+  std::size_t pc = 0;
+  while (pc < code.size()) {
+    std::size_t advance = 1;
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      const FusionRule& rule = rules[r];
+      if (pc + rule.len > code.size()) continue;
+      bool match = true;
+      for (int k = 0; k < rule.len; ++k) {
+        if (code[pc + static_cast<std::size_t>(k)].op != rule.pattern[static_cast<std::size_t>(k)]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      PredecodedInsn& head = code[pc + rule.rewrite_at];
+      head.xop = rule.fused;
+      // Entries this fused dispatch retires. kFRetChained rewrites a single
+      // kRet (the eliminated dispatch is the chain into it), so it stays 1.
+      head.fuse_len = rule.rewrite_at == 0 ? rule.len : 1;
+      any = true;
+      if (stats != nullptr) {
+        ++stats->rules_fired;
+        stats->insns_fused += static_cast<std::uint64_t>(rule.len) - 1;
+        ++stats->rule_hits[r];
+      }
+      advance = rule.len;  // windows from one scan never overlap
+      break;
+    }
+    pc += advance;
+  }
+  pb.fused = any;
+  if (stats != nullptr) {
+    ++stats->bodies_considered;
+    if (any) ++stats->bodies_fused;
+  }
+}
+
+}  // namespace
+
+PredecodedBody predecode(const CompiledMethod& cm, const MachineModel& machine,
+                         FusionPolicy fusion, FusionStats* stats) {
   const std::size_t n = cm.body.size();
   ITH_ASSERT(cm.word_offset.size() == n + 1, "predecode: compiled method not finalized");
 
@@ -20,6 +148,7 @@ PredecodedBody predecode(const CompiledMethod& cm, const MachineModel& machine) 
     const bc::Instruction& insn = cm.body.code()[pc];
     PredecodedInsn& pi = pb.code[pc];
     pi.op = insn.op;
+    pi.xop = static_cast<XOp>(insn.op);
     // Jumps carry their pc-relative delta so the engine advances ip by
     // addition alone; everything else keeps the raw operand.
     const bool is_jump =
@@ -34,6 +163,11 @@ PredecodedBody predecode(const CompiledMethod& cm, const MachineModel& machine) 
         cm.code_base + static_cast<std::uint64_t>(cm.word_offset[pc]) *
                            static_cast<std::uint64_t>(machine.bytes_per_word);
     pi.line = addr / machine.icache_line_bytes;
+  }
+
+  if (fusion == FusionPolicy::kAll ||
+      (fusion == FusionPolicy::kPromotedOnly && cm.tier != Tier::kBaseline)) {
+    apply_fusion(pb, stats);
   }
 
   // Operand-stack headroom: the depth after executing the instruction at pc

@@ -12,8 +12,21 @@
 //   * the direct-threaded dispatch target slot, filled in by the engine the
 //     first time a body is entered (computed-goto labels are local to the
 //     dispatch loop, so predecoding can only reserve the slot).
+//
+// On top of the 1:1 translation sits the superinstruction fusion pass
+// (DESIGN.md §14): a table-driven scan that rewrites the HEAD of an adjacent
+// bytecode pattern (push-const+arith, load+load+op, cmp+branch, the 4-long
+// loop-guard form, call+return chains) to a fused extended opcode. Interior
+// entries of a fused window keep their original opcode, so a jump, OSR
+// entry, or back edge landing mid-window simply executes the components
+// unfused — fusion never moves, deletes, or re-costs an entry, which is how
+// the sim-cycle model and ExecStats stay bit-identical to the reference
+// engine (the fused handlers account each component separately, in original
+// order; see the cost-conservation rule in DESIGN.md).
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -22,11 +35,128 @@
 
 namespace ith::rt {
 
+/// Extended opcode space the fast engine dispatches over: the first
+/// bc::kNumOps values mirror bc::Op one-to-one (same numeric values —
+/// predecode static_asserts this), followed by the fused superinstructions.
+/// Fused values only ever appear on the head entry of a pattern window
+/// (kFRetChained excepted: it marks the kRet of a caller-side call+return
+/// pair, and its handler IS the kRet handler).
+enum class XOp : std::uint8_t {
+  // --- bc::Op mirrors (dispatch identity for unfused entries) ---
+  kConst,
+  kLoad,
+  kStore,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kNeg,
+  kCmpLt,
+  kCmpLe,
+  kCmpEq,
+  kCmpNe,
+  kJmp,
+  kJz,
+  kJnz,
+  kCall,
+  kRet,
+  kGLoad,
+  kGStore,
+  kPop,
+  kNop,
+  kHalt,
+  // --- fused superinstructions ---
+  kFConstAdd,      ///< kConst kAdd   : top = top + imm
+  kFConstSub,      ///< kConst kSub   : top = top - imm
+  kFConstMul,      ///< kConst kMul   : top = top * imm
+  kFLoadLoadAdd,   ///< kLoad kLoad kAdd : push(loc[a] + loc[a'])
+  kFLoadLoadSub,   ///< kLoad kLoad kSub
+  kFLoadLoadMul,   ///< kLoad kLoad kMul
+  kFCmpLtJz,       ///< kCmpLt kJz  : pop 2, branch if !(lhs < rhs)
+  kFCmpLtJnz,      ///< kCmpLt kJnz : pop 2, branch if  (lhs < rhs)
+  kFCmpLeJz,
+  kFCmpLeJnz,
+  kFCmpEqJz,
+  kFCmpEqJnz,
+  kFCmpNeJz,
+  kFCmpNeJnz,
+  kFLoadConstCmpLtJz,   ///< kLoad kConst kCmpLt kJz — the while-loop guard
+  kFLoadConstCmpLtJnz,  ///< shape; zero operand-stack traffic when fused
+  kFLoadConstCmpLeJz,
+  kFLoadConstCmpLeJnz,
+  kFLoadConstCmpEqJz,
+  kFLoadConstCmpEqJnz,
+  kFLoadConstCmpNeJz,
+  kFLoadConstCmpNeJnz,
+  kFRetChained,  ///< the kRet of a caller-side {kCall, kRet} pair: the
+                 ///< callee's return chains straight into this return
+                 ///< without an indirect dispatch in between
+};
+
+/// Number of extended opcodes (label-table size for the fast engine).
+inline constexpr int kNumXOps = static_cast<int>(XOp::kFRetChained) + 1;
+static_assert(kNumXOps == bc::kNumOps + 23, "fused opcode count drifted");
+
+/// When the predecoder may fuse. The default comes from the ITH_FUSION
+/// environment variable (see default_fusion_policy) so the escape hatch
+/// mirrors ITH_COMPUTED_GOTO=0: setting ITH_FUSION=0 runs every body
+/// unfused without a rebuild.
+enum class FusionPolicy : std::uint8_t {
+  kOff,           ///< never fuse (escape hatch; also the reference behavior)
+  kPromotedOnly,  ///< fuse bodies above baseline tier — dispatch speed is
+                  ///< tier-dependent, so adaptive promotion pays twice
+  kAll,           ///< fuse every tier (stress / micro-bench configuration)
+};
+
+/// Policy selected by the ITH_FUSION environment variable:
+///   "0" / "off"            -> kOff
+///   "all"                  -> kAll
+///   "1" / "promoted" / unset -> kPromotedOnly (the default)
+/// Throws ith::Error on any other value (a typo silently disabling the
+/// fusion tier would be invisible).
+FusionPolicy default_fusion_policy();
+
+const char* fusion_policy_name(FusionPolicy policy);
+
+/// One fusion rule: an adjacent bc::Op pattern and the fused opcode that
+/// replaces the dispatch of the entry at `rewrite_at`. Rules are DATA — the
+/// scan in predecode() interprets this table; adding a pattern means adding
+/// a row here plus its handler in fast_interpreter.cpp, nothing else.
+struct FusionRule {
+  const char* name;                  ///< stable id for stats/obs counters
+  std::uint8_t len;                  ///< pattern length (2..kMaxFusionPatternLen)
+  std::uint8_t rewrite_at;           ///< which component gets the fused xop
+  XOp fused;                         ///< replacement extended opcode
+  std::array<bc::Op, 4> pattern;     ///< adjacent ops; only [0, len) matter
+};
+
+inline constexpr int kMaxFusionPatternLen = 4;
+
+/// The fusion pattern table, ordered longest-first so the scan's first
+/// match at a pc is the longest one.
+const std::vector<FusionRule>& fusion_rules();
+
+/// Fusion activity accumulated across predecodes (the fast engine keeps one
+/// per engine instance; the VM publishes deltas as rt.fused_* counters).
+struct FusionStats {
+  FusionStats();  ///< sizes rule_hits to fusion_rules().size()
+
+  std::uint64_t bodies_considered = 0;  ///< predecodes with fusion enabled
+  std::uint64_t bodies_fused = 0;       ///< bodies where >= 1 rule fired
+  std::uint64_t rules_fired = 0;        ///< total pattern matches rewritten
+  std::uint64_t insns_fused = 0;        ///< dispatches eliminated: sum(len-1)
+  std::vector<std::uint64_t> rule_hits;  ///< indexed like fusion_rules()
+};
+
 /// One predecoded instruction, 40 bytes: the dispatch-critical fields
 /// (target, base_cost, line) lead so a straight-line run touches a compact
 /// prefix of each entry. The simulated byte address is deliberately NOT
 /// stored — any address inside the line identifies the same line to the
 /// I-cache, so the engine probes with `line * icache_line_bytes`.
+/// Fusion lives entirely in the former tail padding (xop + fuse_len): a
+/// fused head reads its components' operands from the still-present
+/// interior entries, so no operand storage is added.
 struct PredecodedInsn {
   const void* target = nullptr;  ///< computed-goto label (engine fills lazily)
   double base_cost = 0.0;        ///< machine_words * cpi[tier], pre-folded
@@ -36,8 +166,20 @@ struct PredecodedInsn {
                                  ///< the dispatch loop never needs the code base
                                  ///< (back edge iff delta <= 0)
   std::int32_t b = 0;            ///< kCall argument count
-  bc::Op op = bc::Op::kNop;      ///< dense-switch fallback + threading key
+  bc::Op op = bc::Op::kNop;      ///< original opcode (pre-fusion identity)
+  XOp xop = XOp::kNop;           ///< dispatch key: mirrors `op` unless fused
+  std::uint8_t fuse_len = 1;     ///< entries this dispatch retires (1 unfused)
 };
+
+// The doc comment above promises 40 bytes and a stable dispatch-critical
+// prefix; fusion rides in the padding and must never bloat the entry or
+// reorder the hot fields.
+static_assert(sizeof(PredecodedInsn) == 40, "PredecodedInsn grew past its 40-byte budget");
+static_assert(offsetof(PredecodedInsn, target) == 0 && offsetof(PredecodedInsn, base_cost) == 8 &&
+                  offsetof(PredecodedInsn, line) == 16,
+              "dispatch-critical prefix (target, base_cost, line) reordered");
+static_assert(offsetof(PredecodedInsn, a) == 24 && offsetof(PredecodedInsn, b) == 28,
+              "operand fields moved out of the fused handlers' expected slots");
 
 /// A predecoded body plus everything the engine needs to enter a frame in
 /// O(1): the source CompiledMethod (for OSR / provenance lookups) and the
@@ -48,13 +190,21 @@ struct PredecodedBody {
   /// Upper bound on the operand-stack depth (relative to the frame's stack
   /// floor) reachable while this body's frame is on top. Lets the engine
   /// reserve stack capacity once per call instead of checking per push.
+  /// Computed pre-fusion; fused handlers only ever use less transient stack
+  /// than their components, so it stays an upper bound.
   int max_operand_depth = 0;
   /// Dispatch-target slots are valid for the engine's label table.
   bool threaded = false;
+  /// At least one fusion rule fired on this body.
+  bool fused = false;
 };
 
 /// Predecodes `cm` (which must be finalized and have code_base assigned,
-/// i.e. installed) under `machine`'s cost model.
-PredecodedBody predecode(const CompiledMethod& cm, const MachineModel& machine);
+/// i.e. installed) under `machine`'s cost model. With a fusion policy that
+/// admits `cm` (kAll, or kPromotedOnly and the body is above baseline
+/// tier), runs the pattern-table fusion scan; `stats`, when non-null,
+/// accumulates what fired.
+PredecodedBody predecode(const CompiledMethod& cm, const MachineModel& machine,
+                         FusionPolicy fusion = FusionPolicy::kOff, FusionStats* stats = nullptr);
 
 }  // namespace ith::rt

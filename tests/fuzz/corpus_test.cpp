@@ -29,6 +29,13 @@ TEST(Corpus, ContainsTheSeededEdgeCases) {
   EXPECT_TRUE(has("edge_empty_body_leaf"));
   EXPECT_TRUE(has("edge_max_stack_boundary"));
   EXPECT_TRUE(has("edge_self_recursive"));
+  // Fusion-adversarial repros: fusible pairs split across jump targets,
+  // back edges and OSR entries landing inside fused windows, and deep
+  // call+return chains (see tests/runtime/fusion_test.cpp for the shapes).
+  EXPECT_TRUE(has("fusion_split_jump"));
+  EXPECT_TRUE(has("fusion_backedge_interior"));
+  EXPECT_TRUE(has("fusion_osr_midpattern"));
+  EXPECT_TRUE(has("fusion_ret_chain"));
 }
 
 TEST(Corpus, EveryEntryVerifiesAndPassesTheOracle) {
