@@ -26,6 +26,7 @@ const char* tier_name(TierKind t) {
     case TierKind::kEngineDiff: return "engine-diff";
     case TierKind::kBudgetDiff: return "budget-diff";
     case TierKind::kSigEquiv: return "sig-equiv";
+    case TierKind::kPipelineDiff: return "pipeline-diff";
   }
   return "?";
 }
@@ -210,6 +211,73 @@ std::string diff_globals(const std::vector<std::int64_t>& ref,
   return os.str();
 }
 
+/// Bit-identity comparison of two optimization results for one method:
+/// body, per-instruction provenance, and the complete OptStats. Empty
+/// string when identical.
+std::string diff_optimized(const std::string& method, const opt::OptimizeResult& want,
+                           const opt::OptimizeResult& got) {
+  const bc::Method& wm = want.body.method;
+  const bc::Method& gm = got.body.method;
+  std::ostringstream os;
+  os << method << ":";
+  if (wm.size() != gm.size()) {
+    os << " body length " << gm.size() << " (want " << wm.size() << ")";
+    return os.str();
+  }
+  if (wm.num_locals() != gm.num_locals()) {
+    os << " num_locals " << gm.num_locals() << " (want " << wm.num_locals() << ")";
+    return os.str();
+  }
+  for (std::size_t pc = 0; pc < wm.size(); ++pc) {
+    const bc::Instruction& a = wm.code()[pc];
+    const bc::Instruction& b = gm.code()[pc];
+    if (a.op != b.op || a.a != b.a || a.b != b.b) {
+      os << " instruction at pc " << pc << " differs";
+      return os.str();
+    }
+    const opt::InstrMeta& ma = want.body.meta[pc];
+    const opt::InstrMeta& mb = got.body.meta[pc];
+    if (ma.depth != mb.depth || ma.origin_method != mb.origin_method ||
+        ma.origin_pc != mb.origin_pc) {
+      os << " provenance at pc " << pc << " differs";
+      return os.str();
+    }
+  }
+  bool any = false;
+  const auto field = [&](const char* name, auto w, auto g) {
+    if (w != g) {
+      os << " " << name << " " << g << " (want " << w << ")";
+      any = true;
+    }
+  };
+  const opt::InlineStats& wi = want.stats.inline_stats;
+  const opt::InlineStats& gi = got.stats.inline_stats;
+  field("sites_considered", wi.sites_considered, gi.sites_considered);
+  field("sites_inlined", wi.sites_inlined, gi.sites_inlined);
+  field("sites_partially_inlined", wi.sites_partially_inlined, gi.sites_partially_inlined);
+  field("sites_refused_by_heuristic", wi.sites_refused_by_heuristic,
+        gi.sites_refused_by_heuristic);
+  field("sites_refused_structural", wi.sites_refused_structural, gi.sites_refused_structural);
+  field("max_depth_reached", wi.max_depth_reached, gi.max_depth_reached);
+  field("size_before_words", wi.size_before_words, gi.size_before_words);
+  field("size_after_words", wi.size_after_words, gi.size_after_words);
+  field("folds", want.stats.folds, got.stats.folds);
+  field("copyprops", want.stats.copyprops, got.stats.copyprops);
+  field("dead_stores", want.stats.dead_stores, got.stats.dead_stores);
+  field("branch_simplifications", want.stats.branch_simplifications,
+        got.stats.branch_simplifications);
+  field("algebraic_simplifications", want.stats.algebraic_simplifications,
+        got.stats.algebraic_simplifications);
+  field("compare_fusions", want.stats.compare_fusions, got.stats.compare_fusions);
+  field("tail_calls_eliminated", want.stats.tail_calls_eliminated,
+        got.stats.tail_calls_eliminated);
+  field("unreachable_removed", want.stats.unreachable_removed, got.stats.unreachable_removed);
+  field("instructions_compacted", want.stats.instructions_compacted,
+        got.stats.instructions_compacted);
+  field("iterations", want.stats.iterations, got.stats.iterations);
+  return any ? os.str() : std::string();
+}
+
 }  // namespace
 
 DifferentialOracle::DifferentialOracle(OracleConfig config) : config_(config) {
@@ -363,6 +431,29 @@ OracleVerdict DifferentialOracle::check_with_options(const bc::Program& prog,
     static_tier(TierKind::kO1, o1);
     heur::AlwaysInlineHeuristic o2(/*depth_cap=*/8);
     static_tier(TierKind::kO2, o2);
+  }
+
+  // Pipeline-differential tier: the PassManager behind the Optimizer facade
+  // must be bit-identical — bodies, provenance, and statistics — to the
+  // frozen legacy orchestration for every method under these options.
+  {
+    heur::JikesHeuristic h(params_);
+    try {
+      const opt::Optimizer optimizer(prog, h, opt::cold_site, options, limits);
+      for (std::size_t i = 0; i < prog.num_methods(); ++i) {
+        const auto id = static_cast<bc::MethodId>(i);
+        const opt::OptimizeResult got = optimizer.optimize(id);
+        const opt::OptimizeResult want =
+            opt::reference_optimize(prog, id, h, opt::cold_site, options, limits);
+        const std::string d = diff_optimized(prog.method(id).name(), want, got);
+        if (!d.empty()) {
+          record(TierKind::kPipelineDiff, d);
+          break;  // one witness per seed keeps reports readable
+        }
+      }
+    } catch (const Error& e) {
+      record(TierKind::kPipelineDiff, std::string("trap: ") + e.what());
+    }
   }
 
   // One full adaptive-VM run (baseline -> O1 -> O2 ladder, profiling,

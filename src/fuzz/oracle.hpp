@@ -100,6 +100,11 @@ enum class TierKind : std::uint8_t {
   kEngineDiff,
   kBudgetDiff,
   kSigEquiv,
+  /// PassManager-vs-legacy: every method optimized through the declarative
+  /// pipeline (the Optimizer facade) must be bit-identical — body, per-
+  /// instruction provenance, and OptStats — to the frozen reference_optimize
+  /// orchestration under the same options/params.
+  kPipelineDiff,
 };
 
 const char* tier_name(TierKind t);

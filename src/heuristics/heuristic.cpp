@@ -15,13 +15,23 @@ bool JikesHeuristic::should_inline(const InlineRequest& req) const {
 }
 
 InlineDecision JikesHeuristic::decide(const InlineRequest& req) const {
+  // Sixth dimension: a callee rejected for size may still donate its pure
+  // guard head when that head fits the PARTIAL_MAX_HEAD_SIZE budget.
+  const bool partial_ok = params_.partial_max_head_size > 0 && req.head_size >= 0 &&
+                          req.head_size <= params_.partial_max_head_size;
   if (req.is_hot) {
     // Figure 4: hot call sites are judged only by callee size.
-    if (req.callee_size > params_.hot_callee_max_size) return {false, "fig4:hot_callee_too_big"};
+    if (req.callee_size > params_.hot_callee_max_size) {
+      if (partial_ok) return {true, "fig4:partial_head", true};
+      return {false, "fig4:hot_callee_too_big"};
+    }
     return {true, "fig4:hot_yes"};
   }
   // Figure 3, test order preserved.
-  if (req.callee_size > params_.callee_max_size) return {false, "fig3:callee_too_big"};
+  if (req.callee_size > params_.callee_max_size) {
+    if (partial_ok) return {true, "fig3:partial_head", true};
+    return {false, "fig3:callee_too_big"};
+  }
   if (req.callee_size < params_.always_inline_size) return {true, "fig3:always_inline"};
   if (req.depth > params_.max_inline_depth) return {false, "fig3:too_deep"};
   if (req.caller_size > params_.caller_max_size) return {false, "fig3:caller_too_big"};

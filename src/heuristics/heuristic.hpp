@@ -23,6 +23,10 @@ struct InlineRequest {
   int depth = 0;                 ///< inlining depth at this site (0 = original call)
   bool is_hot = false;           ///< call site observed hot by the profiler (Adapt)
   std::uint64_t site_count = 0;  ///< profiled execution count of the site (0 if unknown)
+  /// Estimated words of the callee's pure guard head if it has one
+  /// (see opt::partial_inline_shape), -1 if the callee cannot be split.
+  /// Only consulted by heuristics that support partial inlining.
+  int head_size = -1;
 };
 
 /// A heuristic verdict plus the rule that produced it, for observability:
@@ -32,6 +36,10 @@ struct InlineRequest {
 struct InlineDecision {
   bool inline_it = false;
   const char* rule = "opaque";
+  /// True when only the callee's guard head should be spliced (partial
+  /// inlining); implies inline_it. should_inline() cannot express this,
+  /// so partial-aware callers must consult decide().
+  bool partial = false;
 };
 
 class InlineHeuristic {
@@ -74,7 +82,10 @@ class JikesHeuristic final : public InlineHeuristic {
   bool should_inline(const InlineRequest& req) const override;
   /// Reports which Figure 3/4 term fired: "fig4:hot_callee_too_big",
   /// "fig4:hot_yes", "fig3:callee_too_big", "fig3:always_inline",
-  /// "fig3:too_deep", "fig3:caller_too_big" or "fig3:yes".
+  /// "fig3:too_deep", "fig3:caller_too_big" or "fig3:yes". With
+  /// PARTIAL_MAX_HEAD_SIZE > 0, a size rejection whose callee exposes a
+  /// small enough guard head instead returns a partial verdict
+  /// ("fig4:partial_head" / "fig3:partial_head").
   InlineDecision decide(const InlineRequest& req) const override;
   std::string name() const override;
 

@@ -6,8 +6,8 @@
 namespace ith::heur {
 
 InlineParams::Array InlineParams::to_array() const {
-  return {callee_max_size, always_inline_size, max_inline_depth, caller_max_size,
-          hot_callee_max_size};
+  return {callee_max_size,     always_inline_size, max_inline_depth,
+          caller_max_size,     hot_callee_max_size, partial_max_head_size};
 }
 
 InlineParams InlineParams::from_array(const Array& v) {
@@ -17,6 +17,7 @@ InlineParams InlineParams::from_array(const Array& v) {
   p.max_inline_depth = v[2];
   p.caller_max_size = v[3];
   p.hot_callee_max_size = v[4];
+  p.partial_max_head_size = v[5];
   return p;
 }
 
@@ -24,7 +25,8 @@ std::string InlineParams::to_string() const {
   std::ostringstream os;
   os << "[CALLEE_MAX_SIZE=" << callee_max_size << ", ALWAYS_INLINE_SIZE=" << always_inline_size
      << ", MAX_INLINE_DEPTH=" << max_inline_depth << ", CALLER_MAX_SIZE=" << caller_max_size
-     << ", HOT_CALLEE_MAX_SIZE=" << hot_callee_max_size << "]";
+     << ", HOT_CALLEE_MAX_SIZE=" << hot_callee_max_size
+     << ", PARTIAL_MAX_HEAD_SIZE=" << partial_max_head_size << "]";
   return os.str();
 }
 
@@ -42,6 +44,10 @@ const std::array<ParamRange, InlineParams::kNumParams>& param_ranges() {
       {"MAX_INLINE_DEPTH", 1, 15},
       {"CALLER_MAX_SIZE", 1, 4000},
       {"HOT_CALLEE_MAX_SIZE", 1, 400},
+      // Beyond the paper: guard-head budget for partial inlining. 0 (the
+      // default) disables the transform, so the legacy five-dimensional
+      // space is the lo edge of this axis.
+      {"PARTIAL_MAX_HEAD_SIZE", 0, 40},
   }};
   return kRanges;
 }

@@ -39,9 +39,11 @@ struct ProbeDecision {
   int depth = 0;
   int callee_size = 0;           ///< estimated words of the original callee
   int caller_size = 0;           ///< estimated words of the evolving body
+  int head_size = -1;            ///< guard-head words offered to the heuristic
   bool is_hot = false;
   std::uint64_t site_count = 0;
   bool inlined = false;
+  bool partial = false;          ///< verdict was "splice the guard head only"
   const char* rule = "opaque";
 };
 
@@ -94,6 +96,11 @@ struct SignatureResult {
 /// vector, for every reachable profile state. Valid for heuristics whose
 /// verdict depends on the site profile only through `is_hot` (the Jikes
 /// fig3/fig4 family — site_count is ignored by the decision rules).
+/// Partial-inline verdicts hash as a third consultation byte and explore
+/// the residual re-call the splice leaves behind, so the signature stays a
+/// sound collapse key across the full six-parameter space; with
+/// PARTIAL_MAX_HEAD_SIZE = 0 the byte stream is identical to the
+/// five-parameter encoding.
 SignatureResult decision_signature(const bc::Program& prog, const heur::InlineParams& params,
                                    InlineLimits limits, const SignatureOptions& opts = {});
 

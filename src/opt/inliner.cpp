@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <sstream>
 
 #include "bytecode/size_estimator.hpp"
 #include "opt/passes.hpp"
@@ -11,9 +12,38 @@ namespace ith::opt {
 
 SiteProfile cold_site(bc::MethodId, std::int32_t) { return SiteProfile{}; }
 
+std::string format_inline_report(const bc::Program& prog, const InlineReport& report) {
+  std::ostringstream os;
+  for (const InlineReportEntry& e : report) {
+    os << "inline: '" << prog.method(e.caller).name() << "' <- '" << prog.method(e.callee).name()
+       << "' @" << e.call_pc << " depth=" << e.depth << " callee=" << e.callee_size
+       << "w caller=" << e.caller_size << "w";
+    if (e.is_hot) os << " hot(" << e.site_count << ")";
+    switch (e.outcome) {
+      case InlineReportEntry::Outcome::kInlined:
+        os << ": inlined";
+        break;
+      case InlineReportEntry::Outcome::kPartial:
+        os << ": partially inlined, head=" << e.head_size << "w";
+        break;
+      case InlineReportEntry::Outcome::kRefusedHeuristic:
+      case InlineReportEntry::Outcome::kRefusedStructural:
+        os << ": rejected";
+        break;
+    }
+    os << " (" << e.rule << ")\n";
+  }
+  return os.str();
+}
+
 Inliner::Inliner(const bc::Program& prog, const heur::InlineHeuristic& heuristic, SiteOracle oracle,
-                 InlineLimits limits, obs::Context* obs)
-    : prog_(prog), heuristic_(heuristic), oracle_(std::move(oracle)), limits_(limits), obs_(obs) {
+                 InlineLimits limits, obs::Context* obs, AnalysisManager* analyses)
+    : prog_(prog),
+      heuristic_(heuristic),
+      oracle_(std::move(oracle)),
+      limits_(limits),
+      obs_(obs),
+      analyses_(analyses) {
   ITH_CHECK(oracle_ != nullptr, "Inliner requires a site oracle");
 }
 
@@ -67,7 +97,7 @@ bool Inliner::is_inlinable(const bc::Program& prog, bc::MethodId callee) {
   return true;
 }
 
-bool Inliner::splice(AnnotatedMethod& am, std::size_t call_pc) const {
+bool Inliner::splice(AnnotatedMethod& am, std::size_t call_pc, AnalysisManager& analyses) const {
   auto& code = am.method.mutable_code();
   const bc::Instruction call = code[call_pc];
   ITH_ASSERT(call.op == bc::Op::kCall, "splice target is not a call");
@@ -101,7 +131,7 @@ bool Inliner::splice(AnnotatedMethod& am, std::size_t call_pc) const {
   // previous trip left in these slots. Clear every non-argument local the
   // callee might read before writing; skip the prologue entirely when the
   // definite-assignment analysis proves no such read exists.
-  if (!non_arg_locals_definitely_assigned(callee)) {
+  if (analyses.needs_prologue(call.a)) {
     for (int i = nargs; i < callee.num_locals(); ++i) {
       region.push_back(bc::Instruction{bc::Op::kConst, 0, 0});
       region_meta.push_back(InstrMeta{depth, call.a, -1, chain});
@@ -156,10 +186,107 @@ bool Inliner::splice(AnnotatedMethod& am, std::size_t call_pc) const {
   return true;
 }
 
-AnnotatedMethod Inliner::run(bc::MethodId id, InlineStats* stats) const {
+bool Inliner::splice_partial(AnnotatedMethod& am, std::size_t call_pc,
+                             const PartialShape& shape) const {
+  auto& code = am.method.mutable_code();
+  const bc::Instruction call = code[call_pc];
+  ITH_ASSERT(call.op == bc::Op::kCall, "partial splice target is not a call");
+  const bc::Method& callee = prog_.method(call.a);
+  const int nargs = call.b;
+  const auto head_len = static_cast<std::size_t>(shape.head_len);
+  ITH_ASSERT(head_len < callee.size(), "partial head must be a strict prefix");
+
+  // Only the arguments get caller slots: the head reads nothing else, and
+  // the cold stub rebuilds the real call from these copies.
+  const int base = am.method.num_locals();
+  am.method.set_num_locals(base + nargs);
+
+  auto chain = std::make_shared<std::vector<bc::MethodId>>();
+  if (am.meta[call_pc].chain) *chain = *am.meta[call_pc].chain;
+  chain->push_back(call.a);
+  const int depth = am.meta[call_pc].depth + 1;
+  const InstrMeta orig = am.meta[call_pc];
+
+  std::vector<bc::Instruction> region;
+  std::vector<InstrMeta> region_meta;
+  region.reserve(static_cast<std::size_t>(2 * nargs) + head_len + 1);
+  region_meta.reserve(region.capacity());
+
+  // Argument marshalling, exactly as in a full splice.
+  for (int i = nargs - 1; i >= 0; --i) {
+    region.push_back(bc::Instruction{bc::Op::kStore, base + i, 0});
+    region_meta.push_back(InstrMeta{depth, call.a, -1, chain});
+  }
+
+  // Layout: [marshal][head][stub: reload args + call][landing...]. Head
+  // kRets jump over the stub; every exit into the cold tail lands on it.
+  const std::size_t body_offset = call_pc + region.size();
+  const std::size_t stub = body_offset + head_len;
+  const std::size_t landing = stub + static_cast<std::size_t>(nargs) + 1;
+
+  for (std::size_t j = 0; j < head_len; ++j) {
+    bc::Instruction insn = callee.code()[j];
+    switch (insn.op) {
+      case bc::Op::kLoad:
+        insn.a += base;  // argument slot by the head-purity whitelist
+        break;
+      case bc::Op::kJmp:
+      case bc::Op::kJz:
+      case bc::Op::kJnz:
+        // In-head targets rebase; cold exits reroute to the re-call stub
+        // (the head left the operand stack empty on those edges).
+        insn.a = static_cast<std::size_t>(insn.a) < head_len
+                     ? static_cast<std::int32_t>(body_offset) + insn.a
+                     : static_cast<std::int32_t>(stub);
+        break;
+      case bc::Op::kRet:
+        insn = bc::Instruction{bc::Op::kJmp, static_cast<std::int32_t>(landing), 0};
+        break;
+      default:
+        break;
+    }
+    region.push_back(insn);
+    region_meta.push_back(InstrMeta{depth, call.a, static_cast<std::int32_t>(j), chain});
+  }
+
+  // Cold stub: rebuild the argument stack and issue the original call. The
+  // head is pure, so re-executing it inside the callee is unobservable. The
+  // residual call keeps the original site's provenance: the profiler keeps
+  // counting it, and a later recompile may still inline it fully.
+  for (int i = 0; i < nargs; ++i) {
+    region.push_back(bc::Instruction{bc::Op::kLoad, base + i, 0});
+    region_meta.push_back(InstrMeta{depth, call.a, -1, chain});
+  }
+  region.push_back(call);
+  region_meta.push_back(InstrMeta{depth, orig.origin_method, orig.origin_pc, chain});
+
+  const auto delta = static_cast<std::int32_t>(region.size()) - 1;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    bc::Instruction& insn = code[pc];
+    if (bc::op_info(insn.op).is_branch && insn.a > static_cast<std::int32_t>(call_pc)) {
+      insn.a += delta;
+    }
+  }
+
+  code.erase(code.begin() + static_cast<std::ptrdiff_t>(call_pc));
+  code.insert(code.begin() + static_cast<std::ptrdiff_t>(call_pc), region.begin(), region.end());
+  am.meta.erase(am.meta.begin() + static_cast<std::ptrdiff_t>(call_pc));
+  am.meta.insert(am.meta.begin() + static_cast<std::ptrdiff_t>(call_pc), region_meta.begin(),
+                 region_meta.end());
+  ITH_ASSERT(am.consistent(), "annotation length diverged from code length");
+  return true;
+}
+
+AnnotatedMethod Inliner::run(bc::MethodId id, InlineStats* stats, InlineReport* report) const {
   AnnotatedMethod am = AnnotatedMethod::from_method(prog_.method(id), id);
   InlineStats local;
   local.size_before_words = bc::estimated_method_size(am.method);
+
+  // Structural facts come from the shared AnalysisManager when the caller
+  // provided one (the pass-manager path); otherwise a private one serves
+  // this run only.
+  AnalysisManager private_analyses(prog_);
+  AnalysisManager& analyses = analyses_ != nullptr ? *analyses_ : private_analyses;
 
   std::size_t pc = 0;
   while (pc < am.method.size()) {
@@ -173,21 +300,43 @@ AnnotatedMethod Inliner::run(bc::MethodId id, InlineStats* stats) const {
     // Copy: splice() below invalidates references into am.meta.
     const InstrMeta meta = am.meta[pc];
 
+    auto record = [&](InlineReportEntry::Outcome outcome, const char* rule,
+                      const heur::InlineRequest* req) {
+      if (report == nullptr) return;
+      InlineReportEntry e;
+      e.caller = id;
+      e.callee = callee;
+      e.call_pc = pc;
+      e.depth = meta.depth;
+      e.callee_size = req != nullptr ? req->callee_size : analyses.method_size(callee);
+      e.caller_size =
+          req != nullptr ? req->caller_size : bc::estimated_method_size(am.method);
+      e.head_size = req != nullptr ? req->head_size : -1;
+      if (req != nullptr) {
+        e.is_hot = req->is_hot;
+        e.site_count = req->site_count;
+      }
+      e.outcome = outcome;
+      e.rule = rule;
+      report->push_back(e);
+    };
+
     // Structural guards, independent of the tuned heuristic.
-    bool structurally_ok = meta.depth < limits_.hard_depth_cap;
-    if (structurally_ok && meta.chain) {
-      const auto occurrences =
-          std::count(meta.chain->begin(), meta.chain->end(), callee);
-      structurally_ok = occurrences < limits_.max_recursive_occurrences;
+    const char* structural_rule = nullptr;
+    if (meta.depth >= limits_.hard_depth_cap) {
+      structural_rule = "structural:depth_cap";
+    } else if (meta.chain &&
+               std::count(meta.chain->begin(), meta.chain->end(), callee) >=
+                   limits_.max_recursive_occurrences) {
+      structural_rule = "structural:recursive_chain";
+    } else if (bc::estimated_method_size(am.method) >= limits_.max_body_words) {
+      structural_rule = "structural:body_too_big";
+    } else if (!analyses.inlinable(callee)) {
+      structural_rule = "structural:not_inlinable";
     }
-    if (structurally_ok) {
-      structurally_ok = bc::estimated_method_size(am.method) < limits_.max_body_words;
-    }
-    if (structurally_ok) {
-      structurally_ok = is_inlinable(prog_, callee);
-    }
-    if (!structurally_ok) {
+    if (structural_rule != nullptr) {
       ++local.sites_refused_structural;
+      record(InlineReportEntry::Outcome::kRefusedStructural, structural_rule, nullptr);
       ++pc;
       continue;
     }
@@ -197,38 +346,45 @@ AnnotatedMethod Inliner::run(bc::MethodId id, InlineStats* stats) const {
     req.caller = id;
     req.callee = callee;
     req.call_pc = pc;
-    req.callee_size = bc::estimated_method_size(prog_.method(callee));
+    req.callee_size = analyses.method_size(callee);
     req.caller_size = bc::estimated_method_size(am.method);
     req.depth = meta.depth;
     req.is_hot = profile.is_hot;
     req.site_count = profile.count;
+    const std::optional<PartialShape>& shape = analyses.partial_shape(callee);
+    req.head_size = shape ? shape->head_words : -1;
 
-    bool approved;
+    const heur::InlineDecision decision = heuristic_.decide(req);
     if (obs_ != nullptr && obs_->enabled(obs::Category::kInline)) {
-      const heur::InlineDecision decision = heuristic_.decide(req);
-      approved = decision.inline_it;
       obs_->instant(obs::Category::kInline, "inline.decision", obs::Domain::kHost,
                     obs_->host_now_us(),
                     {{"caller", prog_.method(id).name()},
                      {"callee", prog_.method(callee).name()},
                      {"rule", decision.rule},
                      {"inlined", decision.inline_it},
+                     {"partial", decision.partial},
                      {"depth", req.depth},
                      {"callee_size", req.callee_size},
                      {"caller_size", req.caller_size},
                      {"hot", req.is_hot},
                      {"site_count", req.site_count}});
-    } else {
-      approved = heuristic_.should_inline(req);
     }
-    if (!approved) {
+    if (!decision.inline_it) {
       ++local.sites_refused_by_heuristic;
+      record(InlineReportEntry::Outcome::kRefusedHeuristic, decision.rule, &req);
       ++pc;
       continue;
     }
 
-    splice(am, pc);
-    ++local.sites_inlined;
+    if (decision.partial) {
+      splice_partial(am, pc, *shape);
+      ++local.sites_partially_inlined;
+      record(InlineReportEntry::Outcome::kPartial, decision.rule, &req);
+    } else {
+      splice(am, pc, analyses);
+      ++local.sites_inlined;
+      record(InlineReportEntry::Outcome::kInlined, decision.rule, &req);
+    }
     local.max_depth_reached = std::max(local.max_depth_reached, meta.depth + 1);
     // Do not advance pc: the spliced region starts here and may itself begin
     // with further call sites to consider.

@@ -1,108 +1,17 @@
 #include "opt/optimizer.hpp"
 
-#include "opt/passes.hpp"
 #include "support/error.hpp"
 
 namespace ith::opt {
 
 Optimizer::Optimizer(const bc::Program& prog, const heur::InlineHeuristic& heuristic,
                      SiteOracle oracle, OptimizerOptions options, InlineLimits limits)
-    : prog_(prog),
-      heuristic_(heuristic),
-      oracle_(std::move(oracle)),
-      options_(options),
-      limits_(limits) {
-  ITH_CHECK(options_.max_iterations >= 1, "optimizer needs at least one iteration");
-}
+    : options_(options),
+      pm_(std::make_unique<PassManager>(prog, heuristic, std::move(oracle),
+                                        pipeline_from_options(options), limits, options.obs)) {}
 
-OptimizeResult Optimizer::optimize(bc::MethodId id) const {
-  OptimizeResult result;
-  obs::Context* const obs = options_.obs;
-  const bool trace = obs != nullptr && obs->enabled(obs::Category::kOpt);
-  obs::ScopedSpan span(obs, obs::Category::kOpt, "opt.optimize",
-                       trace ? std::vector<obs::Arg>{{"method", prog_.method(id).name()}}
-                             : std::vector<obs::Arg>{});
-
-  // Runs one scalar pass, emitting a host-clock span with its rewrite delta
-  // when pass tracing is on. The tracing-off path is a plain call.
-  const auto run_pass = [&](const char* pass_name, auto&& pass) -> std::size_t {
-    if (!trace) return pass();
-    const std::uint64_t t0 = obs->host_now_us();
-    const std::size_t n = pass();
-    obs->complete(obs::Category::kOpt, pass_name, obs::Domain::kHost, t0, obs->host_now_us() - t0,
-                  {{"changes", n}, {"method", prog_.method(id).name()}});
-    return n;
-  };
-
-  if (options_.enable_inlining) {
-    const Inliner inliner(prog_, heuristic_, oracle_, limits_, obs);
-    run_pass("pass.inline", [&] {
-      result.body = inliner.run(id, &result.stats.inline_stats);
-      return result.stats.inline_stats.sites_inlined;
-    });
-  } else {
-    result.body = AnnotatedMethod::from_method(prog_.method(id), id);
-  }
-
-  if (options_.enable_tail_recursion) {
-    result.stats.tail_calls_eliminated = run_pass("pass.tail_recursion", [&] {
-      return eliminate_tail_recursion(result.body, id, prog_.method(id).num_args());
-    });
-  }
-
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    std::size_t changes = 0;
-    if (options_.enable_folding) {
-      const std::size_t n = run_pass("pass.fold", [&] { return constant_fold(result.body); });
-      result.stats.folds += n;
-      changes += n;
-    }
-    if (options_.enable_algebraic) {
-      const std::size_t n =
-          run_pass("pass.algebraic", [&] { return simplify_algebraic(result.body); });
-      result.stats.algebraic_simplifications += n;
-      changes += n;
-    }
-    if (options_.enable_compare_fusion) {
-      const std::size_t n =
-          run_pass("pass.compare_fusion", [&] { return fuse_compare_branch(result.body); });
-      result.stats.compare_fusions += n;
-      changes += n;
-    }
-    if (options_.enable_branch_simplify) {
-      const std::size_t n =
-          run_pass("pass.branch_simplify", [&] { return simplify_branches(result.body); });
-      result.stats.branch_simplifications += n;
-      changes += n;
-    }
-    if (options_.enable_copyprop) {
-      const std::size_t n = run_pass("pass.copyprop", [&] { return copy_propagate(result.body); });
-      result.stats.copyprops += n;
-      changes += n;
-    }
-    if (options_.enable_dce) {
-      std::size_t n = run_pass("pass.dce", [&] { return eliminate_dead_stores(result.body); });
-      result.stats.dead_stores += n;
-      changes += n;
-      n = run_pass("pass.unreachable", [&] { return eliminate_unreachable(result.body); });
-      result.stats.unreachable_removed += n;
-      changes += n;
-    }
-    result.stats.instructions_compacted += compact_nops(result.body);
-    result.stats.iterations = iter + 1;
-    if (changes == 0) break;
-  }
-
-  if (trace) {
-    span.arg("iterations", result.stats.iterations);
-    span.arg("sites_considered", result.stats.inline_stats.sites_considered);
-    span.arg("sites_inlined", result.stats.inline_stats.sites_inlined);
-    span.arg("refused_heuristic", result.stats.inline_stats.sites_refused_by_heuristic);
-    span.arg("refused_structural", result.stats.inline_stats.sites_refused_structural);
-    span.arg("size_before_words", result.stats.inline_stats.size_before_words);
-    span.arg("size_after_words", result.stats.inline_stats.size_after_words);
-  }
-  return result;
+OptimizeResult Optimizer::optimize(bc::MethodId id, InlineReport* report) const {
+  return pm_->run(id, report);
 }
 
 }  // namespace ith::opt

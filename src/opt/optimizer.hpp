@@ -1,13 +1,26 @@
-// Optimizer: the optimizing compiler's middle end. Runs the inliner under a
-// heuristic, then iterates the scalar passes to a fixpoint.
+// Optimizer: thin compatibility facade over the PassManager (pipeline.hpp).
+//
+// Historically this class *was* the middle end: eight enable_* booleans and
+// a hand-written fixpoint loop. The loop now lives in PassManager as a
+// declarative pipeline; OptimizerOptions survives as the deprecated-but-
+// tested boolean surface, mapped onto a pipeline description through
+// pipeline_from_options(). Output is bit-identical to the historical
+// orchestration (kept frozen as reference_optimize for differential
+// testing).
+//
+// New code should construct a PassManager directly — it persists across
+// compilations and shares cached analyses; this facade rebuilds nothing per
+// call but owns a manager per Optimizer instance.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "bytecode/program.hpp"
 #include "heuristics/heuristic.hpp"
 #include "obs/context.hpp"
 #include "opt/inliner.hpp"
+#include "opt/pipeline.hpp"
 
 namespace ith::opt {
 
@@ -28,43 +41,26 @@ struct OptimizerOptions {
   obs::Context* obs = nullptr;
 };
 
-/// Aggregate rewrite counts for one method compilation.
-struct OptStats {
-  InlineStats inline_stats;
-  std::size_t folds = 0;
-  std::size_t copyprops = 0;
-  std::size_t dead_stores = 0;
-  std::size_t branch_simplifications = 0;
-  std::size_t algebraic_simplifications = 0;
-  std::size_t compare_fusions = 0;
-  std::size_t tail_calls_eliminated = 0;
-  std::size_t unreachable_removed = 0;
-  std::size_t instructions_compacted = 0;
-  int iterations = 0;
-};
-
-struct OptimizeResult {
-  AnnotatedMethod body;  ///< optimized body with provenance preserved
-  OptStats stats;
-};
-
 class Optimizer {
  public:
   Optimizer(const bc::Program& prog, const heur::InlineHeuristic& heuristic,
             SiteOracle oracle = cold_site, OptimizerOptions options = {},
             InlineLimits limits = {});
 
-  /// Compiles method `id`: inline, then optimize to fixpoint.
-  OptimizeResult optimize(bc::MethodId id) const;
+  /// Compiles method `id`: inline, then optimize to fixpoint. `report`,
+  /// when non-null, receives the structured inline report.
+  OptimizeResult optimize(bc::MethodId id, InlineReport* report = nullptr) const;
 
   const OptimizerOptions& options() const { return options_; }
 
+  /// The pipeline the boolean options mapped to, and the manager running it
+  /// (exposed for analysis-cache inspection in tests).
+  const PassManager& pass_manager() const { return *pm_; }
+  PassManager& pass_manager() { return *pm_; }
+
  private:
-  const bc::Program& prog_;
-  const heur::InlineHeuristic& heuristic_;
-  SiteOracle oracle_;
   OptimizerOptions options_;
-  InlineLimits limits_;
+  std::unique_ptr<PassManager> pm_;
 };
 
 }  // namespace ith::opt

@@ -8,22 +8,62 @@
 
 namespace ith::opt {
 
-namespace {
-
-using bc::Instruction;
-using bc::Op;
-
-/// pcs that are the target of some branch. Rewrites may not change the
-/// stack effect observed by a jump landing mid-pattern.
-std::vector<bool> branch_targets(const bc::Method& m) {
+std::vector<bool> compute_branch_targets(const bc::Method& m) {
   std::vector<bool> targeted(m.size(), false);
-  for (const Instruction& insn : m.code()) {
+  for (const bc::Instruction& insn : m.code()) {
     if (bc::op_info(insn.op).is_branch) {
       targeted[static_cast<std::size_t>(insn.a)] = true;
     }
   }
   return targeted;
 }
+
+std::vector<std::size_t> compute_load_counts(const bc::Method& m) {
+  std::vector<std::size_t> load_count(static_cast<std::size_t>(m.num_locals()), 0);
+  for (const bc::Instruction& insn : m.code()) {
+    if (insn.op == bc::Op::kLoad) ++load_count[static_cast<std::size_t>(insn.a)];
+  }
+  return load_count;
+}
+
+std::vector<bool> compute_reachable(const bc::Method& m) {
+  std::vector<bool> reachable(m.size(), false);
+  std::deque<std::size_t> worklist{0};
+  reachable[0] = true;
+  while (!worklist.empty()) {
+    const std::size_t pc = worklist.front();
+    worklist.pop_front();
+    const bc::Instruction& insn = m.code()[pc];
+    auto visit = [&](std::size_t to) {
+      if (to < m.size() && !reachable[to]) {
+        reachable[to] = true;
+        worklist.push_back(to);
+      }
+    };
+    switch (insn.op) {
+      case bc::Op::kJmp:
+        visit(static_cast<std::size_t>(insn.a));
+        break;
+      case bc::Op::kJz:
+      case bc::Op::kJnz:
+        visit(static_cast<std::size_t>(insn.a));
+        visit(pc + 1);
+        break;
+      case bc::Op::kRet:
+      case bc::Op::kHalt:
+        break;
+      default:
+        visit(pc + 1);
+        break;
+    }
+  }
+  return reachable;
+}
+
+namespace {
+
+using bc::Instruction;
+using bc::Op;
 
 bool is_binop(Op op) {
   switch (op) {
@@ -81,8 +121,11 @@ bool fits_imm(std::int64_t v) {
 }  // namespace
 
 std::size_t constant_fold(AnnotatedMethod& am) {
+  return constant_fold(am, compute_branch_targets(am.method));
+}
+
+std::size_t constant_fold(AnnotatedMethod& am, const std::vector<bool>& targeted) {
   auto& code = am.method.mutable_code();
-  const std::vector<bool> targeted = branch_targets(am.method);
   std::size_t rewrites = 0;
 
   for (std::size_t pc = 0; pc + 1 < code.size(); ++pc) {
@@ -147,15 +190,14 @@ std::size_t constant_fold(AnnotatedMethod& am) {
 }
 
 std::size_t copy_propagate(AnnotatedMethod& am) {
-  auto& code = am.method.mutable_code();
-  const std::vector<bool> targeted = branch_targets(am.method);
-  std::size_t rewrites = 0;
+  // Reader counts feed the store;load pattern.
+  return copy_propagate(am, compute_branch_targets(am.method), compute_load_counts(am.method));
+}
 
-  // Count readers of each local (for the store;load pattern).
-  std::vector<std::size_t> load_count(static_cast<std::size_t>(am.method.num_locals()), 0);
-  for (const Instruction& insn : code) {
-    if (insn.op == Op::kLoad) ++load_count[static_cast<std::size_t>(insn.a)];
-  }
+std::size_t copy_propagate(AnnotatedMethod& am, const std::vector<bool>& targeted,
+                           std::vector<std::size_t> load_count) {
+  auto& code = am.method.mutable_code();
+  std::size_t rewrites = 0;
 
   for (std::size_t pc = 0; pc + 1 < code.size(); ++pc) {
     Instruction& a = code[pc];
@@ -186,14 +228,15 @@ std::size_t copy_propagate(AnnotatedMethod& am) {
 }
 
 std::size_t eliminate_dead_stores(AnnotatedMethod& am) {
+  return eliminate_dead_stores(am, compute_load_counts(am.method));
+}
+
+std::size_t eliminate_dead_stores(AnnotatedMethod& am,
+                                  const std::vector<std::size_t>& load_count) {
   auto& code = am.method.mutable_code();
-  std::vector<bool> read(static_cast<std::size_t>(am.method.num_locals()), false);
-  for (const Instruction& insn : code) {
-    if (insn.op == Op::kLoad) read[static_cast<std::size_t>(insn.a)] = true;
-  }
   std::size_t rewrites = 0;
   for (Instruction& insn : code) {
-    if (insn.op == Op::kStore && !read[static_cast<std::size_t>(insn.a)]) {
+    if (insn.op == Op::kStore && load_count[static_cast<std::size_t>(insn.a)] == 0) {
       insn = Instruction{Op::kPop, 0, 0};  // same stack effect, no write
       ++rewrites;
     }
@@ -252,8 +295,11 @@ std::size_t simplify_branches(AnnotatedMethod& am) {
 }
 
 std::size_t simplify_algebraic(AnnotatedMethod& am) {
+  return simplify_algebraic(am, compute_branch_targets(am.method));
+}
+
+std::size_t simplify_algebraic(AnnotatedMethod& am, const std::vector<bool>& targeted) {
   auto& code = am.method.mutable_code();
-  const std::vector<bool> targeted = branch_targets(am.method);
   std::size_t rewrites = 0;
   for (std::size_t pc = 0; pc + 1 < code.size(); ++pc) {
     Instruction& a = code[pc];
@@ -287,8 +333,11 @@ std::size_t simplify_algebraic(AnnotatedMethod& am) {
 }
 
 std::size_t fuse_compare_branch(AnnotatedMethod& am) {
+  return fuse_compare_branch(am, compute_branch_targets(am.method));
+}
+
+std::size_t fuse_compare_branch(AnnotatedMethod& am, const std::vector<bool>& targeted) {
   auto& code = am.method.mutable_code();
-  const std::vector<bool> targeted = branch_targets(am.method);
   std::size_t rewrites = 0;
   for (std::size_t pc = 0; pc + 1 < code.size(); ++pc) {
     Instruction& a = code[pc];
@@ -438,7 +487,7 @@ std::size_t eliminate_tail_recursion(AnnotatedMethod& am, bc::MethodId self, int
   // Find candidates first (transforming invalidates analyses).
   std::vector<std::size_t> candidates;
   {
-    const std::vector<bool> targeted = branch_targets(am.method);
+    const std::vector<bool> targeted = compute_branch_targets(am.method);
     const std::vector<int> depth = stack_depths(am.method);
     for (std::size_t pc = 0; pc + 1 < code.size(); ++pc) {
       const Instruction& call = code[pc];
@@ -489,37 +538,11 @@ std::size_t eliminate_tail_recursion(AnnotatedMethod& am, bc::MethodId self, int
 }
 
 std::size_t eliminate_unreachable(AnnotatedMethod& am) {
+  return eliminate_unreachable(am, compute_reachable(am.method));
+}
+
+std::size_t eliminate_unreachable(AnnotatedMethod& am, const std::vector<bool>& reachable) {
   auto& code = am.method.mutable_code();
-  std::vector<bool> reachable(code.size(), false);
-  std::deque<std::size_t> worklist{0};
-  reachable[0] = true;
-  while (!worklist.empty()) {
-    const std::size_t pc = worklist.front();
-    worklist.pop_front();
-    const Instruction& insn = code[pc];
-    auto visit = [&](std::size_t to) {
-      if (to < code.size() && !reachable[to]) {
-        reachable[to] = true;
-        worklist.push_back(to);
-      }
-    };
-    switch (insn.op) {
-      case Op::kJmp:
-        visit(static_cast<std::size_t>(insn.a));
-        break;
-      case Op::kJz:
-      case Op::kJnz:
-        visit(static_cast<std::size_t>(insn.a));
-        visit(pc + 1);
-        break;
-      case Op::kRet:
-      case Op::kHalt:
-        break;
-      default:
-        visit(pc + 1);
-        break;
-    }
-  }
   std::size_t rewrites = 0;
   for (std::size_t pc = 0; pc < code.size(); ++pc) {
     if (!reachable[pc] && code[pc].op != Op::kNop) {

@@ -1,0 +1,174 @@
+// PassManager: the declarative replacement for Optimizer's eight enable_*
+// booleans. A compilation is a pipeline description — a list of setup
+// passes (inline, tail_recursion) followed by a fixpoint group of scalar
+// passes — executed over one shared AnalysisManager. Passes report what
+// they preserved (PreservedAnalyses) so cached analyses survive exactly as
+// long as they remain true, and each pass leaves a PassStat row
+// ("[pass inline] inst 42→40, time 3us") plus opt.pass.* obs counters.
+//
+// The legacy Optimizer facade (optimizer.hpp) maps its boolean options onto
+// a pipeline via pipeline_from_options(); for every five-parameter genome
+// the PassManager's output is bit-identical to the frozen reference_optimize
+// orchestration — enforced by tests/opt/pass_manager_test.cpp and the fuzz
+// pipeline-diff tier.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bytecode/program.hpp"
+#include "heuristics/heuristic.hpp"
+#include "obs/context.hpp"
+#include "opt/analysis.hpp"
+#include "opt/inliner.hpp"
+
+namespace ith::opt {
+
+struct OptimizerOptions;  // optimizer.hpp — the legacy boolean surface
+
+/// Aggregate rewrite counts for one method compilation.
+struct OptStats {
+  InlineStats inline_stats;
+  std::size_t folds = 0;
+  std::size_t copyprops = 0;
+  std::size_t dead_stores = 0;
+  std::size_t branch_simplifications = 0;
+  std::size_t algebraic_simplifications = 0;
+  std::size_t compare_fusions = 0;
+  std::size_t tail_calls_eliminated = 0;
+  std::size_t unreachable_removed = 0;
+  std::size_t instructions_compacted = 0;
+  int iterations = 0;
+};
+
+/// Structured per-pass statistics for one compilation.
+struct PassStat {
+  const char* pass = "";        ///< pass name ("inline", "fold", ...)
+  std::size_t runs = 0;         ///< times the pass executed
+  std::size_t changes = 0;      ///< total rewrites across runs
+  std::size_t inst_before = 0;  ///< body length before the first run
+  std::size_t inst_after = 0;   ///< body length after the last run
+  std::uint64_t host_us = 0;    ///< summed host time (0 unless kOpt traced)
+};
+
+/// "[pass inline] inst 42→40, time 3us"
+std::string format_pass_stat(const PassStat& s);
+
+struct OptimizeResult {
+  AnnotatedMethod body;  ///< optimized body with provenance preserved
+  OptStats stats;
+  /// One row per pass that appears in the pipeline, pipeline order.
+  std::vector<PassStat> pass_stats;
+};
+
+/// Declarative pipeline: setup passes run once, fixpoint passes iterate
+/// (with an unconditional nop-compaction per iteration) until no pass
+/// reports changes or max_iterations is reached.
+struct PipelineDesc {
+  std::vector<std::string> setup;
+  std::vector<std::string> fixpoint;
+  int max_iterations = 6;
+
+  friend bool operator==(const PipelineDesc&, const PipelineDesc&) = default;
+
+  /// The full default pipeline (every pass enabled, legacy order).
+  static PipelineDesc standard();
+
+  /// "inline,tail_recursion,fixpoint(fold,...,unreachable):6". Stable
+  /// textual identity: the evaluator hashes this into cache fingerprints.
+  std::string to_string() const;
+
+  /// Inverse of to_string(). Throws ith::Error on unknown pass names or a
+  /// malformed shape.
+  static PipelineDesc parse(const std::string& text);
+
+  bool has_pass(const std::string& name) const;
+};
+
+/// All registerable pass names.
+const std::vector<std::string>& known_pass_names();
+
+/// Deprecated-but-supported bridge from the legacy boolean options to a
+/// pipeline description (tested: every boolean combination maps to the
+/// pipeline whose output is bit-identical to the legacy orchestration).
+PipelineDesc pipeline_from_options(const OptimizerOptions& options);
+
+/// Shared state every pass sees during one compilation.
+struct PassContext {
+  const bc::Program& prog;
+  bc::MethodId root;
+  const heur::InlineHeuristic& heuristic;
+  const SiteOracle& oracle;
+  const InlineLimits& limits;
+  obs::Context* obs;      ///< may be null
+  OptStats& stats;
+  InlineReport* report;   ///< may be null
+};
+
+/// One registered transformation. run() rewrites `am`, records what it
+/// provably preserved into `preserved` (consulted only when the return
+/// value — the rewrite count — is non-zero), and may read cached facts
+/// from `analyses`.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  virtual const char* span_name() const = 0;  ///< legacy trace name ("pass.fold")
+  virtual std::size_t run(AnnotatedMethod& am, AnalysisManager& analyses, PassContext& ctx,
+                          PreservedAnalyses& preserved) = 0;
+};
+
+/// Factory for a pass by registered name; throws ith::Error on unknown.
+std::unique_ptr<Pass> make_pass(const std::string& name);
+
+class PassManager {
+ public:
+  /// References are non-owning and must outlive the manager. The manager is
+  /// designed to persist across compilations (the VM keeps one per session):
+  /// program-scope analyses accumulate, which is where the O1→O2 ladder's
+  /// avoided recomputations come from.
+  PassManager(const bc::Program& prog, const heur::InlineHeuristic& heuristic,
+              SiteOracle oracle = cold_site, PipelineDesc pipeline = PipelineDesc::standard(),
+              InlineLimits limits = {}, obs::Context* obs = nullptr);
+
+  /// Compiles method `id` through the pipeline. `report`, when non-null,
+  /// receives the structured inline report for this compilation.
+  OptimizeResult run(bc::MethodId id, InlineReport* report = nullptr);
+
+  const PipelineDesc& pipeline() const { return pipeline_; }
+  AnalysisManager& analyses() { return analyses_; }
+  const AnalysisManager& analyses() const { return analyses_; }
+
+ private:
+  struct Registered {
+    std::unique_ptr<Pass> pass;
+    obs::Counter* runs_counter = nullptr;
+    obs::Counter* changes_counter = nullptr;
+    std::size_t stat_index = 0;  ///< slot in OptimizeResult::pass_stats
+  };
+
+  std::size_t run_one(Registered& reg, AnnotatedMethod& am, PassContext& ctx,
+                      OptimizeResult& result, bool trace);
+
+  const bc::Program& prog_;
+  const heur::InlineHeuristic& heuristic_;
+  SiteOracle oracle_;
+  PipelineDesc pipeline_;
+  InlineLimits limits_;
+  obs::Context* obs_;
+  AnalysisManager analyses_;
+  std::vector<Registered> setup_;
+  std::vector<Registered> fixpoint_;
+  std::size_t num_stats_ = 0;
+};
+
+/// The frozen legacy orchestration, kept verbatim (modulo tracing) for
+/// differential testing: the equivalence suite and the fuzz pipeline-diff
+/// tier compare PassManager output against this, method by method.
+OptimizeResult reference_optimize(const bc::Program& prog, bc::MethodId id,
+                                  const heur::InlineHeuristic& heuristic, const SiteOracle& oracle,
+                                  const OptimizerOptions& options, const InlineLimits& limits);
+
+}  // namespace ith::opt

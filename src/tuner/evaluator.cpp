@@ -161,9 +161,13 @@ SuiteEvaluator::Signature SuiteEvaluator::signature_of(const heur::InlineParams&
   bool exact = true;
   std::uint64_t consultations = 0;
   std::uint64_t forks = 0;
-  if (!config_.vm_config.opt_options.enable_inlining) {
-    // With inlining off the heuristic is never consulted: every parameter
-    // vector compiles identically, so all params share one signature.
+  const opt::PipelineDesc pipeline =
+      config_.vm_config.pipeline ? *config_.vm_config.pipeline
+                                 : opt::pipeline_from_options(config_.vm_config.opt_options);
+  if (!pipeline.has_pass("inline")) {
+    // Without an inline pass the heuristic is never consulted: every
+    // parameter vector compiles identically, so all params share one
+    // signature.
     sig = mix_u64(sig, resilience::hash_string("inlining-disabled"));
   } else {
     opt::SignatureOptions opts;
@@ -389,15 +393,13 @@ std::uint64_t SuiteEvaluator::cache_fingerprint() const {
   fp = mix_u64(fp, v.interp_options.max_arena_words);
   fp = mix_u64(fp, static_cast<std::uint64_t>(v.interp_options.engine));
 
-  const opt::OptimizerOptions& o = v.opt_options;
-  std::uint64_t flags = 0;
-  for (const bool b : {o.enable_inlining, o.enable_folding, o.enable_copyprop, o.enable_dce,
-                       o.enable_branch_simplify, o.enable_algebraic, o.enable_compare_fusion,
-                       o.enable_tail_recursion}) {
-    flags = (flags << 1) | (b ? 1 : 0);
-  }
-  fp = mix_u64(fp, flags);
-  fp = mix_u64(fp, static_cast<std::uint64_t>(o.max_iterations));
+  // The effective pipeline (explicit override or the boolean mapping) is
+  // what determines which passes run; its canonical string covers the pass
+  // list *and* the fixpoint iteration cap, so any change to either refuses
+  // stale caches.
+  const opt::PipelineDesc pipeline =
+      v.pipeline ? *v.pipeline : opt::pipeline_from_options(v.opt_options);
+  fp = mix_u64(fp, resilience::hash_string(pipeline.to_string()));
 
   const resilience::RunBudget& b = v.budget;
   fp = mix_u64(fp, b.max_sim_cycles);

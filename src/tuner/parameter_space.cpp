@@ -4,10 +4,15 @@
 
 namespace ith::tuner {
 
-ga::GenomeSpace inline_param_space(bool include_hot_gene) {
+ga::GenomeSpace inline_param_space(bool include_hot_gene, bool include_partial_gene) {
+  ITH_CHECK(!include_partial_gene || include_hot_gene,
+            "the partial gene requires the hot gene (genome arity is positional)");
   std::vector<ga::GeneSpec> genes;
   const auto& ranges = heur::param_ranges();
-  const std::size_t n = include_hot_gene ? ranges.size() : ranges.size() - 1;
+  std::size_t n = 4;
+  if (include_hot_gene) n = 5;
+  if (include_partial_gene) n = 6;
+  ITH_CHECK(ranges.size() >= n, "param_ranges out of sync with the genome encoding");
   for (std::size_t i = 0; i < n; ++i) {
     genes.push_back(ga::GeneSpec{ranges[i].name, ranges[i].lo, ranges[i].hi});
   }
@@ -15,19 +20,25 @@ ga::GenomeSpace inline_param_space(bool include_hot_gene) {
 }
 
 heur::InlineParams params_from_genome(const ga::Genome& g) {
-  ITH_CHECK(g.size() == 4 || g.size() == 5, "inline-parameter genome must have 4 or 5 genes");
+  ITH_CHECK(g.size() >= 4 && g.size() <= 6,
+            "inline-parameter genome must have 4, 5 or 6 genes");
   heur::InlineParams p = heur::default_params();
   p.callee_max_size = g[0];
   p.always_inline_size = g[1];
   p.max_inline_depth = g[2];
   p.caller_max_size = g[3];
-  if (g.size() == 5) p.hot_callee_max_size = g[4];
+  if (g.size() >= 5) p.hot_callee_max_size = g[4];
+  if (g.size() >= 6) p.partial_max_head_size = g[5];
   return p;
 }
 
-ga::Genome genome_from_params(const heur::InlineParams& p, bool include_hot_gene) {
+ga::Genome genome_from_params(const heur::InlineParams& p, bool include_hot_gene,
+                              bool include_partial_gene) {
+  ITH_CHECK(!include_partial_gene || include_hot_gene,
+            "the partial gene requires the hot gene (genome arity is positional)");
   ga::Genome g = {p.callee_max_size, p.always_inline_size, p.max_inline_depth, p.caller_max_size};
   if (include_hot_gene) g.push_back(p.hot_callee_max_size);
+  if (include_partial_gene) g.push_back(p.partial_max_head_size);
   return g;
 }
 

@@ -3,6 +3,11 @@
 // Under the Opt scenario no call site is ever profiled hot, so
 // HOT_CALLEE_MAX_SIZE is dead ("NA" in Table 4) and the genome drops to four
 // genes — searching a dead gene only adds noise.
+//
+// PARTIAL_MAX_HEAD_SIZE (the sixth dimension, not in the paper) is opt-in:
+// genome arity stays positional — 4 genes = Table 1 base, 5 = +hot,
+// 6 = +hot+partial — so every pre-existing checkpoint and seed genome keeps
+// its meaning.
 #pragma once
 
 #include "ga/genome.hpp"
@@ -11,14 +16,19 @@
 namespace ith::tuner {
 
 /// The Table 1 search space. `include_hot_gene` = false for Opt-scenario
-/// tuning (4 genes), true for Adapt (5 genes).
-ga::GenomeSpace inline_param_space(bool include_hot_gene);
+/// tuning (4 genes), true for Adapt (5 genes). `include_partial_gene` adds
+/// PARTIAL_MAX_HEAD_SIZE as a sixth gene and requires the hot gene (the
+/// genome encoding is positional, so a 5-gene genome always means +hot).
+ga::GenomeSpace inline_param_space(bool include_hot_gene, bool include_partial_gene = false);
 
-/// Decodes a genome (4 or 5 genes, Table 1 order). A 4-gene genome keeps the
-/// default HOT_CALLEE_MAX_SIZE (it is never consulted under Opt).
+/// Decodes a genome (4, 5 or 6 genes, Table 1 order plus
+/// PARTIAL_MAX_HEAD_SIZE). A 4-gene genome keeps the default
+/// HOT_CALLEE_MAX_SIZE (it is never consulted under Opt); a genome without
+/// the sixth gene keeps partial inlining off.
 heur::InlineParams params_from_genome(const ga::Genome& g);
 
 /// Encodes parameters as a genome of the requested arity.
-ga::Genome genome_from_params(const heur::InlineParams& p, bool include_hot_gene);
+ga::Genome genome_from_params(const heur::InlineParams& p, bool include_hot_gene,
+                              bool include_partial_gene = false);
 
 }  // namespace ith::tuner

@@ -6,9 +6,10 @@
 namespace ith::tuner {
 
 TuneResult tune(SuiteEvaluator& evaluator, Goal goal, ga::GaConfig ga_config,
-                const TuneCheckpointOptions& checkpoint) {
-  const bool include_hot = evaluator.config().scenario == vm::Scenario::kAdapt;
-  ga::GenomeSpace space = inline_param_space(include_hot);
+                const TuneCheckpointOptions& checkpoint, bool include_partial_gene) {
+  const bool include_hot =
+      include_partial_gene || evaluator.config().scenario == vm::Scenario::kAdapt;
+  ga::GenomeSpace space = inline_param_space(include_hot, include_partial_gene);
 
   resilience::GaCheckpoint resume_state;  // must outlive algo.run()
   if (!checkpoint.path.empty()) {

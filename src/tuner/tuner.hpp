@@ -35,9 +35,11 @@ struct TuneCheckpointOptions {
 };
 
 /// Runs the GA. `ga_config.seed_individuals` may be used to inject the
-/// default parameters into the initial population.
+/// default parameters into the initial population. `include_partial_gene`
+/// widens the search to PARTIAL_MAX_HEAD_SIZE (the sixth dimension; implies
+/// the hot gene, so the space is always the full six-gene encoding).
 TuneResult tune(SuiteEvaluator& evaluator, Goal goal, ga::GaConfig ga_config,
-                const TuneCheckpointOptions& checkpoint = {});
+                const TuneCheckpointOptions& checkpoint = {}, bool include_partial_gene = false);
 
 /// Convenience: a GA configuration scaled for the bench harnesses.
 /// Population 20 (the paper's), `generations` as given, memoized,

@@ -44,6 +44,29 @@ VirtualMachine::VirtualMachine(const bc::Program& prog, const rt::MachineModel& 
   // Whole-program heuristics (the knapsack oracle) see the program once per
   // VM session, before any compilation.
   heuristic_.prepare(prog_);
+  // Under Adapt the optimizer consults the live profile; under Opt there is
+  // no profile (everything is compiled on first invocation), so every site
+  // takes the Figure 3 path — which is why HOT_CALLEE_MAX_SIZE is "NA" for
+  // Opt in Table 4. The oracle captures members (stable for the VM's
+  // lifetime), so one PassManager serves every compilation of the session
+  // and its analysis cache carries across recompilations.
+  opt::SiteOracle oracle = opt::cold_site;
+  if (config_.scenario == Scenario::kAdapt) {
+    const rt::ProfileData& profile = profile_;
+    const std::uint64_t hot_threshold = config_.hot_site_threshold;
+    oracle = [&profile, hot_threshold](bc::MethodId m, std::int32_t pc) {
+      opt::SiteProfile sp;
+      if (m >= 0 && pc >= 0) {
+        sp.count = profile.site_count(m, pc);
+        sp.is_hot = sp.count >= hot_threshold;
+      }
+      return sp;
+    };
+  }
+  pass_manager_ = std::make_unique<opt::PassManager>(
+      prog_, heuristic_, std::move(oracle),
+      config_.pipeline ? *config_.pipeline : opt::pipeline_from_options(config_.opt_options),
+      config_.inline_limits, config_.obs);
   if (config_.simulate_icache) {
     icache_ = std::make_unique<rt::ICache>(machine_.icache_bytes, machine_.icache_line_bytes,
                                            machine_.icache_assoc);
@@ -133,27 +156,7 @@ std::unique_ptr<rt::CompiledMethod> VirtualMachine::compile_baseline(bc::MethodI
 }
 
 std::unique_ptr<rt::CompiledMethod> VirtualMachine::compile_opt(bc::MethodId id, rt::Tier tier) {
-  // Under Adapt the optimizer consults the live profile; under Opt there is
-  // no profile (everything is compiled on first invocation), so every site
-  // takes the Figure 3 path — which is why HOT_CALLEE_MAX_SIZE is "NA" for
-  // Opt in Table 4.
-  opt::SiteOracle oracle = opt::cold_site;
-  if (config_.scenario == Scenario::kAdapt) {
-    const rt::ProfileData& profile = profile_;
-    const std::uint64_t hot_threshold = config_.hot_site_threshold;
-    oracle = [&profile, hot_threshold](bc::MethodId m, std::int32_t pc) {
-      opt::SiteProfile sp;
-      if (m >= 0 && pc >= 0) {
-        sp.count = profile.site_count(m, pc);
-        sp.is_hot = sp.count >= hot_threshold;
-      }
-      return sp;
-    };
-  }
-
-  const opt::Optimizer optimizer(prog_, heuristic_, oracle, config_.opt_options,
-                                 config_.inline_limits);
-  opt::OptimizeResult result = optimizer.optimize(id);
+  opt::OptimizeResult result = pass_manager_->run(id);
 
   auto cm = std::make_unique<rt::CompiledMethod>();
   cm->body = std::move(result.body.method);
@@ -187,6 +190,7 @@ std::unique_ptr<rt::CompiledMethod> VirtualMachine::compile_opt(bc::MethodId id,
   auto& agg = live_result_->opt_stats;
   agg.inline_stats.sites_considered += result.stats.inline_stats.sites_considered;
   agg.inline_stats.sites_inlined += result.stats.inline_stats.sites_inlined;
+  agg.inline_stats.sites_partially_inlined += result.stats.inline_stats.sites_partially_inlined;
   agg.inline_stats.sites_refused_by_heuristic += result.stats.inline_stats.sites_refused_by_heuristic;
   agg.inline_stats.sites_refused_structural += result.stats.inline_stats.sites_refused_structural;
   agg.inline_stats.max_depth_reached =

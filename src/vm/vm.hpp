@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -56,6 +57,13 @@ struct VmConfig {
   /// is recompiled at full O2. 0 collapses the ladder (straight to O2).
   std::uint64_t rehot_multiplier = 12;
   opt::OptimizerOptions opt_options{};
+  /// Explicit optimization pipeline. When set it overrides the pipeline
+  /// derived from opt_options' booleans (which remain the deprecated
+  /// compatibility surface); parse with opt::PipelineDesc::parse or build
+  /// programmatically. The VM runs one persistent PassManager for the whole
+  /// session, so program-scope analyses (call graph, method sizes, partial
+  /// shapes) are computed once and shared across every compilation.
+  std::optional<opt::PipelineDesc> pipeline;
   opt::InlineLimits inline_limits{.hard_depth_cap = 20,
                                   .max_recursive_occurrences = 1,
                                   .max_body_words = 20000};
@@ -137,6 +145,10 @@ class VirtualMachine final : private rt::CodeSource {
   const rt::ProfileData& profile() const { return profile_; }
   const VmConfig& config() const { return config_; }
 
+  /// The session-persistent pass manager every optimizing compilation runs
+  /// through (exposed so tests and tools can inspect the analysis cache).
+  const opt::PassManager& pass_manager() const { return *pass_manager_; }
+
   /// Rebinds the fault-key component of the config between run() calls.
   /// The serving tier calls run(1) once per request on a long-lived VM and
   /// needs each request to see an independent fault draw — without this the
@@ -175,6 +187,10 @@ class VirtualMachine final : private rt::CodeSource {
   const rt::MachineModel machine_;  // by value: callers may pass temporaries
   heur::InlineHeuristic& heuristic_;
   VmConfig config_;
+
+  /// Persistent across compilations: one PassManager per VM session so the
+  /// AnalysisManager's program-scope caches amortize over the whole run.
+  std::unique_ptr<opt::PassManager> pass_manager_;
 
   std::vector<std::unique_ptr<rt::CompiledMethod>> current_;
   std::vector<std::unique_ptr<rt::CompiledMethod>> retired_;

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bytecode/builder.hpp"
 #include "bytecode/size_estimator.hpp"
 #include "fuzz/campaign.hpp"
 #include "fuzz/generator.hpp"
@@ -75,10 +76,12 @@ void expect_probe_matches_inliner(const bc::Program& prog, const heur::InlinePar
       EXPECT_EQ(arg_int(e, "caller_size"), p.caller_size);
       EXPECT_EQ(arg_int(e, "hot"), p.is_hot ? 1 : 0);
       EXPECT_EQ(arg_int(e, "site_count"), static_cast<std::int64_t>(p.site_count));
+      EXPECT_EQ(arg_int(e, "partial"), p.partial ? 1 : 0);
     }
 
     EXPECT_EQ(probe_stats.sites_considered, real_stats.sites_considered) << label;
     EXPECT_EQ(probe_stats.sites_inlined, real_stats.sites_inlined) << label;
+    EXPECT_EQ(probe_stats.sites_partially_inlined, real_stats.sites_partially_inlined) << label;
     EXPECT_EQ(probe_stats.sites_refused_by_heuristic, real_stats.sites_refused_by_heuristic)
         << label;
     EXPECT_EQ(probe_stats.sites_refused_structural, real_stats.sites_refused_structural) << label;
@@ -110,6 +113,12 @@ std::vector<heur::InlineParams> param_variants() {
   stingy.caller_max_size = 1;
   stingy.hot_callee_max_size = 1;
   out.push_back(stingy);
+
+  // Partial inlining armed with a generous head budget: too-big callees
+  // with guard heads now take the kPartial verdict path everywhere.
+  heur::InlineParams partial_friendly = heur::default_params();
+  partial_friendly.partial_max_head_size = 40;
+  out.push_back(partial_friendly);
 
   std::mt19937_64 rng(20260806);
   const auto& ranges = heur::param_ranges();
@@ -203,6 +212,54 @@ TEST(DecisionProbe, MatchesInlinerOverFuzzCorpus) {
 }
 #endif
 
+// --- Partial inlining -------------------------------------------------------
+
+// guard(n): pure six-instruction head, fat accumulation tail — the shape
+// partial inlining targets (same fixture as partial_inline_test.cpp). main
+// calls it twice so the probe must replay the splice, the residual stub
+// consultation and the structural refusal of the re-expanded stub.
+bc::Program make_guard_program() {
+  bc::ProgramBuilder pb("partial", 0);
+  auto& g = pb.method("guard", 1, 2);
+  g.load(0).const_(10).cmplt().jz("tail");
+  g.const_(0).ret();
+  g.label("tail");
+  g.load(0).store(1);
+  for (int i = 1; i <= 9; ++i) {
+    g.load(1).const_(i).add().store(1);
+  }
+  g.load(1).ret();
+
+  auto& m = pb.method("main", 0, 0);
+  m.const_(3).call("guard", 1);
+  m.const_(50).call("guard", 1);
+  m.add().halt();
+  pb.entry("main");
+  return pb.build();
+}
+
+TEST(DecisionProbe, MatchesInlinerOverPartialSplices) {
+  const bc::Program prog = make_guard_program();
+  const std::vector<opt::InlineLimits> limit_variants = {
+      opt::InlineLimits{},
+      // A looser recursion allowance lets the residual stub be consulted
+      // (and partially expanded) again instead of refused structurally.
+      opt::InlineLimits{.hard_depth_cap = 20, .max_recursive_occurrences = 3,
+                        .max_body_words = 20000},
+  };
+  const auto oracles = oracle_variants();
+  for (int head = 0; head <= 40; head += 8) {
+    heur::InlineParams p = heur::default_params();
+    p.partial_max_head_size = head;
+    for (std::size_t li = 0; li < limit_variants.size(); ++li) {
+      const auto& [oracle_name, oracle] = oracles[(head / 8 + li) % oracles.size()];
+      expect_probe_matches_inliner(prog, p, oracle, limit_variants[li],
+                                   "partial_head" + std::to_string(head) + "/limits" +
+                                       std::to_string(li) + "/" + oracle_name);
+    }
+  }
+}
+
 // --- Decision signature ----------------------------------------------------
 
 bc::Program two_method_program() {
@@ -294,6 +351,36 @@ TEST(DecisionSignature, BudgetOverflowFallsBackToRawParams) {
   EXPECT_FALSE(s1.exact);
   EXPECT_EQ(s1.value, s1_again.value);
   EXPECT_NE(s1.value, s2.value);  // raw-params fallback never aliases
+}
+
+TEST(DecisionSignature, PartialParameterIgnoredWithoutAnOpportunity) {
+  // No callee of this program is both too big and guard-headed, so the
+  // sixth parameter can never change a verdict — and therefore must never
+  // change the signature (the partial=0 byte stream is the legacy one).
+  const bc::Program prog = two_method_program();
+  heur::InlineParams p1 = heur::default_params();
+  heur::InlineParams p2 = p1;
+  p2.partial_max_head_size = 40;
+  const auto s1 = opt::decision_signature(prog, p1, opt::InlineLimits{});
+  const auto s2 = opt::decision_signature(prog, p2, opt::InlineLimits{});
+  EXPECT_TRUE(s1.exact);
+  EXPECT_EQ(s1.value, s2.value);
+}
+
+TEST(DecisionSignature, PartialParameterSeparatesSignaturesWhenEligible) {
+  const bc::Program prog = make_guard_program();
+  heur::InlineParams p1 = heur::default_params();
+  heur::InlineParams p2 = p1;
+  p2.partial_max_head_size = 40;
+  const auto s1 = opt::decision_signature(prog, p1, opt::InlineLimits{});
+  const auto s2 = opt::decision_signature(prog, p2, opt::InlineLimits{});
+  ASSERT_TRUE(s1.exact);
+  ASSERT_TRUE(s2.exact);
+  EXPECT_NE(s1.value, s2.value) << "a partial verdict must reach the hash";
+
+  // And the partial exploration stays deterministic.
+  const auto s2_again = opt::decision_signature(prog, p2, opt::InlineLimits{});
+  EXPECT_EQ(s2.value, s2_again.value);
 }
 
 TEST(DecisionSignature, EqualSignaturesImplyIdenticalOptimizedCode) {

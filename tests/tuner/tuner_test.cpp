@@ -36,7 +36,27 @@ TEST(ParameterSpace, GenomeRoundTrip) {
 
 TEST(ParameterSpace, RejectsWrongArity) {
   EXPECT_THROW(params_from_genome({1, 2, 3}), Error);
-  EXPECT_THROW(params_from_genome({1, 2, 3, 4, 5, 6}), Error);
+  EXPECT_THROW(params_from_genome({1, 2, 3, 4, 5, 6, 7}), Error);
+}
+
+TEST(ParameterSpace, SixthGeneDecodesPartialHeadSize) {
+  const heur::InlineParams p = params_from_genome({23, 5, 5, 2048, 135, 12});
+  EXPECT_EQ(p.hot_callee_max_size, 135);
+  EXPECT_EQ(p.partial_max_head_size, 12);
+
+  const ga::GenomeSpace s = inline_param_space(true, true);
+  ASSERT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.gene(5).name, "PARTIAL_MAX_HEAD_SIZE");
+  EXPECT_EQ(s.gene(5).lo, 0);
+
+  heur::InlineParams q = heur::default_params();
+  q.partial_max_head_size = 9;
+  const ga::Genome g = genome_from_params(q, true, true);
+  ASSERT_EQ(g.size(), 6u);
+  EXPECT_EQ(params_from_genome(g), q);
+
+  // Positional encoding: the partial gene cannot exist without the hot gene.
+  EXPECT_THROW(inline_param_space(false, true), Error);
 }
 
 TEST(ParameterSpace, RangesMatchTable1) {
@@ -198,6 +218,29 @@ TEST(Tune, AdaptScenarioSearchesFiveGenes) {
   ga_cfg.population = 4;
   const TuneResult r = tune(eval, Goal::kBalance, ga_cfg);
   EXPECT_EQ(r.ga.best.size(), 5u);
+}
+
+TEST(Tune, SixGeneSearchMatchesOrBeatsTheFiveGeneWinner) {
+  // The sixth dimension strictly widens the space: seeding the six-gene
+  // population with the five-gene winner (extended by its own partial value)
+  // guarantees the GA can only hold or improve the fitness — the acceptance
+  // bar for partial inlining as a tunable dimension.
+  EvalConfig cfg;
+  cfg.scenario = vm::Scenario::kAdapt;
+  SuiteEvaluator eval5(tiny_suite(), cfg);
+  ga::GaConfig ga5 = default_ga_config(/*generations=*/3, /*seed=*/7);
+  ga5.population = 6;
+  const TuneResult five = tune(eval5, Goal::kTotal, ga5);
+  ASSERT_EQ(five.ga.best.size(), 5u);
+
+  SuiteEvaluator eval6(tiny_suite(), cfg);
+  ga::GaConfig ga6 = default_ga_config(/*generations=*/3, /*seed=*/7);
+  ga6.population = 6;
+  ga6.seed_individuals = {genome_from_params(five.best, /*include_hot_gene=*/true,
+                                             /*include_partial_gene=*/true)};
+  const TuneResult six = tune(eval6, Goal::kTotal, ga6, {}, /*include_partial_gene=*/true);
+  EXPECT_EQ(six.ga.best.size(), 6u);
+  EXPECT_LE(six.best_fitness, five.best_fitness + 1e-12);
 }
 
 TEST(Tune, DefaultGaConfigMatchesPaperPopulation) {

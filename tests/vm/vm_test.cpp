@@ -66,6 +66,64 @@ TEST(Vm, MultiLevelRecompilationTriggersOnVeryHotMethods) {
   EXPECT_GT(r.recompilations, r_single.recompilations);
 }
 
+TEST(Vm, RecompilationLadderReusesCachedAnalyses) {
+  // The session-persistent PassManager carries program-scope analyses
+  // across the O1->O2 ladder: recompiling a hot method must *hit* the
+  // cached call graph, never recompute it.
+  const bc::Program p = ith::test::make_loop_program(2000);
+  heur::JikesHeuristic h;
+  const rt::MachineModel machine = rt::pentium4_model();
+  obs::MemorySink sink;
+  obs::Context ctx(&sink, obs::kAllCategories);
+  VmConfig cfg;
+  cfg.scenario = Scenario::kAdapt;
+  cfg.hot_method_threshold = 50;
+  cfg.rehot_multiplier = 4;
+  cfg.obs = &ctx;
+  VirtualMachine m(p, machine, h, cfg);
+  const RunResult r = m.run(2);
+  ASSERT_GT(r.recompilations, 0u) << "the ladder never fired; thresholds need retuning";
+
+  const opt::AnalysisStats& s = m.pass_manager().analyses().stats();
+  EXPECT_GT(s.hits, 0u);
+  const auto cg = static_cast<unsigned>(opt::AnalysisId::kCallGraph);
+  EXPECT_GT(s.hits_by_kind[cg], 0u) << "O2 recompile must reuse the O1 call graph";
+  EXPECT_LE(s.misses_by_kind[cg], p.num_methods())
+      << "call graph computed more than once per method";
+
+  // The same reuse is visible to dashboards through the obs counters.
+  ctx.flush();
+  std::int64_t counter_hits = -1;
+  for (const obs::Event& e : sink.events()) {
+    if (e.phase != obs::Phase::kCounter) continue;
+    for (const obs::Arg& arg : e.args) {
+      if (arg.key == "opt.analysis_hits") counter_hits = std::get<std::int64_t>(arg.value);
+    }
+  }
+  EXPECT_GT(counter_hits, 0) << "opt.analysis_hits counter missing from the trace";
+}
+
+TEST(Vm, ExplicitPipelineOverridesTheBooleanOptions) {
+  // VmConfig::pipeline is the new-style configuration surface: a pipeline
+  // with inlining stripped must behave like the legacy enable_inlining=false.
+  const bc::Program p = ith::test::make_loop_program(100);
+  heur::JikesHeuristic h1, h2;
+  VmConfig with_pipeline;
+  with_pipeline.pipeline = opt::PipelineDesc::parse("fixpoint(fold,branch_simplify):6");
+  const RunResult a = run_vm(p, Scenario::kOpt, h1, 2, with_pipeline);
+
+  VmConfig legacy;
+  legacy.opt_options.enable_inlining = false;
+  legacy.opt_options.enable_tail_recursion = false;
+  legacy.opt_options.enable_copyprop = false;
+  legacy.opt_options.enable_dce = false;
+  legacy.opt_options.enable_algebraic = false;
+  legacy.opt_options.enable_compare_fusion = false;
+  const RunResult b = run_vm(p, Scenario::kOpt, h2, 2, legacy);
+  EXPECT_EQ(a.running_cycles, b.running_cycles);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+}
+
 TEST(Vm, LazyCompilationSkipsUninvokedMethods) {
   // A method that exists but is never called must never be compiled.
   bc::ProgramBuilder pb("lazy", 0);

@@ -237,6 +237,51 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Passes: the pass manager's per-pass run/change totals plus the
+    // analysis cache's hit/miss/invalidation traffic, so a traced tune
+    // answers "which passes do the work, and does the cached-analysis layer
+    // actually avoid recomputation" at a glance.
+    std::map<std::string, std::int64_t> opt_counters;
+    for (const auto& [name, v] : counters) {
+      if (name.rfind("opt.", 0) == 0) opt_counters[name] = v;
+    }
+    if (!opt_counters.empty()) {
+      std::cout << "\nPasses (pass manager):\n";
+      const std::string pass_prefix = "opt.pass.";
+      std::map<std::string, std::pair<std::int64_t, std::int64_t>> per_pass;
+      for (const auto& [name, v] : opt_counters) {
+        if (name.rfind(pass_prefix, 0) != 0) continue;
+        const std::string rest = name.substr(pass_prefix.size());
+        const std::size_t dot = rest.rfind('.');
+        if (dot == std::string::npos) continue;
+        const std::string kind = rest.substr(dot + 1);
+        if (kind == "runs") {
+          per_pass[rest.substr(0, dot)].first = v;
+        } else if (kind == "changes") {
+          per_pass[rest.substr(0, dot)].second = v;
+        }
+      }
+      if (!per_pass.empty()) {
+        Table t({"pass", "runs", "changes"});
+        for (const auto& [name, rc] : per_pass) {
+          t.add_row({name, std::to_string(rc.first), std::to_string(rc.second)});
+        }
+        t.render(std::cout);
+      }
+      auto oval = [&](const char* k) {
+        return opt_counters.count(k) ? opt_counters[k] : std::int64_t{0};
+      };
+      const std::int64_t ahits = oval("opt.analysis_hits");
+      const std::int64_t amisses = oval("opt.analysis_misses");
+      if (ahits + amisses > 0) {
+        std::cout << "analysis cache: " << ahits << "/" << (ahits + amisses) << " hits ("
+                  << cell(100.0 * static_cast<double>(ahits) /
+                              static_cast<double>(ahits + amisses),
+                          1)
+                  << "%), " << oval("opt.analysis_invalidations") << " invalidations\n";
+      }
+    }
+
     // Serving: the serving tier's counters (request/SLO accounting, fleet
     // installs) plus the online controller's retune verdicts, aggregated
     // from serve.retune instants so a serving trace answers "did the tuner

@@ -18,6 +18,10 @@
 //   --trace=PATH       output file (default trace.json)
 //   --trace-format=F   chrome (default) or jsonl
 //   --trace-cats=CSV   category filter (default all)
+//   --inline-report    print the structured inline report (every method
+//                      compiled once through a cold-profile PassManager)
+//   --partial=N        PARTIAL_MAX_HEAD_SIZE for the report's heuristic
+//                      (default 0 = partial inlining off)
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -25,6 +29,7 @@
 #include "heuristics/heuristic.hpp"
 #include "obs/context.hpp"
 #include "obs/sink.hpp"
+#include "opt/pipeline.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "vm/vm.hpp"
@@ -79,6 +84,23 @@ int main(int argc, char** argv) {
               << "trace written to " << path << " (" << format << ")\n";
     if (format == "chrome") {
       std::cout << "open in chrome://tracing or https://ui.perfetto.dev\n";
+    }
+
+    if (cli.has("inline-report")) {
+      // Structured inline report: one cold-profile compilation per method
+      // through a fresh PassManager (profiles from the traced run above do
+      // not apply — the report is a static what-would-the-inliner-do dump).
+      heur::InlineParams p = heur::default_params();
+      p.partial_max_head_size =
+          static_cast<int>(cli.get_int_or("partial", p.partial_max_head_size));
+      heur::JikesHeuristic h(p);
+      opt::PassManager pm(w.program, h);
+      opt::InlineReport report;
+      for (std::size_t i = 0; i < w.program.num_methods(); ++i) {
+        pm.run(static_cast<bc::MethodId>(i), &report);
+      }
+      std::cout << "\ninline report (" << p.to_string() << "):\n"
+                << opt::format_inline_report(w.program, report);
     }
     return 0;
   } catch (const Error& e) {
