@@ -15,6 +15,7 @@ const char* category_name(Category c) {
     case Category::kEval: return "eval";
     case Category::kGa: return "ga";
     case Category::kServe: return "serve";
+    case Category::kSvc: return "svc";
   }
   return "?";
 }
@@ -29,15 +30,15 @@ std::uint32_t category_mask_from_string(const std::string& csv) {
     const std::string name = csv.substr(start, end - start);
     bool found = false;
     for (const Category c : {Category::kVm, Category::kCompile, Category::kOpt, Category::kInline,
-                             Category::kEval, Category::kGa, Category::kServe}) {
+                             Category::kEval, Category::kGa, Category::kServe, Category::kSvc}) {
       if (name == category_name(c)) {
         mask |= static_cast<std::uint32_t>(c);
         found = true;
         break;
       }
     }
-    ITH_CHECK(found,
-              "unknown trace category '" + name + "' (want vm,compile,opt,inline,eval,ga,serve)");
+    ITH_CHECK(found, "unknown trace category '" + name +
+                         "' (want vm,compile,opt,inline,eval,ga,serve,svc)");
     if (end == csv.size()) break;
     start = end + 1;
   }

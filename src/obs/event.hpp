@@ -36,9 +36,10 @@ enum class Category : std::uint32_t {
   kEval = 1u << 4,     ///< suite evaluator: benchmark runs, cache traffic
   kGa = 1u << 5,       ///< GA per-generation fitness/diversity
   kServe = 1u << 6,    ///< serving tier: epochs, installs, retune verdicts
+  kSvc = 1u << 7,      ///< evaluation service: connections, leases, federation
 };
 
-inline constexpr std::uint32_t kAllCategories = 0x7f;
+inline constexpr std::uint32_t kAllCategories = 0xff;
 
 const char* category_name(Category c);
 

@@ -8,7 +8,7 @@ namespace {
 
 bool known_category(const std::string& cat) {
   for (const Category c : {Category::kVm, Category::kCompile, Category::kOpt, Category::kInline,
-                           Category::kEval, Category::kGa, Category::kServe}) {
+                           Category::kEval, Category::kGa, Category::kServe, Category::kSvc}) {
     if (cat == category_name(c)) return true;
   }
   return false;
@@ -19,7 +19,7 @@ bool known_category(const std::string& cat) {
 // free-form (they are human-read annotations).
 bool known_counter_family(const std::string& key) {
   for (const char* prefix :
-       {"vm.", "ga.", "sig.", "serve.", "resil.", "eval.", "rt.fused", "opt."}) {
+       {"vm.", "ga.", "sig.", "serve.", "resil.", "eval.", "rt.fused", "opt.", "svc."}) {
     if (key.rfind(prefix, 0) == 0) return true;
   }
   return false;

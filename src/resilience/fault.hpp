@@ -27,12 +27,21 @@
 
 namespace ith::resilience {
 
-/// Where a fault can be injected.
+/// Where a fault can be injected. Sites 4..8 belong to the evaluation
+/// service (src/service/): they simulate infrastructure failures — dropped
+/// connections, torn frames, failed persistence — rather than simulated-
+/// program failures, so arming them never changes what a suite run would
+/// *measure*, only whether a given daemon interaction survives.
 enum class FaultSite : std::uint8_t {
   kVmTrap = 0,          ///< trap thrown at the start of a VM run iteration
   kCompileInflate = 1,  ///< compile cycles multiplied (compile-time explosion)
   kEvaluator = 2,       ///< exception thrown inside the suite evaluator
   kSink = 3,            ///< trace-sink write dropped (I/O error)
+  kSvcAccept = 4,       ///< daemon drops a freshly accepted connection
+  kSvcRead = 5,         ///< daemon treats an inbound frame as torn (read error)
+  kSvcWrite = 6,        ///< daemon fails to write a response (connection dies)
+  kSvcDispatch = 7,     ///< daemon refuses to dispatch an acquire request
+  kSvcSnapshot = 8,     ///< daemon skips a periodic cache snapshot write
 };
 
 inline const char* fault_site_name(FaultSite s) {
@@ -41,6 +50,11 @@ inline const char* fault_site_name(FaultSite s) {
     case FaultSite::kCompileInflate: return "compile";
     case FaultSite::kEvaluator: return "eval";
     case FaultSite::kSink: return "sink";
+    case FaultSite::kSvcAccept: return "accept";
+    case FaultSite::kSvcRead: return "read";
+    case FaultSite::kSvcWrite: return "write";
+    case FaultSite::kSvcDispatch: return "dispatch";
+    case FaultSite::kSvcSnapshot: return "snapshot";
   }
   return "?";
 }
@@ -96,14 +110,25 @@ struct FaultPlan {
     return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
   }
 
-  /// Parses "vm,compile,eval,sink" (or "all") into a site mask; throws
-  /// ith::Error on unknown names.
+  /// Mask of the four simulated-program sites (the pre-service set).
+  static std::uint32_t eval_sites() {
+    return site_bit(FaultSite::kVmTrap) | site_bit(FaultSite::kCompileInflate) |
+           site_bit(FaultSite::kEvaluator) | site_bit(FaultSite::kSink);
+  }
+
+  /// Mask of the five evaluation-service infrastructure sites.
+  static std::uint32_t service_sites() {
+    return site_bit(FaultSite::kSvcAccept) | site_bit(FaultSite::kSvcRead) |
+           site_bit(FaultSite::kSvcWrite) | site_bit(FaultSite::kSvcDispatch) |
+           site_bit(FaultSite::kSvcSnapshot);
+  }
+
+  /// Parses "vm,compile,eval,sink,accept,read,write,dispatch,snapshot" (or
+  /// the groups "all" / "svc") into a site mask; throws ith::Error on
+  /// unknown names.
   static std::uint32_t parse_sites(const std::string& spec) {
     if (spec.empty()) return 0;
-    if (spec == "all") {
-      return site_bit(FaultSite::kVmTrap) | site_bit(FaultSite::kCompileInflate) |
-             site_bit(FaultSite::kEvaluator) | site_bit(FaultSite::kSink);
-    }
+    if (spec == "all") return eval_sites() | service_sites();
     std::uint32_t mask = 0;
     std::size_t pos = 0;
     while (pos <= spec.size()) {
@@ -118,8 +143,24 @@ struct FaultPlan {
         mask |= site_bit(FaultSite::kEvaluator);
       } else if (name == "sink") {
         mask |= site_bit(FaultSite::kSink);
+      } else if (name == "accept") {
+        mask |= site_bit(FaultSite::kSvcAccept);
+      } else if (name == "read") {
+        mask |= site_bit(FaultSite::kSvcRead);
+      } else if (name == "write") {
+        mask |= site_bit(FaultSite::kSvcWrite);
+      } else if (name == "dispatch") {
+        mask |= site_bit(FaultSite::kSvcDispatch);
+      } else if (name == "snapshot") {
+        mask |= site_bit(FaultSite::kSvcSnapshot);
+      } else if (name == "svc") {
+        mask |= service_sites();
+      } else if (name == "all") {
+        mask |= eval_sites() | service_sites();
       } else {
-        throw Error("unknown fault site '" + name + "' (expected vm, compile, eval, sink, all)");
+        throw Error("unknown fault site '" + name +
+                    "' (expected vm, compile, eval, sink, accept, read, write, dispatch, "
+                    "snapshot, svc, all)");
       }
       if (comma == std::string::npos) break;
       pos = comma + 1;

@@ -1,0 +1,282 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace ith::svc {
+
+ServiceClient::ServiceClient(ClientConfig config) : config_(std::move(config)) {}
+
+ServiceClient::~ServiceClient() {
+  std::lock_guard<std::mutex> lock(mu_);
+  disconnect_locked();
+}
+
+void ServiceClient::bump(const char* name, std::uint64_t delta) {
+  if (config_.obs != nullptr) config_.obs->counter(name).add(delta);
+}
+
+void ServiceClient::disconnect_locked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServiceClient::note_failure_locked() {
+  consecutive_failures_ = std::min(consecutive_failures_ + 1, 30);
+  skip_remaining_ = std::min<std::uint64_t>(1ull << std::min(consecutive_failures_, 20),
+                                            config_.max_backoff_skips);
+  disconnect_locked();
+  bump("svc.client_degraded");
+}
+
+void ServiceClient::note_success_locked() {
+  consecutive_failures_ = 0;
+  skip_remaining_ = 0;
+}
+
+bool ServiceClient::in_backoff_locked() {
+  if (skip_remaining_ == 0) return false;
+  --skip_remaining_;
+  return skip_remaining_ != 0;  // the window's last skip re-probes the daemon
+}
+
+bool ServiceClient::ensure_connected_locked() {
+  if (fatal_) return false;
+  if (fd_ >= 0) return true;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.empty() || config_.socket_path.size() >= sizeof addr.sun_path) {
+    return false;
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(), config_.socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  // The per-request deadline: a daemon that accepts but never answers (or a
+  // single-flight park outliving its welcome) unblocks here, and the client
+  // falls down the degradation ladder instead of hanging the tune.
+  timeval tv{};
+  tv.tv_sec = config_.request_timeout_ms / 1000;
+  tv.tv_usec = (config_.request_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+  HelloMsg hello;
+  hello.fingerprint = config_.fingerprint;
+  hello.client_id = config_.client_id;
+  hello.name = config_.name;
+  if (!write_frame(fd, MsgType::kHello, encode_hello(hello))) {
+    ::close(fd);
+    return false;
+  }
+  Frame reply;
+  if (read_frame(fd, &reply) != ReadStatus::kOk) {
+    ::close(fd);
+    return false;
+  }
+  if (reply.type == MsgType::kHelloReject) {
+    // A fingerprint mismatch is a configuration error, not an outage:
+    // retrying can never fix it, and serving results across the mismatch
+    // would be wrong. Degrade permanently; the tune continues standalone.
+    fatal_ = true;
+    bump("svc.client_fatal");
+    ::close(fd);
+    return false;
+  }
+  if (reply.type != MsgType::kHelloOk) {
+    ::close(fd);
+    return false;
+  }
+
+  fd_ = fd;
+  bump("svc.client_connects");
+  flush_pending_locked();
+  return true;
+}
+
+void ServiceClient::flush_pending_locked() {
+  // Re-federation: everything computed while degraded is published before
+  // any new request, so a daemon restart converges back to the full fleet
+  // state. Publishes here carry lease 0 (their leases died with the old
+  // daemon or connection).
+  while (!pending_.empty() && fd_ >= 0) {
+    const Pending& p = pending_.front();
+    ResultsMsg msg;
+    msg.signature = p.signature;
+    msg.lease_id = 0;
+    msg.results = p.results;
+    if (!round_trip_locked(MsgType::kEvalPublish, encode_results_msg(msg)).has_value()) {
+      return;  // connection died mid-flush; the rest stays queued
+    }
+    pending_.erase(pending_.begin());
+    bump("svc.client_refederated");
+  }
+}
+
+std::optional<Frame> ServiceClient::round_trip_locked(MsgType type, const std::string& payload) {
+  if (fd_ < 0) return std::nullopt;
+  if (!write_frame(fd_, type, payload)) {
+    disconnect_locked();
+    return std::nullopt;
+  }
+  Frame reply;
+  if (read_frame(fd_, &reply) != ReadStatus::kOk) {
+    disconnect_locked();
+    return std::nullopt;
+  }
+  return reply;
+}
+
+std::optional<Frame> ServiceClient::request_locked(MsgType type, const std::string& payload) {
+  for (int attempt = 0; attempt < std::max(1, config_.max_attempts); ++attempt) {
+    if (attempt > 0) bump("svc.client_retries");
+    if (!ensure_connected_locked()) {
+      if (fatal_) return std::nullopt;
+      continue;
+    }
+    if (std::optional<Frame> reply = round_trip_locked(type, payload)) {
+      if (reply->type == MsgType::kError) {
+        // Request-level refusal (e.g. an injected dispatch fault). The
+        // connection is still good; burn an attempt and retry.
+        continue;
+      }
+      note_success_locked();
+      return reply;
+    }
+  }
+  note_failure_locked();
+  return std::nullopt;
+}
+
+std::optional<std::vector<tuner::BenchmarkResult>> ServiceClient::acquire(std::uint64_t sig,
+                                                                          std::uint64_t* lease) {
+  *lease = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fatal_ || in_backoff_locked()) {
+    bump("svc.client_local");
+    return std::nullopt;
+  }
+  const std::optional<Frame> reply = request_locked(MsgType::kEvalAcquire, encode_u64(sig));
+  if (!reply.has_value()) {
+    bump("svc.client_local");
+    return std::nullopt;
+  }
+  if (reply->type == MsgType::kEvalResult) {
+    try {
+      ResultsMsg msg = decode_results_msg(reply->payload);
+      if (msg.signature == sig) {
+        bump("svc.client_remote_hits");
+        return std::move(msg.results);
+      }
+    } catch (const Error&) {
+      // corrupt payload: fall through to local evaluation
+    }
+    disconnect_locked();
+    bump("svc.client_local");
+    return std::nullopt;
+  }
+  if (reply->type == MsgType::kEvalLease) {
+    try {
+      const auto [lease_sig, lease_id] = decode_u64_pair(reply->payload);
+      if (lease_sig == sig) {
+        *lease = lease_id;
+        bump("svc.client_leases");
+      }
+    } catch (const Error&) {
+    }
+    return std::nullopt;
+  }
+  bump("svc.client_local");
+  return std::nullopt;
+}
+
+void ServiceClient::publish(std::uint64_t sig, std::uint64_t lease,
+                            const std::vector<tuner::BenchmarkResult>& results) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fatal_) return;
+  if (fd_ >= 0 || (skip_remaining_ == 0 && ensure_connected_locked())) {
+    ResultsMsg msg;
+    msg.signature = sig;
+    msg.lease_id = lease;
+    msg.results = results;
+    if (round_trip_locked(MsgType::kEvalPublish, encode_results_msg(msg)).has_value()) {
+      bump("svc.client_publishes");
+      return;
+    }
+  }
+  // Unreachable: queue for re-federation on the next successful connect.
+  pending_.push_back(Pending{sig, results});
+  bump("svc.client_queued");
+}
+
+std::optional<bool> ServiceClient::query_quarantine(std::uint64_t sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fatal_) return std::nullopt;
+  const std::optional<Frame> reply = request_locked(MsgType::kQuarantineQuery, encode_u64(sig));
+  if (!reply.has_value() || reply->type != MsgType::kQuarantineState) return std::nullopt;
+  try {
+    const auto [reply_sig, state] = decode_u64_pair(reply->payload);
+    if (reply_sig == sig) return state != 0;
+  } catch (const Error&) {
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> ServiceClient::release_quarantine(std::uint64_t sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fatal_) return std::nullopt;
+  const std::optional<Frame> reply = request_locked(MsgType::kQuarantineRelease, encode_u64(sig));
+  if (!reply.has_value() || reply->type != MsgType::kQuarantineState) return std::nullopt;
+  try {
+    const auto [reply_sig, state] = decode_u64_pair(reply->payload);
+    if (reply_sig == sig) return state != 0;
+  } catch (const Error&) {
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::pair<std::string, std::uint64_t>>> ServiceClient::stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fatal_) return std::nullopt;
+  const std::optional<Frame> reply = request_locked(MsgType::kStats, std::string());
+  if (!reply.has_value() || reply->type != MsgType::kStatsReply) return std::nullopt;
+  try {
+    return decode_counters(reply->payload);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+bool ServiceClient::fatally_degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fatal_;
+}
+
+std::size_t ServiceClient::pending_publishes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+bool ServiceClient::reattach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fatal_) return false;
+  skip_remaining_ = 0;
+  consecutive_failures_ = 0;
+  disconnect_locked();
+  return ensure_connected_locked();
+}
+
+}  // namespace ith::svc

@@ -1,0 +1,256 @@
+#include "service/protocol.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "tuner/eval_cache.hpp"
+
+namespace ith::svc {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'T', 'H', 'S', 'V', 'P', '1', '\0'};
+
+/// Frames larger than this are a protocol error, not an allocation: a
+/// corrupt size field must fail cleanly. Generous — the largest legitimate
+/// payload is a whole-suite result vector, a few KB.
+constexpr std::uint64_t kMaxPayload = 64ull << 20;
+
+struct FrameHeader {
+  char magic[8];
+  std::uint32_t type;
+  std::uint32_t reserved;
+  std::uint64_t size;
+  std::uint64_t checksum;
+};
+static_assert(sizeof(FrameHeader) == 32, "frame header is wire format");
+
+/// recv() until `n` bytes or failure. Returns n on success, 0 on clean EOF
+/// at a frame boundary start, -1 on error/timeout/mid-read EOF (errno set;
+/// mid-read EOF reports as error with errno 0).
+ssize_t read_exact(int fd, void* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, static_cast<char*>(buf) + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0) return 0;
+      errno = 0;
+      return -1;
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r =
+        ::send(fd, static_cast<const char*>(buf) + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kHelloOk: return "hello_ok";
+    case MsgType::kHelloReject: return "hello_reject";
+    case MsgType::kEvalAcquire: return "eval_acquire";
+    case MsgType::kEvalResult: return "eval_result";
+    case MsgType::kEvalLease: return "eval_lease";
+    case MsgType::kEvalPublish: return "eval_publish";
+    case MsgType::kPublishAck: return "publish_ack";
+    case MsgType::kQuarantineQuery: return "quarantine_query";
+    case MsgType::kQuarantineRelease: return "quarantine_release";
+    case MsgType::kQuarantineState: return "quarantine_state";
+    case MsgType::kStats: return "stats";
+    case MsgType::kStatsReply: return "stats_reply";
+    case MsgType::kError: return "error";
+  }
+  return "?";
+}
+
+std::uint64_t frame_checksum(const std::string& payload) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : payload) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ReadStatus read_frame(int fd, Frame* out, std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error != nullptr) *error = what;
+    return ReadStatus::kError;
+  };
+
+  FrameHeader header;
+  const ssize_t r = read_exact(fd, &header, sizeof header);
+  if (r == 0) return ReadStatus::kClosed;
+  if (r < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::kTimeout;
+    return fail(errno == 0 ? "torn frame header (mid-read EOF)" : "frame header read error");
+  }
+  if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0) {
+    return fail("bad frame magic");
+  }
+  if (header.size > kMaxPayload) return fail("frame payload size exceeds limit");
+
+  std::string payload(header.size, '\0');
+  if (header.size > 0) {
+    const ssize_t p = read_exact(fd, payload.data(), payload.size());
+    if (p <= 0) {
+      if (p < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return ReadStatus::kTimeout;
+      return fail("torn frame payload");
+    }
+  }
+  if (frame_checksum(payload) != header.checksum) return fail("frame checksum mismatch");
+
+  out->type = static_cast<MsgType>(header.type);
+  out->payload = std::move(payload);
+  return ReadStatus::kOk;
+}
+
+bool write_frame(int fd, MsgType type, const std::string& payload) {
+  FrameHeader header;
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.type = static_cast<std::uint32_t>(type);
+  header.reserved = 0;
+  header.size = payload.size();
+  header.checksum = frame_checksum(payload);
+  if (!write_all(fd, &header, sizeof header)) return false;
+  return payload.empty() || write_all(fd, payload.data(), payload.size());
+}
+
+// --- payload codec -------------------------------------------------------
+
+void PayloadWriter::u64(std::uint64_t v) {
+  buf_.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void PayloadWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_.append(s);
+}
+
+std::uint64_t PayloadReader::u64() {
+  if (buf_.size() - pos_ < sizeof(std::uint64_t)) throw Error("service frame truncated");
+  std::uint64_t v = 0;
+  std::memcpy(&v, buf_.data() + pos_, sizeof v);
+  pos_ += sizeof v;
+  return v;
+}
+
+std::string PayloadReader::str() {
+  const std::uint64_t n = u64();
+  if (n > buf_.size() - pos_) throw Error("service frame truncated");
+  std::string s(buf_.data() + pos_, n);
+  pos_ += n;
+  return s;
+}
+
+std::string PayloadReader::rest() {
+  std::string s(buf_.data() + pos_, buf_.size() - pos_);
+  pos_ = buf_.size();
+  return s;
+}
+
+// --- message payloads ----------------------------------------------------
+
+std::string encode_hello(const HelloMsg& m) {
+  PayloadWriter w;
+  w.u64(m.fingerprint);
+  w.u64(m.client_id);
+  w.str(m.name);
+  return w.bytes();
+}
+
+HelloMsg decode_hello(const std::string& payload) {
+  PayloadReader r(payload);
+  HelloMsg m;
+  m.fingerprint = r.u64();
+  m.client_id = r.u64();
+  m.name = r.str();
+  return m;
+}
+
+std::string encode_results_msg(const ResultsMsg& m) {
+  PayloadWriter w;
+  w.u64(m.signature);
+  w.u64(m.lease_id);
+  return w.bytes() + tuner::encode_results(m.results);
+}
+
+ResultsMsg decode_results_msg(const std::string& payload) {
+  PayloadReader r(payload);
+  ResultsMsg m;
+  m.signature = r.u64();
+  m.lease_id = r.u64();
+  m.results = tuner::decode_results(r.rest());
+  return m;
+}
+
+std::string encode_u64(std::uint64_t v) {
+  PayloadWriter w;
+  w.u64(v);
+  return w.bytes();
+}
+
+std::uint64_t decode_u64(const std::string& payload) {
+  PayloadReader r(payload);
+  return r.u64();
+}
+
+std::string encode_u64_pair(std::uint64_t a, std::uint64_t b) {
+  PayloadWriter w;
+  w.u64(a);
+  w.u64(b);
+  return w.bytes();
+}
+
+std::pair<std::uint64_t, std::uint64_t> decode_u64_pair(const std::string& payload) {
+  PayloadReader r(payload);
+  const std::uint64_t a = r.u64();
+  const std::uint64_t b = r.u64();
+  return {a, b};
+}
+
+std::string encode_counters(const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  PayloadWriter w;
+  w.u64(counters.size());
+  for (const auto& [name, value] : counters) {
+    w.str(name);
+    w.u64(value);
+  }
+  return w.bytes();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> decode_counters(const std::string& payload) {
+  PayloadReader r(payload);
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    const std::uint64_t value = r.u64();
+    counters.emplace_back(std::move(name), value);
+  }
+  return counters;
+}
+
+}  // namespace ith::svc

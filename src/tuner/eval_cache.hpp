@@ -28,7 +28,39 @@ void save_eval_cache(const std::string& path, const EvalCacheSnapshot& snap);
 /// message for each failure mode: unopenable file, bad magic, truncation,
 /// trailing bytes, checksum mismatch. Fingerprint compatibility is *not*
 /// checked here — that is SuiteEvaluator::restore()'s job, against the live
-/// configuration.
+/// configuration. A stale `path + ".tmp"` sibling (a partially written save
+/// abandoned by a crash) is removed first — rename() already guarantees the
+/// published file is whole, so the tmp is garbage by construction.
 EvalCacheSnapshot load_eval_cache(const std::string& path);
+
+/// Removes a stale `path + ".tmp"` left behind by a save that died between
+/// write and rename. Returns true when one existed. load_eval_cache() calls
+/// this itself; exposed so daemons can sweep before their first save too.
+bool remove_stale_eval_cache_tmp(const std::string& path);
+
+/// Wire encoding of one suite-run result vector (count + per-result
+/// fields) — byte-identical to how snapshot entries embed results, and the
+/// payload encoding the evaluation-service protocol ships per signature.
+std::string encode_results(const std::vector<BenchmarkResult>& results);
+
+/// Inverse of encode_results. Throws ith::Error on truncation or trailing
+/// bytes.
+std::vector<BenchmarkResult> decode_results(const std::string& bytes);
+
+/// Federation: merging two snapshots of the same configuration.
+struct SnapshotMergeStats {
+  std::size_t added = 0;       ///< signatures only `src` knew
+  std::size_t duplicates = 0;  ///< identical entries on both sides
+  std::size_t conflicts = 0;   ///< same signature, different results bytes
+};
+
+/// Merges `src` into `dst`. Throws ith::Error when the fingerprints differ
+/// (results from different configurations must never mix). Conflicting
+/// entries — possible because host wall-clock budget verdicts are timing-
+/// dependent — are resolved by a deterministic total order (fewest failed
+/// benchmarks first, then smallest encoding), which makes federation
+/// commutative and associative: any merge order of any snapshot set yields
+/// one canonical cache. `dst`'s entries come out sorted by signature.
+SnapshotMergeStats merge_eval_snapshots(EvalCacheSnapshot& dst, const EvalCacheSnapshot& src);
 
 }  // namespace ith::tuner

@@ -213,7 +213,7 @@ SuiteEvaluator::Signature SuiteEvaluator::signature_of(const heur::InlineParams&
 }
 
 SuiteEvaluator::Results SuiteEvaluator::evaluate_signature(
-    Signature sig, bool allow_quarantine,
+    Signature sig, bool allow_quarantine, bool allow_backend,
     const std::function<std::vector<BenchmarkResult>()>& compute,
     const std::function<void(const char*)>& cache_event) {
   obs::Context* const obs = config_.obs;
@@ -236,7 +236,6 @@ SuiteEvaluator::Results SuiteEvaluator::evaluate_signature(
     }
     in_flight_.insert(sig);
     quarantined = allow_quarantine && quarantine_.find(sig) != quarantine_.end();
-    if (!quarantined) ++evaluations_performed_;
   }
 
   // From here until the signature is cached, *any* exit — including a
@@ -256,7 +255,19 @@ SuiteEvaluator::Results SuiteEvaluator::evaluate_signature(
     }
   } release{this, sig};
 
+  const auto quarantine_if_failed = [&](const std::vector<BenchmarkResult>& rs) {
+    const bool any_failed = std::any_of(rs.begin(), rs.end(),
+                                        [](const BenchmarkResult& r) { return !r.outcome.ok(); });
+    if (allow_quarantine && any_failed) {
+      if (obs != nullptr) obs->counter("resil.quarantined").add(1);
+      std::lock_guard<std::mutex> lock(mu_);
+      quarantine_.insert(sig);
+    }
+  };
+
   std::vector<BenchmarkResult> results;
+  bool have_results = false;
+  std::uint64_t backend_lease = 0;
   if (quarantined) {
     if (obs != nullptr) obs->counter("resil.quarantine_hits").add(1);
     results.reserve(suite_.size());
@@ -268,15 +279,34 @@ SuiteEvaluator::Results SuiteEvaluator::evaluate_signature(
       br.attempts = 0;
       results.push_back(std::move(br));
     }
-  } else {
+    have_results = true;
+  } else if (allow_backend && config_.backend != nullptr) {
+    // Shared-cache consult first: another process may have already paid for
+    // this signature (or be computing it right now — acquire blocks through
+    // the daemon's cross-process single-flight). The served bytes are
+    // bit-identical to a local run under the matching fingerprint, so the
+    // quarantine decision mirrors the local path exactly.
+    if (std::optional<std::vector<BenchmarkResult>> remote =
+            config_.backend->acquire(sig, &backend_lease)) {
+      cache_event("eval.remote_hit");
+      results = std::move(*remote);
+      quarantine_if_failed(results);
+      have_results = true;
+    }
+  }
+  if (!have_results) {
     cache_event("eval.cache_miss");
-    results = compute();
-    const bool any_failed = std::any_of(results.begin(), results.end(),
-                                        [](const BenchmarkResult& r) { return !r.outcome.ok(); });
-    if (allow_quarantine && any_failed) {
-      if (obs != nullptr) obs->counter("resil.quarantined").add(1);
+    {
       std::lock_guard<std::mutex> lock(mu_);
-      quarantine_.insert(sig);
+      ++evaluations_performed_;
+    }
+    results = compute();
+    quarantine_if_failed(results);
+    // Report the freshly paid-for run back to the fleet, failures included
+    // (the daemon runs the same quarantine rule server-side). Best-effort:
+    // the backend absorbs I/O errors.
+    if (allow_backend && config_.backend != nullptr) {
+      config_.backend->publish(sig, backend_lease, results);
     }
   }
 
@@ -307,7 +337,7 @@ SuiteEvaluator::Results SuiteEvaluator::evaluate(const heur::InlineParams& param
   // The fault salt is the *signature*, not the raw params: aliased param
   // vectors must see identical fault draws, or a transient fault could make
   // "behaviourally equivalent" genomes observably different.
-  return evaluate_signature(sig, /*allow_quarantine=*/true,
+  return evaluate_signature(sig, /*allow_quarantine=*/true, /*allow_backend=*/true,
                             [&] {
                               heur::JikesHeuristic h(params);
                               return run_suite(h, sig, /*allow_faults=*/true);
@@ -323,7 +353,7 @@ SuiteEvaluator::Results SuiteEvaluator::default_results() {
   // quarantine is bypassed for the same reason (a quarantined signature
   // aliasing the defaults must not poison the baseline); no cache events
   // are emitted, matching the historical behaviour of this path.
-  return evaluate_signature(sig, /*allow_quarantine=*/false,
+  return evaluate_signature(sig, /*allow_quarantine=*/false, /*allow_backend=*/false,
                             [&, params] {
                               heur::JikesHeuristic h(params);
                               return run_suite(h, sig, /*allow_faults=*/false);

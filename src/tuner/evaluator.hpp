@@ -43,6 +43,36 @@ struct BenchmarkResult {
   int attempts = 1;
 };
 
+/// A shared evaluation backend (e.g. the evaluation daemon in src/service/).
+/// The SuiteEvaluator consults it on every level-2 cache miss *before*
+/// paying for a real suite run, and reports locally computed results back,
+/// so many evaluator processes federate onto one result repository.
+///
+/// Implementations must be infallible from the evaluator's point of view:
+/// connection loss, timeouts and protocol errors are absorbed internally
+/// (returning "compute locally"), never thrown. Because suite results are a
+/// pure function of the decision signature under a fixed configuration
+/// fingerprint, serving a result from the backend instead of computing it
+/// locally is bit-identical by construction.
+class EvalBackend {
+ public:
+  virtual ~EvalBackend() = default;
+
+  /// Consults the shared cache for `sig`. May block while another process
+  /// computes the same signature (cross-process single-flight). Returns the
+  /// shared results on a hit; returns std::nullopt when this caller must
+  /// compute locally, with `*lease` set to the lease token to hand back to
+  /// publish() (0 = degraded / no daemon — publish becomes best-effort).
+  virtual std::optional<std::vector<BenchmarkResult>> acquire(std::uint64_t sig,
+                                                              std::uint64_t* lease) = 0;
+
+  /// Reports a locally computed suite run back to the shared cache.
+  /// Best-effort: a failure to publish costs other processes a duplicate
+  /// evaluation, never correctness.
+  virtual void publish(std::uint64_t sig, std::uint64_t lease,
+                       const std::vector<BenchmarkResult>& results) = 0;
+};
+
 struct EvalConfig {
   rt::MachineModel machine = rt::pentium4_model();
   vm::Scenario scenario = vm::Scenario::kAdapt;
@@ -54,6 +84,11 @@ struct EvalConfig {
   /// (per-benchmark/per-suite spans, cache hit/miss/single-flight events,
   /// sig.probe spans).
   obs::Context* obs = nullptr;
+  /// Shared evaluation backend. Non-owning, may be null (= fully local).
+  /// Consulted by evaluate() on level-2 misses; never consulted by
+  /// default_results(), whose baseline must always be computed locally with
+  /// fault injection suppressed.
+  EvalBackend* backend = nullptr;
   /// Extra guarded attempts per benchmark after a *retryable* failure —
   /// one whose verdict can change on retry: injected faults (the fault key
   /// mixes in the attempt number), wall-clock deadline misses, foreign
@@ -189,8 +224,9 @@ class SuiteEvaluator {
                                          bool allow_faults) const;
 
   /// Shared single-flight body of evaluate()/default_results(): looks up /
-  /// claims `sig`, running `compute` only when this caller owns the miss.
-  Results evaluate_signature(Signature sig, bool allow_quarantine,
+  /// claims `sig`, consulting the shared backend (when `allow_backend`) and
+  /// running `compute` only when this caller owns the miss.
+  Results evaluate_signature(Signature sig, bool allow_quarantine, bool allow_backend,
                              const std::function<std::vector<BenchmarkResult>()>& compute,
                              const std::function<void(const char*)>& cache_event);
 

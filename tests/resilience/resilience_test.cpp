@@ -166,8 +166,14 @@ TEST(FaultPlan, ParseSites) {
   using resilience::FaultSite;
   EXPECT_EQ(FaultPlan::parse_sites("vm,eval"),
             FaultPlan::site_bit(FaultSite::kVmTrap) | FaultPlan::site_bit(FaultSite::kEvaluator));
+  // "all" spans both planes: the four eval sites and the five kSvc*
+  // service sites; "svc" is the service plane alone.
+  EXPECT_EQ(FaultPlan::parse_sites("vm,compile,eval,sink"), FaultPlan::eval_sites());
+  EXPECT_EQ(FaultPlan::parse_sites("accept,read,write,dispatch,snapshot"),
+            FaultPlan::service_sites());
+  EXPECT_EQ(FaultPlan::parse_sites("svc"), FaultPlan::service_sites());
   EXPECT_EQ(FaultPlan::parse_sites("all"),
-            FaultPlan::parse_sites("vm,compile,eval,sink"));
+            FaultPlan::eval_sites() | FaultPlan::service_sites());
   EXPECT_EQ(FaultPlan::parse_sites(""), 0u);
   EXPECT_THROW(FaultPlan::parse_sites("vm,bogus"), Error);
 }

@@ -1,0 +1,111 @@
+// run_fleet end-to-end: the two fleet-level claims (bit-identical winners,
+// strictly fewer real evaluations) on a small suite, plus the chaos
+// kill+restart leg and a heterogeneous (seed-stride) fleet. These are the
+// in-process versions of what the CI fleet job asserts via tools/fleet_tune.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/context.hpp"
+#include "resilience/fault.hpp"
+#include "service/fleet.hpp"
+#include "workloads/suite.hpp"
+
+namespace ith {
+namespace {
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    socket_ = ::testing::TempDir() + "fleet_" + info->name() + ".sock";
+    snapshot_ = ::testing::TempDir() + "fleet_" + info->name() + ".evc";
+    std::remove(socket_.c_str());
+    std::remove(snapshot_.c_str());
+  }
+  void TearDown() override {
+    std::remove(socket_.c_str());
+    std::remove(snapshot_.c_str());
+    std::remove((snapshot_ + ".tmp").c_str());
+  }
+
+  svc::FleetConfig fleet_config() const {
+    svc::FleetConfig fc;
+    fc.suite = {wl::make_workload("compress")};
+    fc.eval.iterations = 1;
+    fc.clients = 2;
+    fc.generations = 2;
+    fc.population = 4;
+    fc.socket_path = socket_;
+    return fc;
+  }
+
+  std::string socket_;
+  std::string snapshot_;
+};
+
+TEST_F(FleetTest, SharesEvaluationsAndMatchesSolo) {
+  svc::FleetConfig fc = fleet_config();
+  fc.verify_solo = true;
+  obs::Context ctx(nullptr);
+  fc.obs = &ctx;
+
+  const svc::FleetReport report = svc::run_fleet(fc);
+
+  EXPECT_TRUE(report.winners_match);
+  EXPECT_LT(report.fleet_real_evaluations, report.solo_real_evaluations)
+      << "sharing the repository must make the fleet strictly cheaper";
+  EXPECT_TRUE(report.leases_balanced);
+  EXPECT_EQ(report.daemon_instances, 1u);
+  EXPECT_GT(report.federated_entries, 0u);
+  for (const svc::FleetClientReport& c : report.clients) {
+    EXPECT_FALSE(c.fatally_degraded);
+    EXPECT_EQ(c.pending_unflushed, 0u);
+    EXPECT_EQ(c.winner, report.clients.front().winner);  // stride 0: one campaign
+  }
+  // The shared obs context accumulated the fleet's svc.* counters.
+  EXPECT_GT(ctx.counter("svc.leases_published").value(), 0u);
+}
+
+TEST_F(FleetTest, ChaosKillRestartConvergesWithBalancedLedger) {
+  svc::FleetConfig fc = fleet_config();
+  fc.generations = 3;
+  fc.snapshot_path = snapshot_;
+  fc.snapshot_every = 1;
+  fc.kill_daemon_at = 0;  // kill after client 0's first generation
+  fc.service_faults.rate = 0.1;
+  fc.service_faults.seed = 99;
+  fc.service_faults.sites = resilience::FaultPlan::service_sites();
+  fc.verify_solo = true;
+
+  const svc::FleetReport report = svc::run_fleet(fc);
+
+  EXPECT_EQ(report.daemon_instances, 2u);  // the chaos restart happened
+  EXPECT_TRUE(report.leases_balanced)
+      << "granted=" << report.daemon.leases_granted
+      << " published=" << report.daemon.leases_published
+      << " reclaimed=" << report.daemon.leases_reclaimed
+      << " outstanding=" << report.daemon.leases_outstanding;
+  EXPECT_TRUE(report.winners_match)
+      << "daemon chaos may cost duplicate evaluations, never a different winner";
+  for (const svc::FleetClientReport& c : report.clients) {
+    EXPECT_FALSE(c.fatally_degraded);
+    EXPECT_EQ(c.pending_unflushed, 0u) << "re-federation sweep left queued publishes";
+  }
+}
+
+TEST_F(FleetTest, HeterogeneousStrideFleetStaysBalanced) {
+  svc::FleetConfig fc = fleet_config();
+  fc.seed_stride = 1;  // distinct campaigns; sharing only on collisions
+  const svc::FleetReport report = svc::run_fleet(fc);
+  EXPECT_TRUE(report.leases_balanced);
+  EXPECT_EQ(report.clients.size(), 2u);
+  for (const svc::FleetClientReport& c : report.clients) {
+    EXPECT_GT(c.ga_evaluations, 0u);
+    EXPECT_FALSE(c.fatally_degraded);
+  }
+}
+
+}  // namespace
+}  // namespace ith

@@ -20,6 +20,14 @@
 //     simulated cycles per workload, SLO violations, fleet installs, and
 //     the tuned genome each service converged to.
 //
+//   bench_json --fleet [OUTPUT_PATH]
+//     Runs three concurrent tunes against one in-process evaluation daemon
+//     (fixed seeds, --verify-solo semantics) and emits BENCH_fleet.json:
+//     fleet vs standalone real suite evaluations, the sharing ratio, lease
+//     accounting, and whether every fleet winner matched its standalone
+//     run. Exit status enforces winners_match, strictly fewer fleet
+//     evaluations, and balanced leases.
+//
 // CI uploads the files as artifacts; committing a refreshed copy at the
 // repo root records the trajectory commit-over-commit.
 #include <chrono>
@@ -28,6 +36,7 @@
 #include <string>
 
 #include "dispatch_bench.hpp"
+#include "service/fleet.hpp"
 #include "serving/driver.hpp"
 #include "support/error.hpp"
 #include "tuner/parameter_space.hpp"
@@ -167,6 +176,75 @@ int run_serving_bench(const std::string& path) {
   return 0;
 }
 
+int run_fleet_bench(const std::string& path) {
+  ith::svc::FleetConfig fc;
+  fc.suite = ith::wl::make_suite("specjvm98");
+  fc.clients = 3;
+  fc.generations = 4;
+  fc.population = 6;
+  fc.base_seed = 42;
+  fc.socket_path = "bench_fleet.sock";
+  fc.snapshot_every = 4;
+  fc.verify_solo = true;
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const ith::svc::FleetReport report = ith::svc::run_fleet(fc);
+  const double seconds = std::chrono::duration<double>(clock::now() - t0).count();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_json: cannot write " << path << "\n";
+    return 1;
+  }
+  char buf[64];
+  auto num = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+    return std::string(buf);
+  };
+  const double ratio =
+      report.fleet_real_evaluations > 0
+          ? static_cast<double>(report.solo_real_evaluations) /
+                static_cast<double>(report.fleet_real_evaluations)
+          : 0.0;
+  out << "{\n"
+      << "  \"benchmark\": \"fleet_tuning_service\",\n"
+      << "  \"unit\": \"real suite evaluations per fleet\",\n"
+      << "  \"config\": {\"suite\": \"specjvm98\", \"clients\": " << fc.clients
+      << ", \"generations\": " << fc.generations << ", \"population\": " << fc.population
+      << ", \"base_seed\": " << fc.base_seed << "},\n"
+      << "  \"wall_seconds\": " << num(seconds) << ",\n"
+      << "  \"fleet_real_evaluations\": " << report.fleet_real_evaluations << ",\n"
+      << "  \"solo_real_evaluations\": " << report.solo_real_evaluations << ",\n"
+      << "  \"sharing_ratio\": " << num(ratio) << ",\n"
+      << "  \"federated_entries\": " << report.federated_entries << ",\n"
+      << "  \"winners_match\": " << (report.winners_match ? "true" : "false") << ",\n"
+      << "  \"leases\": {\"granted\": " << report.daemon.leases_granted
+      << ", \"published\": " << report.daemon.leases_published
+      << ", \"reclaimed\": " << report.daemon.leases_reclaimed
+      << ", \"balanced\": " << (report.leases_balanced ? "true" : "false") << "},\n"
+      << "  \"daemon\": {\"requests\": " << report.daemon.requests
+      << ", \"hits\": " << report.daemon.hits << ", \"waits\": " << report.daemon.waits << "},\n"
+      << "  \"clients\": [\n";
+  for (std::size_t i = 0; i < report.clients.size(); ++i) {
+    const ith::svc::FleetClientReport& c = report.clients[i];
+    out << "    {\"real_evaluations\": " << c.real_evaluations
+        << ", \"solo_real_evaluations\": " << c.solo_real_evaluations
+        << ", \"winner_matches_solo\": " << (c.solo_match ? "true" : "false")
+        << ", \"fitness\": " << num(c.fitness) << ", \"winner\": \"" << c.winner << "\"}"
+        << (i + 1 < report.clients.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  const bool ok = report.winners_match && report.leases_balanced &&
+                  report.fleet_real_evaluations < report.solo_real_evaluations;
+  std::cout << "wrote " << path << " (" << num(seconds) << "s; fleet "
+            << report.fleet_real_evaluations << " vs solo " << report.solo_real_evaluations
+            << " real evaluations, " << num(ratio) << "x sharing; winners "
+            << (report.winners_match ? "match" : "DIFFER") << "; leases "
+            << (report.leases_balanced ? "balanced" : "UNBALANCED") << ")\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -176,6 +254,9 @@ int main(int argc, char** argv) {
     }
     if (argc > 1 && std::string(argv[1]) == "--serving") {
       return run_serving_bench(argc > 2 ? argv[2] : "BENCH_serving.json");
+    }
+    if (argc > 1 && std::string(argv[1]) == "--fleet") {
+      return run_fleet_bench(argc > 2 ? argv[2] : "BENCH_fleet.json");
     }
     const std::string path = argc > 1 ? argv[1] : "BENCH_interpreter.json";
     ith::bench::DispatchBenchConfig config;

@@ -320,6 +320,41 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Evaluation service: the daemon's svc.* counters (connection/request
+    // traffic, single-flight waits, snapshot activity) plus the lease
+    // ledger, with the leak invariant checked inline — a fleet trace
+    // answers "did every lease come home" at a glance.
+    std::map<std::string, std::int64_t> service;
+    for (const auto& [name, v] : counters) {
+      if (name.rfind("svc.", 0) == 0) service[name] = v;
+    }
+    if (!service.empty()) {
+      auto sval = [&](const char* k) {
+        return service.count(k) ? service[k] : std::int64_t{0};
+      };
+      std::cout << "\nEvaluation service:\n";
+      Table t({"service counter", "value"});
+      for (const auto& [name, v] : service) t.add_row({name, std::to_string(v)});
+      t.render(std::cout);
+      const std::int64_t granted = sval("svc.leases_granted");
+      const std::int64_t published = sval("svc.leases_published");
+      const std::int64_t reclaimed = sval("svc.leases_reclaimed");
+      if (granted > 0) {
+        std::cout << "leases: " << granted << " granted = " << published << " published + "
+                  << reclaimed << " reclaimed ("
+                  << (granted == published + reclaimed ? "balanced, no leaks"
+                                                       : "UNBALANCED — leaked leases")
+                  << ")\n";
+      }
+      const std::int64_t hits = sval("svc.hits");
+      const std::int64_t remote = sval("svc.client_remote_hits");
+      if (hits + granted > 0) {
+        std::cout << "sharing: " << hits << " served from the federated repository ("
+                  << remote << " landed in clients), " << sval("svc.waits")
+                  << " single-flight waits\n";
+      }
+    }
+
     // Fusion: the fast engine's superinstruction-fusion counters (bodies
     // rewritten, rules fired, dynamic-stream instructions eliminated) with
     // per-rule hit counts, so a trace answers "which patterns actually fire

@@ -7,6 +7,10 @@ import re, subprocess, sys, os
 # changed. The fuzz corpus holds binary .mbc repros regenerated only by
 # `fuzz_vm --emit-edge-corpus` / shrunk findings, never by this script.
 IGNORED_DIRS = ("tests/fuzz/corpus",)
+# Runtime litter from a local evaluation daemon / fleet run (sockets,
+# ITHEVC1 snapshots with their tmp+rename staging files): never this
+# script's output either.
+IGNORED_SUFFIXES = (".sock", ".evc", ".evc.tmp", ".bin.tmp", ".tmp")
 
 gens = os.environ.get("ITH_GA_GENERATIONS", "60")
 out = subprocess.run(["./build/bench/table4_tuned_params"], capture_output=True, text=True,
@@ -29,7 +33,8 @@ print(lines)
 status = subprocess.run(["git", "status", "--porcelain"], capture_output=True, text=True)
 if status.returncode == 0:
     dirty = [line for line in status.stdout.splitlines()
-             if line[3:] and not line[3:].startswith(IGNORED_DIRS)]
+             if line[3:] and not line[3:].startswith(IGNORED_DIRS)
+             and not line[3:].endswith(IGNORED_SUFFIXES)]
     if dirty:
         print("modified:")
         print("\n".join(dirty))
