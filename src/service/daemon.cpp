@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -26,6 +27,14 @@ bool any_failed(const std::vector<tuner::BenchmarkResult>& results) {
   return false;
 }
 
+/// SO_RCVTIMEO in milliseconds; 0 disables the deadline (block forever).
+void set_recv_timeout(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
 }  // namespace
 
 EvalDaemon::EvalDaemon(DaemonConfig config) : config_(std::move(config)) {}
@@ -46,7 +55,19 @@ void EvalDaemon::start() {
     // when the published file is there to load).
     tuner::remove_stale_eval_cache_tmp(config_.snapshot_path);
     if (std::ifstream(config_.snapshot_path).good()) {
-      import_snapshot(tuner::load_eval_cache(config_.snapshot_path));
+      try {
+        import_snapshot(tuner::load_eval_cache(config_.snapshot_path));
+      } catch (const Error&) {
+        // A corrupt (or foreign-fingerprint) published snapshot must not
+        // make the daemon unrestartable: set the file aside — preserved for
+        // post-mortem, out of the restart path — and start with an empty
+        // repository. Clients re-federate their local caches on attach, so
+        // warmth recovers; a wedged fleet would not.
+        std::rename(config_.snapshot_path.c_str(),
+                    (config_.snapshot_path + ".corrupt").c_str());
+        ++stats_.snapshots_quarantined;
+        bump("svc.snapshots_quarantined");
+      }
     }
   }
 
@@ -78,6 +99,7 @@ void EvalDaemon::start() {
 
 void EvalDaemon::accept_loop() {
   while (!stopping_.load()) {
+    reap_finished_connections();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int n = ::poll(&pfd, 1, 100);
     if (n <= 0) continue;
@@ -105,26 +127,60 @@ void EvalDaemon::accept_loop() {
 
     std::lock_guard<std::mutex> lock(mu_);
     conn_fds_.emplace(conn_id, fd);
-    conn_threads_.emplace_back([this, fd, conn_id] { serve_connection(fd, conn_id); });
+    conn_threads_.emplace(conn_id,
+                          std::thread([this, fd, conn_id] { serve_connection(fd, conn_id); }));
   }
+}
+
+void EvalDaemon::reap_finished_connections() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::uint64_t id : done_conns_) {
+      const auto it = conn_threads_.find(id);
+      if (it != conn_threads_.end()) {
+        finished.push_back(std::move(it->second));
+        conn_threads_.erase(it);
+      }
+    }
+    done_conns_.clear();
+  }
+  // These threads announced they are done serving, so each join returns as
+  // soon as the thread finishes its last few instructions — this never
+  // blocks the accept loop behind a live connection.
+  for (std::thread& t : finished) t.join();
 }
 
 void EvalDaemon::serve_connection(int fd, std::uint64_t conn_id) {
   // Handshake: the client must present the configuration fingerprint before
   // anything else — a mismatched client is told so (kHelloReject means "do
-  // not retry") and dropped.
+  // not retry") and dropped. Until the hello completes the connection is
+  // unauthenticated, so it gets a receive deadline: a peer that connects
+  // and sends nothing (or half a frame) is dropped instead of pinning this
+  // thread in recv forever.
+  set_recv_timeout(fd, config_.handshake_timeout_ms);
   Frame frame;
   bool ok = false;
   if (read_frame(fd, &frame) == ReadStatus::kOk && frame.type == MsgType::kHello) {
-    const HelloMsg hello = decode_hello(frame.payload);
-    if (hello.fingerprint == config_.fingerprint) {
+    HelloMsg hello;
+    bool decoded = false;
+    try {
+      hello = decode_hello(frame.payload);
+      decoded = true;
+    } catch (const Error&) {
+      // Checksummed but malformed: the payload arrived as the client sent
+      // it, the client is just speaking nonsense. Drop it, not the daemon.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.frames_rejected;
+    }
+    if (decoded && hello.fingerprint == config_.fingerprint) {
       std::uint64_t population = 0;
       {
         std::lock_guard<std::mutex> lock(mu_);
         population = repo_.size();
       }
       ok = write_frame(fd, MsgType::kHelloOk, encode_u64(population));
-    } else {
+    } else if (decoded) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.hello_rejects;
@@ -133,6 +189,10 @@ void EvalDaemon::serve_connection(int fd, std::uint64_t conn_id) {
       write_frame(fd, MsgType::kHelloReject, encode_u64(config_.fingerprint));
     }
   }
+  // Authenticated clients may legitimately go quiet for a whole suite
+  // evaluation while holding a lease; disconnects still wake recv with EOF,
+  // so the post-handshake read blocks without a deadline.
+  if (ok) set_recv_timeout(fd, 0);
 
   std::uint64_t seq = 0;
   while (ok && !stopping_.load()) {
@@ -165,6 +225,7 @@ void EvalDaemon::serve_connection(int fd, std::uint64_t conn_id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     conn_fds_.erase(conn_id);
+    done_conns_.push_back(conn_id);  // accept loop joins this thread
   }
   ::close(fd);
 }
@@ -191,9 +252,25 @@ bool EvalDaemon::handle_frame(int fd, std::uint64_t conn_id, std::uint64_t seq,
   }
   bump("svc.requests");
 
+  // The frame checksum only proves the payload arrived as sent — a buggy or
+  // hostile client can still send a malformed one. Every decode below is
+  // guarded: a decode throw drops the connection, never the daemon (an
+  // uncaught exception on this thread would std::terminate the fleet's
+  // shared cache).
+  const auto malformed = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.frames_rejected;
+    return false;
+  };
+
   switch (frame.type) {
     case MsgType::kEvalAcquire: {
-      const std::uint64_t sig = decode_u64(frame.payload);
+      std::uint64_t sig = 0;
+      try {
+        sig = decode_u64(frame.payload);
+      } catch (const Error&) {
+        return malformed();
+      }
       if (config_.faults.should_inject(resilience::FaultSite::kSvcDispatch, sig ^ seq)) {
         {
           std::lock_guard<std::mutex> lock(mu_);
@@ -246,9 +323,7 @@ bool EvalDaemon::handle_frame(int fd, std::uint64_t conn_id, std::uint64_t seq,
       try {
         msg = decode_results_msg(frame.payload);
       } catch (const Error&) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.frames_rejected;
-        return false;
+        return malformed();
       }
       bool added = false;
       {
@@ -274,7 +349,12 @@ bool EvalDaemon::handle_frame(int fd, std::uint64_t conn_id, std::uint64_t seq,
     }
 
     case MsgType::kQuarantineQuery: {
-      const std::uint64_t sig = decode_u64(frame.payload);
+      std::uint64_t sig = 0;
+      try {
+        sig = decode_u64(frame.payload);
+      } catch (const Error&) {
+        return malformed();
+      }
       bool quarantined = false;
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -285,7 +365,12 @@ bool EvalDaemon::handle_frame(int fd, std::uint64_t conn_id, std::uint64_t seq,
     }
 
     case MsgType::kQuarantineRelease: {
-      const std::uint64_t sig = decode_u64(frame.payload);
+      std::uint64_t sig = 0;
+      try {
+        sig = decode_u64(frame.payload);
+      } catch (const Error&) {
+        return malformed();
+      }
       bool released = false;
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -315,6 +400,7 @@ bool EvalDaemon::handle_frame(int fd, std::uint64_t conn_id, std::uint64_t seq,
           {"svc.leases_outstanding", s.leases_outstanding},
           {"svc.publishes_dedup", s.publishes_dedup},
           {"svc.snapshots_written", s.snapshots_written},
+          {"svc.snapshots_quarantined", s.snapshots_quarantined},
           {"svc.faults_injected", s.faults_injected},
       };
       return reply(fd, conn_id, seq, MsgType::kStatsReply, encode_counters(counters));
@@ -394,6 +480,13 @@ void EvalDaemon::maybe_snapshot() {
 }
 
 void EvalDaemon::write_snapshot(const char* /*why*/) {
+  // Serialized: two publishers can both decide a snapshot is due, and
+  // save_eval_cache writes through one fixed tmp path — unserialized, their
+  // interleaved writes could rename a torn tmp into place as the published
+  // snapshot. Holding snapshot_mu_ across the copy too keeps publishes
+  // ordered: a later writer can never be overwritten by an earlier, staler
+  // repository state.
+  std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
   tuner::EvalCacheSnapshot snap = snapshot();
   try {
     tuner::save_eval_cache(config_.snapshot_path, snap);
@@ -442,6 +535,11 @@ DaemonStats EvalDaemon::stats() const {
   return stats_;
 }
 
+std::size_t EvalDaemon::live_connection_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conn_threads_.size();
+}
+
 namespace {
 
 void shutdown_fd(int fd) {
@@ -450,7 +548,7 @@ void shutdown_fd(int fd) {
 
 }  // namespace
 
-void EvalDaemon::stop() {
+void EvalDaemon::shutdown_impl(bool final_snapshot) {
   if (!running_.exchange(false)) return;
   stopping_.store(true);
   cv_.notify_all();
@@ -462,7 +560,9 @@ void EvalDaemon::stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [conn, fd] : conn_fds_) shutdown_fd(fd);
-    threads.swap(conn_threads_);
+    for (auto& [conn, t] : conn_threads_) threads.push_back(std::move(t));
+    conn_threads_.clear();
+    done_conns_.clear();
   }
   for (std::thread& t : threads) t.join();
 
@@ -470,35 +570,18 @@ void EvalDaemon::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (!config_.snapshot_path.empty()) write_snapshot("final");
+  if (final_snapshot && !config_.snapshot_path.empty()) write_snapshot("final");
   ::unlink(config_.socket_path.c_str());
 }
 
+void EvalDaemon::stop() { shutdown_impl(/*final_snapshot=*/true); }
+
 void EvalDaemon::kill() {
-  if (!running_.exchange(false)) return;
-  stopping_.store(true);
-  cv_.notify_all();
-
-  shutdown_fd(listen_fd_);
-  if (accept_thread_.joinable()) accept_thread_.join();
-
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [conn, fd] : conn_fds_) shutdown_fd(fd);
-    threads.swap(conn_threads_);
-  }
-  for (std::thread& t : threads) t.join();
-
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
   // No final snapshot: everything since the last periodic one is lost,
   // which is the crash semantics the chaos fleet mode verifies recovery
   // from. The socket file is still removed so clients fail fast instead of
   // hanging on connect() to a dead listener.
-  ::unlink(config_.socket_path.c_str());
+  shutdown_impl(/*final_snapshot=*/false);
 }
 
 }  // namespace ith::svc

@@ -63,6 +63,12 @@ struct DaemonConfig {
   std::string snapshot_path;
   /// Publishes between periodic snapshots (0 = only the stop() snapshot).
   std::uint64_t snapshot_every = 8;
+  /// SO_RCVTIMEO applied to an accepted connection until its hello
+  /// completes: a peer that connects and sends nothing (or half a frame)
+  /// is dropped instead of pinning a daemon thread forever. Cleared after
+  /// the handshake — an authenticated client may legitimately idle for as
+  /// long as a real suite evaluation takes. 0 = no handshake deadline.
+  int handshake_timeout_ms = 10'000;
   /// Deterministic infrastructure fault plan (kSvc* sites).
   resilience::FaultPlan faults{};
   /// Non-owning, may be null. svc.* counters and kSvc events.
@@ -85,7 +91,8 @@ struct DaemonStats {
   std::uint64_t publishes_unsolicited = 0;  ///< lease 0 / reclaimed-lease publishes
   std::uint64_t publishes_dedup = 0;
   std::uint64_t snapshots_written = 0;
-  std::uint64_t snapshots_skipped = 0;  ///< fault-injected snapshot skips
+  std::uint64_t snapshots_skipped = 0;      ///< fault-injected snapshot skips
+  std::uint64_t snapshots_quarantined = 0;  ///< corrupt file set aside at start()
   std::uint64_t imports = 0;
   std::uint64_t faults_injected = 0;
   std::uint64_t frames_rejected = 0;  ///< torn/corrupt inbound frames
@@ -133,6 +140,10 @@ class EvalDaemon {
 
   DaemonStats stats() const;
 
+  /// Connection threads not yet reaped by the accept loop (tests: proves a
+  /// long-lived daemon does not accumulate one thread per past connection).
+  std::size_t live_connection_threads() const;
+
   const DaemonConfig& config() const { return config_; }
 
  private:
@@ -150,6 +161,11 @@ class EvalDaemon {
              const std::string& payload);
   /// Reclaims every lease owned by `conn_id` and wakes parked waiters.
   void reclaim_leases(std::uint64_t conn_id);
+  /// Joins connection threads whose serve loop has exited (accept loop
+  /// housekeeping, so a long-lived daemon never accumulates dead threads).
+  void reap_finished_connections();
+  /// Shared stop()/kill() body; `final_snapshot` is the only difference.
+  void shutdown_impl(bool final_snapshot);
   /// Accepts a publish into the repository; returns true when it added a
   /// new entry (false = deduplicated/conflict-resolved against an existing
   /// one). Caller holds mu_.
@@ -165,6 +181,11 @@ class EvalDaemon {
   std::thread accept_thread_;
 
   mutable std::mutex mu_;
+  /// Serializes write_snapshot(): concurrent publishers may both decide a
+  /// snapshot is due, and two unserialized save_eval_cache calls share one
+  /// fixed tmp path — interleaved writes could publish a torn file. Ordered
+  /// strictly before mu_ (write_snapshot holds it across snapshot()).
+  std::mutex snapshot_mu_;
   std::condition_variable cv_;  ///< publish / reclaim / stop wakeups
   std::map<std::uint64_t, std::vector<tuner::BenchmarkResult>> repo_;
   std::set<std::uint64_t> quarantine_;
@@ -174,7 +195,8 @@ class EvalDaemon {
   std::uint64_t publishes_since_snapshot_ = 0;
   std::uint64_t snapshot_counter_ = 0;
   DaemonStats stats_;
-  std::vector<std::thread> conn_threads_;
+  std::map<std::uint64_t, std::thread> conn_threads_;
+  std::vector<std::uint64_t> done_conns_;  ///< exited serve loops awaiting join
   std::map<std::uint64_t, int> conn_fds_;  ///< live connections, for shutdown
 };
 

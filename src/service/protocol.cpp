@@ -30,9 +30,13 @@ static_assert(sizeof(FrameHeader) == 32, "frame header is wire format");
 
 /// recv() until `n` bytes or failure. Returns n on success, 0 on clean EOF
 /// at a frame boundary start, -1 on error/timeout/mid-read EOF (errno set;
-/// mid-read EOF reports as error with errno 0).
-ssize_t read_exact(int fd, void* buf, std::size_t n) {
+/// mid-read EOF reports as error with errno 0). `*consumed` always holds
+/// the bytes actually read — the caller needs it to tell a retryable
+/// timeout (nothing consumed, stream still frame-aligned) from a
+/// desynchronizing one.
+ssize_t read_exact(int fd, void* buf, std::size_t n, std::size_t* consumed) {
   std::size_t got = 0;
+  *consumed = 0;
   while (got < n) {
     const ssize_t r = ::recv(fd, static_cast<char*>(buf) + got, n - got, 0);
     if (r == 0) {
@@ -45,6 +49,7 @@ ssize_t read_exact(int fd, void* buf, std::size_t n) {
       return -1;
     }
     got += static_cast<std::size_t>(r);
+    *consumed = got;
   }
   return static_cast<ssize_t>(got);
 }
@@ -101,10 +106,18 @@ ReadStatus read_frame(int fd, Frame* out, std::string* error) {
   };
 
   FrameHeader header;
-  const ssize_t r = read_exact(fd, &header, sizeof header);
+  std::size_t consumed = 0;
+  const ssize_t r = read_exact(fd, &header, sizeof header, &consumed);
   if (r == 0) return ReadStatus::kClosed;
   if (r < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::kTimeout;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // kTimeout only when nothing was consumed: the stream is still
+      // frame-aligned and the read may be retried. A deadline firing
+      // mid-header leaves the stream desynchronized — retrying would
+      // misparse the remainder as a fresh header — so it must be an error.
+      if (consumed == 0) return ReadStatus::kTimeout;
+      return fail("torn frame header (timeout mid-frame)");
+    }
     return fail(errno == 0 ? "torn frame header (mid-read EOF)" : "frame header read error");
   }
   if (std::memcmp(header.magic, kMagic, sizeof kMagic) != 0) {
@@ -114,9 +127,13 @@ ReadStatus read_frame(int fd, Frame* out, std::string* error) {
 
   std::string payload(header.size, '\0');
   if (header.size > 0) {
-    const ssize_t p = read_exact(fd, payload.data(), payload.size());
+    const ssize_t p = read_exact(fd, payload.data(), payload.size(), &consumed);
     if (p <= 0) {
-      if (p < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return ReadStatus::kTimeout;
+      // The header is already consumed, so even a zero-byte payload timeout
+      // leaves the stream mid-frame: never kTimeout here.
+      if (p < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return fail("torn frame payload (timeout mid-frame)");
+      }
       return fail("torn frame payload");
     }
   }

@@ -62,9 +62,13 @@ struct Frame {
 /// corrupt stream so callers can count the two differently.
 enum class ReadStatus : std::uint8_t {
   kOk = 0,
-  kClosed = 1,   ///< EOF before any header byte (clean disconnect)
-  kError = 2,    ///< torn header/payload, bad magic, checksum mismatch
-  kTimeout = 3,  ///< SO_RCVTIMEO expired (per-request deadline)
+  kClosed = 1,  ///< EOF before any header byte (clean disconnect)
+  kError = 2,   ///< torn header/payload, bad magic, checksum mismatch
+  /// SO_RCVTIMEO expired before *any* frame byte arrived: the stream is
+  /// still frame-aligned and the read may be retried on the same fd. A
+  /// deadline that fires after bytes were consumed reports kError instead —
+  /// the stream is desynchronized and the connection must be closed.
+  kTimeout = 3,
 };
 
 /// Reads one frame. Blocks (subject to any SO_RCVTIMEO on the fd).

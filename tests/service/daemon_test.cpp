@@ -5,8 +5,16 @@
 // invariant the whole service hangs on:
 //
 //   leases_granted == leases_published + leases_reclaimed + leases_outstanding
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -55,6 +63,7 @@ class DaemonTest : public ::testing::Test {
     std::remove(socket_.c_str());
     std::remove(snapshot_.c_str());
     std::remove((snapshot_ + ".tmp").c_str());
+    std::remove((snapshot_ + ".corrupt").c_str());
   }
 
   svc::DaemonConfig daemon_config() const {
@@ -433,6 +442,161 @@ TEST_F(DaemonTest, DaemonStatsServedOverTheWire) {
   EXPECT_EQ(granted, 1u);
   EXPECT_EQ(published, 1u);
   daemon.stop();
+}
+
+/// Raw client socket for hostile-peer tests (the real ServiceClient can
+/// only speak the protocol correctly).
+int raw_connect(const std::string& path, int recv_timeout_ms) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  timeval tv{};
+  tv.tv_sec = recv_timeout_ms / 1000;
+  tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  return fd;
+}
+
+/// Completes a valid handshake on a raw fd; returns true on kHelloOk.
+bool raw_hello(int fd) {
+  svc::HelloMsg hello;
+  hello.fingerprint = kFingerprint;
+  hello.client_id = 99;
+  hello.name = "hostile";
+  if (!svc::write_frame(fd, svc::MsgType::kHello, svc::encode_hello(hello))) return false;
+  svc::Frame reply;
+  return svc::read_frame(fd, &reply) == svc::ReadStatus::kOk &&
+         reply.type == svc::MsgType::kHelloOk;
+}
+
+TEST_F(DaemonTest, MalformedRequestPayloadDropsConnectionNotDaemon) {
+  // A checksummed frame whose payload is garbage for its type (here: an
+  // empty kEvalAcquire, which needs a u64 signature) must cost the sender
+  // its connection — not std::terminate the daemon and the fleet's cache.
+  svc::EvalDaemon daemon(daemon_config());
+  daemon.start();
+
+  const int fd = raw_connect(socket_, 2000);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(raw_hello(fd));
+  ASSERT_TRUE(svc::write_frame(fd, svc::MsgType::kEvalAcquire, ""));
+  svc::Frame got;
+  EXPECT_EQ(svc::read_frame(fd, &got), svc::ReadStatus::kClosed);
+  ::close(fd);
+
+  // The daemon survived and still serves well-behaved clients.
+  svc::ServiceClient client(client_config());
+  std::uint64_t lease = 0;
+  EXPECT_FALSE(client.acquire(42, &lease).has_value());
+  EXPECT_NE(lease, 0u);
+
+  daemon.stop();
+  EXPECT_GE(daemon.stats().frames_rejected, 1u);
+  EXPECT_TRUE(daemon.stats().leases_balanced());
+}
+
+TEST_F(DaemonTest, MalformedHelloDropsConnectionNotDaemon) {
+  svc::EvalDaemon daemon(daemon_config());
+  daemon.start();
+
+  const int fd = raw_connect(socket_, 2000);
+  ASSERT_GE(fd, 0);
+  // One byte where a fingerprint + id + name should be: decode_hello throws.
+  ASSERT_TRUE(svc::write_frame(fd, svc::MsgType::kHello, std::string("\x01", 1)));
+  svc::Frame got;
+  EXPECT_EQ(svc::read_frame(fd, &got), svc::ReadStatus::kClosed);
+  ::close(fd);
+
+  svc::ServiceClient client(client_config());
+  std::uint64_t lease = 0;
+  EXPECT_FALSE(client.acquire(42, &lease).has_value());
+
+  daemon.stop();
+  EXPECT_GE(daemon.stats().frames_rejected, 1u);
+}
+
+TEST_F(DaemonTest, SilentPeerDroppedByHandshakeDeadline) {
+  // A peer that connects and never says hello must not pin a daemon thread
+  // forever: the handshake deadline closes it from the daemon side.
+  svc::DaemonConfig dc = daemon_config();
+  dc.handshake_timeout_ms = 100;
+  svc::EvalDaemon daemon(dc);
+  daemon.start();
+
+  const int fd = raw_connect(socket_, 5000);
+  ASSERT_GE(fd, 0);
+  char byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0) << "daemon did not hang up on the silent peer";
+  ::close(fd);
+
+  daemon.stop();
+}
+
+TEST_F(DaemonTest, FinishedConnectionThreadsAreReaped) {
+  // A long-lived daemon serving many short connections must not accumulate
+  // one dead (joinable) thread per past connection.
+  svc::EvalDaemon daemon(daemon_config());
+  daemon.start();
+
+  for (int i = 0; i < 5; ++i) {
+    svc::ClientConfig cc = client_config();
+    cc.client_id = static_cast<std::uint64_t>(i) + 1;
+    svc::ServiceClient client(cc);
+    std::uint64_t lease = 0;
+    client.acquire(42, &lease);
+    if (lease != 0) client.publish(42, lease, ok_results(0));
+  }  // each destructor disconnects; the accept loop reaps on its next tick
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (daemon.live_connection_threads() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(daemon.live_connection_threads(), 0u);
+
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().connections_accepted, 5u);
+  EXPECT_TRUE(daemon.stats().leases_balanced());
+}
+
+TEST_F(DaemonTest, CorruptSnapshotAtStartIsQuarantinedNotFatal) {
+  // A torn/corrupt published snapshot must not make the daemon
+  // unrestartable: it is set aside as <path>.corrupt and the daemon starts
+  // with an empty repository.
+  {
+    std::ofstream out(snapshot_, std::ios::binary);
+    out << "ITHEVC1 this is not a valid snapshot";
+  }
+
+  svc::DaemonConfig dc = daemon_config();
+  dc.snapshot_path = snapshot_;
+  svc::EvalDaemon daemon(dc);
+  daemon.start();  // must not throw
+  EXPECT_EQ(daemon.stats().snapshots_quarantined, 1u);
+  EXPECT_FALSE(std::ifstream(snapshot_).good()) << "corrupt file left in the restart path";
+  EXPECT_TRUE(std::ifstream(snapshot_ + ".corrupt").good()) << "corrupt file not preserved";
+
+  // The daemon is healthy: serve, publish, and snapshot over the bad file's
+  // old path on graceful stop, after which a restart loads clean.
+  svc::ServiceClient client(client_config());
+  std::uint64_t lease = 0;
+  EXPECT_FALSE(client.acquire(42, &lease).has_value());
+  client.publish(42, lease, ok_results(0));
+  daemon.stop();
+
+  svc::EvalDaemon reborn(dc);
+  reborn.start();
+  EXPECT_EQ(reborn.stats().snapshots_quarantined, 0u);
+  svc::ServiceClient again(client_config());
+  EXPECT_TRUE(again.acquire(42, &lease).has_value());
+  reborn.stop();
 }
 
 TEST_F(DaemonTest, LeasesBalanceUnderInjectedChaos) {

@@ -2,6 +2,7 @@
 // every corruption mode a torn or hostile stream can exhibit, and payload
 // codec roundtrips (including the embedded encode_results bytes).
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -111,6 +112,59 @@ TEST_F(SocketPair, OversizedFrameIsError) {
   std::string error;
   EXPECT_EQ(svc::read_frame(b(), &got, &error), svc::ReadStatus::kError);
   EXPECT_NE(error.find("size"), std::string::npos) << error;
+}
+
+namespace {
+void set_recv_timeout_ms(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv), 0);
+}
+}  // namespace
+
+TEST_F(SocketPair, TimeoutBeforeAnyByteIsRetryableTimeout) {
+  // Deadline fires with nothing consumed: the stream is still frame-aligned,
+  // so the caller may retry the read on the same fd.
+  set_recv_timeout_ms(b(), 50);
+  svc::Frame got;
+  EXPECT_EQ(svc::read_frame(b(), &got), svc::ReadStatus::kTimeout);
+
+  // Prove the alignment claim: a full frame sent afterwards parses fine.
+  ASSERT_TRUE(svc::write_frame(a(), svc::MsgType::kStats, ""));
+  EXPECT_EQ(svc::read_frame(b(), &got), svc::ReadStatus::kOk);
+  EXPECT_EQ(got.type, svc::MsgType::kStats);
+}
+
+TEST_F(SocketPair, TimeoutMidHeaderIsError) {
+  // Half a header then silence: part of the stream is consumed when the
+  // deadline fires, so the connection is desynchronized — this must be
+  // kError (close the connection), never a retry-inviting kTimeout.
+  const char junk[10] = {'I', 'T', 'H', 'S', 'V', 'P', '1', '\0', 1, 0};
+  ASSERT_EQ(::send(a(), junk, sizeof junk, 0), static_cast<ssize_t>(sizeof junk));
+  set_recv_timeout_ms(b(), 50);
+  svc::Frame got;
+  std::string error;
+  EXPECT_EQ(svc::read_frame(b(), &got, &error), svc::ReadStatus::kError);
+  EXPECT_NE(error.find("timeout"), std::string::npos) << error;
+}
+
+TEST_F(SocketPair, TimeoutMidPayloadIsError) {
+  // A complete header promising 8 payload bytes that never arrive: the
+  // header is consumed, so even a payload deadline is a desync, not a
+  // retryable timeout.
+  std::string raw(32, '\0');
+  std::memcpy(raw.data(), "ITHSVP1\0", 8);
+  const std::uint32_t type = 4;  // kEvalAcquire
+  std::memcpy(raw.data() + 8, &type, sizeof type);
+  const std::uint64_t size = 8;
+  std::memcpy(raw.data() + 16, &size, sizeof size);
+  ASSERT_EQ(::send(a(), raw.data(), raw.size(), 0), static_cast<ssize_t>(raw.size()));
+  set_recv_timeout_ms(b(), 50);
+  svc::Frame got;
+  std::string error;
+  EXPECT_EQ(svc::read_frame(b(), &got, &error), svc::ReadStatus::kError);
+  EXPECT_NE(error.find("timeout"), std::string::npos) << error;
 }
 
 TEST(Protocol, HelloRoundtrip) {

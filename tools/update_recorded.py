@@ -8,9 +8,10 @@ import re, subprocess, sys, os
 # `fuzz_vm --emit-edge-corpus` / shrunk findings, never by this script.
 IGNORED_DIRS = ("tests/fuzz/corpus",)
 # Runtime litter from a local evaluation daemon / fleet run (sockets,
-# ITHEVC1 snapshots with their tmp+rename staging files): never this
-# script's output either.
-IGNORED_SUFFIXES = (".sock", ".evc", ".evc.tmp", ".bin.tmp", ".tmp")
+# ITHEVC1 snapshots with their tmp+rename staging files, corrupt
+# snapshots the daemon quarantined aside at start): never this script's
+# output either.
+IGNORED_SUFFIXES = (".sock", ".evc", ".evc.tmp", ".bin.tmp", ".tmp", ".corrupt")
 
 gens = os.environ.get("ITH_GA_GENERATIONS", "60")
 out = subprocess.run(["./build/bench/table4_tuned_params"], capture_output=True, text=True,
