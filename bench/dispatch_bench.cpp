@@ -14,6 +14,7 @@
 #include "runtime/icache.hpp"
 #include "runtime/interpreter.hpp"
 #include "runtime/machine.hpp"
+#include "serving/workloads.hpp"
 #include "support/error.hpp"
 #include "workloads/suite.hpp"
 
@@ -57,12 +58,19 @@ struct NamedProgram {
 
 /// Suite subset chosen for dispatch diversity: tight arithmetic loops
 /// (compress), global-heavy lookups (db), call-dense recursion (raytrace),
-/// branchy scanning (jack) — plus one generator program exercising the
-/// opcode-set corners none of the structured workloads reach.
+/// branchy scanning (jack) — plus the three serving workloads in batch mode
+/// (the latency tier that feels dispatch speed most directly; batch mode
+/// drives the same per-request handlers over the deterministic request
+/// tape, so it runs as a plain program) and one generator program
+/// exercising the opcode-set corners none of the structured workloads
+/// reach.
 std::vector<NamedProgram> dispatch_programs(const DispatchBenchConfig& config) {
   std::vector<NamedProgram> out;
   for (const char* name : {"compress", "db", "raytrace", "jack"}) {
     out.push_back({name, wl::make_workload(name, config.run_scale).program});
+  }
+  for (const std::string& name : serving::serving_names()) {
+    out.push_back({name, serving::make_serving_workload(name, serving::ServingMode::kBatch).program});
   }
   fuzz::GeneratorSpec spec;
   spec.seed = config.fuzz_seed;

@@ -90,8 +90,9 @@ std::map<std::string, double> baseline_workload_speedups(const ith::JsonValue& d
 }
 
 void print_guard_breakdown(const std::vector<ith::bench::DispatchMeasurement>& results,
-                           const std::map<std::string, double>& recorded) {
-  std::cerr << "per-workload speedup (fast / reference), current vs recorded:\n";
+                           const std::map<std::string, double>& recorded,
+                           const std::string& variant) {
+  std::cerr << "per-workload speedup (" << variant << " / reference), current vs recorded:\n";
   std::map<std::string, double> fast_ips, ref_ips;
   for (const auto& m : results) {
     if (m.engine == "fast") fast_ips[m.workload] = m.insns_per_sec;
@@ -155,9 +156,15 @@ int main(int argc, char** argv) {
                 << " (fusion " << ith::rt::fusion_policy_name(ith::rt::default_fusion_policy())
                 << ", floor " << floor << ", tolerance " << tolerance * 100 << "%)\n";
       if (current < floor) {
-        std::cerr << "micro_dispatch: fast-engine speedup regressed below the guard floor\n";
-        print_guard_breakdown(
-            results, baseline_workload_speedups(doc, fusion_off ? "fast-nofuse" : "fast"));
+        // Name the variant that regressed and the exact recorded-vs-measured
+        // pair: a CI log must identify the failing engine leg without
+        // rerunning locally.
+        const std::string variant = fusion_off ? "fast-nofuse" : "fast";
+        std::cerr << "micro_dispatch: engine variant '" << variant
+                  << "' regressed below the guard floor: recorded geomean " << baseline
+                  << "x, measured " << current << "x (floor " << floor << ", ITH_FUSION="
+                  << ith::rt::fusion_policy_name(ith::rt::default_fusion_policy()) << ")\n";
+        print_guard_breakdown(results, baseline_workload_speedups(doc, variant), variant);
         return 1;
       }
       std::cout << "guard: OK\n";

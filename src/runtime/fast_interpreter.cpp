@@ -23,8 +23,10 @@
 
 #if defined(__GNUC__) || defined(__clang__)
 #define ITH_ALWAYS_INLINE __attribute__((always_inline))
+#define ITH_LIKELY(x) __builtin_expect(!!(x), 1)
 #else
 #define ITH_ALWAYS_INLINE
+#define ITH_LIKELY(x) (x)
 #endif
 
 namespace ith::rt {
@@ -92,7 +94,7 @@ FastInterpreter::EnterState FastInterpreter::call_into(bc::MethodId id, std::int
         resilience::BudgetKind::kArena,
         "interpreter: arena budget exceeded (locals + operand stack)");
   }
-  return {body.code.data(), locals_.data() + locals_base, stack_.data(), sp};
+  return {body.code.data(), locals_.data() + locals_base, stack_.data(), sp, body.pool.data()};
 }
 
 bool FastInterpreter::try_osr(std::size_t target, std::size_t sp, ExecStats& stats,
@@ -123,7 +125,8 @@ bool FastInterpreter::try_osr(std::size_t target, std::size_t sp, ExecStats& sta
   ensure_stack(fr.stack_floor + static_cast<std::size_t>(body.max_operand_depth) + 1);
   fr.pb = &body;
   ++stats.osr_transitions;
-  out = {body.code.data() + j, locals_.data() + fr.locals_base, stack_.data(), sp};
+  out = {body.code.data() + j, locals_.data() + fr.locals_base, stack_.data(), sp,
+         body.pool.data()};
   return true;
 }
 
@@ -147,7 +150,7 @@ ExecStats FastInterpreter::run() {
   std::uint64_t remaining = budget_steps;
 
 #if ITH_COMPUTED_GOTO
-  static_assert(kNumXOps == 46, "update kLabels when the extended instruction set changes");
+  static_assert(kNumXOps == 101, "update kLabels when the extended instruction set changes");
   static const void* const kLabels[kNumXOps] = {
       // bc::Op mirror region (unfused dispatch)
       &&lbl_kConst, &&lbl_kLoad,  &&lbl_kStore, &&lbl_kAdd,    &&lbl_kSub,  &&lbl_kMul,
@@ -163,7 +166,29 @@ ExecStats FastInterpreter::run() {
       &&lbl_kFLoadConstCmpLeJz, &&lbl_kFLoadConstCmpLeJnz,
       &&lbl_kFLoadConstCmpEqJz, &&lbl_kFLoadConstCmpEqJnz,
       &&lbl_kFLoadConstCmpNeJz, &&lbl_kFLoadConstCmpNeJnz,
-      &&lbl_kFRetChained};
+      &&lbl_kFRetChained,
+      // immediate-operand fused forms
+      &&lbl_kFAddImm, &&lbl_kFSubImm, &&lbl_kFMulImm,
+      &&lbl_kFLoadLoadAddImm, &&lbl_kFLoadLoadSubImm, &&lbl_kFLoadLoadMulImm,
+      &&lbl_kFCmpLtJzImm, &&lbl_kFCmpLtJnzImm, &&lbl_kFCmpLeJzImm, &&lbl_kFCmpLeJnzImm,
+      &&lbl_kFCmpEqJzImm, &&lbl_kFCmpEqJnzImm, &&lbl_kFCmpNeJzImm, &&lbl_kFCmpNeJnzImm,
+      &&lbl_kFLoadConstCmpLtJzImm, &&lbl_kFLoadConstCmpLtJnzImm,
+      &&lbl_kFLoadConstCmpLeJzImm, &&lbl_kFLoadConstCmpLeJnzImm,
+      &&lbl_kFLoadConstCmpEqJzImm, &&lbl_kFLoadConstCmpEqJnzImm,
+      &&lbl_kFLoadConstCmpNeJzImm, &&lbl_kFLoadConstCmpNeJnzImm,
+      &&lbl_kFIncLocal, &&lbl_kFDecLocal,
+      // statement forms (all immediate-only)
+      &&lbl_kFLoadAddK, &&lbl_kFLoadSubK, &&lbl_kFLoadMulK, &&lbl_kFLoadDivK,
+      &&lbl_kFLoadModK,
+      &&lbl_kFLocAddK, &&lbl_kFLocSubK, &&lbl_kFLocMulK, &&lbl_kFLocDivK,
+      &&lbl_kFLocModK,
+      &&lbl_kFLocAddLoc, &&lbl_kFLocSubLoc, &&lbl_kFLocMulLoc,
+      &&lbl_kFAddStore, &&lbl_kFSubStore, &&lbl_kFMulStore, &&lbl_kFDivStore,
+      &&lbl_kFModStore,
+      &&lbl_kFCopyLocal, &&lbl_kFConstStore, &&lbl_kFGLoadK,
+      &&lbl_kFDivImm, &&lbl_kFModImm,
+      &&lbl_kFKCmpLtJz, &&lbl_kFKCmpLtJnz, &&lbl_kFKCmpLeJz, &&lbl_kFKCmpLeJnz,
+      &&lbl_kFKCmpEqJz, &&lbl_kFKCmpEqJnz, &&lbl_kFKCmpNeJz, &&lbl_kFKCmpNeJnz};
 #endif
 
   // Current-frame state, mirrored from frames_.back() into locals so the
@@ -176,6 +201,11 @@ ExecStats FastInterpreter::run() {
   std::int64_t* loc = nullptr;
   std::int64_t* stk = stack_.data();
   std::size_t sp = 0;
+  // The current body's operand side-pool base: immediate fused heads index
+  // it by their 16-bit handle, so their handlers read nothing but the head
+  // entry and one pool record. Reloaded wherever ip changes bodies (call,
+  // return, OSR) — same discipline as loc.
+  const FusedWindow* pool = nullptr;
 
 #if ITH_COMPUTED_GOTO
   const void* const* const labels = kLabels;
@@ -192,22 +222,28 @@ ExecStats FastInterpreter::run() {
   // probe as the reference engine's exact byte address. Must inline into
   // every handler tail: called once per dynamic instruction, and GCC's
   // many-call-sites heuristic otherwise outlines it into a real call.
-  auto account = [&](const PredecodedInsn& pi) ITH_ALWAYS_INLINE {
-    if (ic != nullptr && pi.line != current_line) {
-      current_line = pi.line;
+  // `account_at` is the raw (cost, line) form so immediate fused handlers
+  // can feed it from their side-pool record — same probe, same IEEE
+  // addition, same budget decrement as accounting the interior entry would
+  // have been, without the interior cache-line touch.
+  auto account_at = [&](double cost, std::uint64_t line) ITH_ALWAYS_INLINE {
+    if (ic != nullptr && line != current_line) {
+      current_line = line;
       ++stats.icache_probes;
-      if (!ic->probe(pi.line * machine_.icache_line_bytes)) {
+      if (!ic->probe(line * machine_.icache_line_bytes)) {
         ++stats.icache_misses;
         cycles += static_cast<double>(machine_.icache_miss_cycles);
       }
     }
-    cycles += pi.base_cost;
+    cycles += cost;
     if (--remaining == 0) {
       throw resilience::BudgetExceededError(
           resilience::BudgetKind::kInstructions,
           "interpreter: instruction budget exceeded (runaway program?)");
     }
   };
+  auto account = [&](const PredecodedInsn& pi)
+                     ITH_ALWAYS_INLINE { account_at(pi.base_cost, pi.line); };
 
   {
     const EnterState st = call_into(prog_.entry(), 0, sp, stats, labels);
@@ -215,6 +251,7 @@ ExecStats FastInterpreter::run() {
     loc = st.loc;
     stk = st.stk;
     sp = st.sp;
+    pool = st.pool;
   }
 
 #if ITH_COMPUTED_GOTO
@@ -250,17 +287,21 @@ ExecStats FastInterpreter::run() {
 #endif  // ITH_COMPUTED_GOTO
 
 // Taken-branch tail shared by the plain jump handlers and every fused
-// cmp+branch form. The branch instruction lives at ip[OFF] (OFF > 0 when a
-// fused head carries a trailing branch component); a non-positive delta is
-// a back edge — profile tick plus OSR window — exactly as in the reference
-// engine, with the target computed relative to the branch's own pc.
+// cmp+branch form. The branch component's pc is ip[OFF] (OFF > 0 when a
+// fused head carries a trailing branch component) and DELTA is its
+// pc-relative jump delta — read from the interior entry by the plain
+// forms, passed as a captured value (head `b` slot or side-pool `extra`)
+// by the immediate forms, which is why the delta is a macro parameter and
+// the target is computed by pointer arithmetic alone. A non-positive delta
+// is a back edge — profile tick plus OSR window — exactly as in the
+// reference engine.
 //
 // Plain block, NOT do{}while(0): in dense-switch mode ITH_DISPATCH() is a
 // `continue` that must reach the dispatch for-loop — a do-while wrapper
 // would swallow it and fall out of the macro into the next case label.
-#define ITH_TAKEN_BRANCH(OFF)                                                  \
+#define ITH_TAKEN_BRANCH_D(OFF, DELTA)                                         \
   {                                                                            \
-    const std::int32_t d = (ip + (OFF))->a;                                    \
+    const std::int32_t d = (DELTA);                                            \
     if (d <= 0) {                                                              \
       const PredecodedBody& body = *frames_.back().pb;                         \
       source_.on_back_edge(body.cm->method_id);                                \
@@ -272,6 +313,7 @@ ExecStats FastInterpreter::run() {
         loc = st.loc;                                                          \
         stk = st.stk;                                                          \
         sp = st.sp;                                                            \
+        pool = st.pool;                                                        \
         current_line = ~0ULL;                                                  \
         ITH_DISPATCH();                                                        \
       }                                                                        \
@@ -279,6 +321,7 @@ ExecStats FastInterpreter::run() {
     ip += (OFF) + d;                                                           \
     ITH_DISPATCH();                                                            \
   }
+#define ITH_TAKEN_BRANCH(OFF) ITH_TAKEN_BRANCH_D(OFF, (ip + (OFF))->a)
 
       ITH_CASE(kConst) {
         stk[sp++] = ip->a;
@@ -380,6 +423,7 @@ ExecStats FastInterpreter::run() {
         loc = st.loc;
         stk = st.stk;
         sp = st.sp;
+        pool = st.pool;
         current_line = ~0ULL;  // control transferred: next account probes callee
         ITH_DISPATCH();
       }
@@ -403,6 +447,7 @@ ExecStats FastInterpreter::run() {
         const FastFrame& fr = frames_.back();
         ip = fr.resume;
         loc = locals_.data() + fr.locals_base;  // shrink never reallocates
+        pool = fr.pb->pool.data();
         if (ip->xop == XOp::kFRetChained) {
           // The caller immediately returns our value: account the chained
           // kRet exactly as a dispatch would (probe + cost + budget), then
@@ -541,6 +586,390 @@ ExecStats FastInterpreter::run() {
       ITH_CASE(kFLoadConstCmpNeJz) { ITH_FUSED_GUARD(!=, false); }
       ITH_CASE(kFLoadConstCmpNeJnz) { ITH_FUSED_GUARD(!=, true); }
 
+      // ---- immediate-operand fused forms ----
+      //
+      // Same cost-conservation rule as above, but the per-component
+      // accounting data comes from the window's side-pool record and the
+      // operands from the head's own slots: a fused dispatch touches the
+      // 40-byte head entry plus one pool record, never the interiors. The
+      // interiors still exist with their mirror xops for control transfers
+      // landing mid-window — they are retired from the hot path, not from
+      // the body.
+
+// Batched window accounting. Within a captured window every icache-probe
+// decision is static: after component k-1's account the running line IS
+// component k-1's line, so probe_mask == 0 proves no interior component can
+// probe (and with no ICache attached nothing probes at all). When the budget
+// also cannot trip inside the window (remaining > N), accounting reduces to
+// N bare cost additions — applied to `cycles` one at a time, in the same
+// IEEE order account_at would — plus ONE budget decrement. This batch is
+// where the immediate forms beat the serial probe/trap-checked chain. Any
+// other case takes the exact per-component path, so probes, cycle streams,
+// and the budget trip point stay bit-identical to unfused execution.
+#define ITH_ACCOUNT_WINDOW_1(W)                                                \
+  if (ITH_LIKELY((ic == nullptr || (W).probe_mask == 0) && remaining > 1)) {   \
+    cycles += (W).cost[0];                                                     \
+    remaining -= 1;                                                            \
+  } else {                                                                     \
+    account_at((W).cost[0], (W).line[0]);                                      \
+  }
+#define ITH_ACCOUNT_WINDOW_2(W)                                                \
+  if (ITH_LIKELY((ic == nullptr || (W).probe_mask == 0) && remaining > 2)) {   \
+    cycles += (W).cost[0];                                                     \
+    cycles += (W).cost[1];                                                     \
+    remaining -= 2;                                                            \
+  } else {                                                                     \
+    account_at((W).cost[0], (W).line[0]);                                      \
+    account_at((W).cost[1], (W).line[1]);                                      \
+  }
+#define ITH_ACCOUNT_WINDOW_3(W)                                                \
+  if (ITH_LIKELY((ic == nullptr || (W).probe_mask == 0) && remaining > 3)) {   \
+    cycles += (W).cost[0];                                                     \
+    cycles += (W).cost[1];                                                     \
+    cycles += (W).cost[2];                                                     \
+    remaining -= 3;                                                            \
+  } else {                                                                     \
+    account_at((W).cost[0], (W).line[0]);                                      \
+    account_at((W).cost[1], (W).line[1]);                                      \
+    account_at((W).cost[2], (W).line[2]);                                      \
+  }
+
+// The mirror handlers' arithmetic, as expression macros so the statement
+// forms below can't drift from them. Wrapping math runs in unsigned space
+// (signed overflow would be UB); division is total. Operands must be
+// side-effect-free lvalues — several expand more than once.
+#define ITH_WRAP_ADD(L, R)                                                   \
+  static_cast<std::int64_t>(static_cast<std::uint64_t>(L) +                  \
+                            static_cast<std::uint64_t>(R))
+#define ITH_WRAP_SUB(L, R)                                                   \
+  static_cast<std::int64_t>(static_cast<std::uint64_t>(L) -                  \
+                            static_cast<std::uint64_t>(R))
+#define ITH_WRAP_MUL(L, R)                                                   \
+  static_cast<std::int64_t>(static_cast<std::uint64_t>(L) *                  \
+                            static_cast<std::uint64_t>(R))
+#define ITH_TOTAL_DIV(L, R)                                                  \
+  ((R) == 0 ? 0                                                              \
+   : (R) == -1                                                               \
+       ? static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(L))        \
+       : (L) / (R))
+#define ITH_TOTAL_MOD(L, R) (((R) == 0 || (R) == -1) ? 0 : (L) % (R))
+
+#define ITH_FUSED_CMP_BRANCH_IMM(CMP, TAKEN_ON)                             \
+  {                                                                         \
+    const FusedWindow& w = pool[ip->imm];                                   \
+    ITH_ACCOUNT_WINDOW_1(w);                                                \
+    sp -= 2;                                                                \
+    if ((stk[sp] CMP stk[sp + 1]) == (TAKEN_ON)) ITH_TAKEN_BRANCH_D(1, ip->b); \
+    ip += 2;                                                                \
+    ITH_DISPATCH();                                                         \
+  }
+
+#define ITH_FUSED_GUARD_IMM(CMP, TAKEN_ON)                                  \
+  {                                                                         \
+    const FusedWindow& w = pool[ip->imm];                                   \
+    ITH_ACCOUNT_WINDOW_3(w);                                                \
+    if ((loc[ip->a] CMP static_cast<std::int64_t>(ip->b)) == (TAKEN_ON))    \
+      ITH_TAKEN_BRANCH_D(3, w.extra);                                       \
+    ip += 4;                                                                \
+    ITH_DISPATCH();                                                         \
+  }
+
+// `const k; cmp; branch` with the selector already on the stack: pop it,
+// compare against the head's own operand, branch by the captured delta.
+#define ITH_FUSED_K_CMP_BRANCH(CMP, TAKEN_ON)                               \
+  {                                                                         \
+    const FusedWindow& w = pool[ip->imm];                                   \
+    ITH_ACCOUNT_WINDOW_2(w);                                                \
+    --sp;                                                                   \
+    if ((stk[sp] CMP static_cast<std::int64_t>(ip->a)) == (TAKEN_ON))       \
+      ITH_TAKEN_BRANCH_D(2, ip->b);                                         \
+    ip += 3;                                                                \
+    ITH_DISPATCH();                                                         \
+  }
+
+      ITH_CASE(kFAddImm) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        stk[sp - 1] = ITH_WRAP_ADD(stk[sp - 1], ip->a);
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFSubImm) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        stk[sp - 1] = ITH_WRAP_SUB(stk[sp - 1], ip->a);
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFMulImm) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        stk[sp - 1] = ITH_WRAP_MUL(stk[sp - 1], ip->a);
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLoadLoadAddImm) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_2(w);
+        stk[sp++] = ITH_WRAP_ADD(loc[ip->a], loc[ip->b]);
+        ip += 3;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLoadLoadSubImm) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_2(w);
+        stk[sp++] = ITH_WRAP_SUB(loc[ip->a], loc[ip->b]);
+        ip += 3;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLoadLoadMulImm) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_2(w);
+        stk[sp++] = ITH_WRAP_MUL(loc[ip->a], loc[ip->b]);
+        ip += 3;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFCmpLtJzImm) { ITH_FUSED_CMP_BRANCH_IMM(<, false); }
+      ITH_CASE(kFCmpLtJnzImm) { ITH_FUSED_CMP_BRANCH_IMM(<, true); }
+      ITH_CASE(kFCmpLeJzImm) { ITH_FUSED_CMP_BRANCH_IMM(<=, false); }
+      ITH_CASE(kFCmpLeJnzImm) { ITH_FUSED_CMP_BRANCH_IMM(<=, true); }
+      ITH_CASE(kFCmpEqJzImm) { ITH_FUSED_CMP_BRANCH_IMM(==, false); }
+      ITH_CASE(kFCmpEqJnzImm) { ITH_FUSED_CMP_BRANCH_IMM(==, true); }
+      ITH_CASE(kFCmpNeJzImm) { ITH_FUSED_CMP_BRANCH_IMM(!=, false); }
+      ITH_CASE(kFCmpNeJnzImm) { ITH_FUSED_CMP_BRANCH_IMM(!=, true); }
+      ITH_CASE(kFLoadConstCmpLtJzImm) { ITH_FUSED_GUARD_IMM(<, false); }
+      ITH_CASE(kFLoadConstCmpLtJnzImm) { ITH_FUSED_GUARD_IMM(<, true); }
+      ITH_CASE(kFLoadConstCmpLeJzImm) { ITH_FUSED_GUARD_IMM(<=, false); }
+      ITH_CASE(kFLoadConstCmpLeJnzImm) { ITH_FUSED_GUARD_IMM(<=, true); }
+      ITH_CASE(kFLoadConstCmpEqJzImm) { ITH_FUSED_GUARD_IMM(==, false); }
+      ITH_CASE(kFLoadConstCmpEqJnzImm) { ITH_FUSED_GUARD_IMM(==, true); }
+      ITH_CASE(kFLoadConstCmpNeJzImm) { ITH_FUSED_GUARD_IMM(!=, false); }
+      ITH_CASE(kFLoadConstCmpNeJnzImm) { ITH_FUSED_GUARD_IMM(!=, true); }
+      // The counted-loop increment/decrement: loc[a] op= b with zero
+      // operand-stack traffic. Accounting order (load, const, arith) runs
+      // before the store's account, and the local is only written after all
+      // four components are accounted — so a budget trap mid-window leaves
+      // loc untouched, exactly like the unfused stream whose kStore is the
+      // last component.
+      ITH_CASE(kFIncLocal) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_3(w);
+        loc[ip->a] = ITH_WRAP_ADD(loc[ip->a], ip->b);
+        ip += 4;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFDecLocal) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_3(w);
+        loc[ip->a] = ITH_WRAP_SUB(loc[ip->a], ip->b);
+        ip += 4;
+        ITH_DISPATCH();
+      }
+      // ---- statement forms ----
+      //
+      // Same discipline throughout: account the whole window first (batched
+      // when legal, exact otherwise), then compute with the mirror handlers'
+      // expressions, then write. Locals and globals are only mutated after
+      // every component is accounted, so a budget trap mid-window observes
+      // the same heap/locals state as the unfused stream whose writing
+      // component is last.
+      ITH_CASE(kFLoadAddK) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_2(w);
+        stk[sp++] = ITH_WRAP_ADD(loc[ip->a], ip->b);
+        ip += 3;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLoadSubK) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_2(w);
+        stk[sp++] = ITH_WRAP_SUB(loc[ip->a], ip->b);
+        ip += 3;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLoadMulK) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_2(w);
+        stk[sp++] = ITH_WRAP_MUL(loc[ip->a], ip->b);
+        ip += 3;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLoadDivK) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_2(w);
+        const std::int64_t lhs = loc[ip->a];
+        const std::int64_t rhs = ip->b;
+        stk[sp++] = ITH_TOTAL_DIV(lhs, rhs);
+        ip += 3;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLoadModK) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_2(w);
+        const std::int64_t lhs = loc[ip->a];
+        const std::int64_t rhs = ip->b;
+        stk[sp++] = ITH_TOTAL_MOD(lhs, rhs);
+        ip += 3;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLocAddK) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_3(w);
+        loc[w.extra] = ITH_WRAP_ADD(loc[ip->a], ip->b);
+        ip += 4;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLocSubK) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_3(w);
+        loc[w.extra] = ITH_WRAP_SUB(loc[ip->a], ip->b);
+        ip += 4;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLocMulK) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_3(w);
+        loc[w.extra] = ITH_WRAP_MUL(loc[ip->a], ip->b);
+        ip += 4;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLocDivK) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_3(w);
+        const std::int64_t lhs = loc[ip->a];
+        const std::int64_t rhs = ip->b;
+        loc[w.extra] = ITH_TOTAL_DIV(lhs, rhs);
+        ip += 4;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLocModK) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_3(w);
+        const std::int64_t lhs = loc[ip->a];
+        const std::int64_t rhs = ip->b;
+        loc[w.extra] = ITH_TOTAL_MOD(lhs, rhs);
+        ip += 4;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLocAddLoc) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_3(w);
+        loc[w.extra] = ITH_WRAP_ADD(loc[ip->a], loc[ip->b]);
+        ip += 4;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLocSubLoc) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_3(w);
+        loc[w.extra] = ITH_WRAP_SUB(loc[ip->a], loc[ip->b]);
+        ip += 4;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFLocMulLoc) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_3(w);
+        loc[w.extra] = ITH_WRAP_MUL(loc[ip->a], loc[ip->b]);
+        ip += 4;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFAddStore) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        sp -= 2;
+        loc[ip->b] = ITH_WRAP_ADD(stk[sp], stk[sp + 1]);
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFSubStore) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        sp -= 2;
+        loc[ip->b] = ITH_WRAP_SUB(stk[sp], stk[sp + 1]);
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFMulStore) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        sp -= 2;
+        loc[ip->b] = ITH_WRAP_MUL(stk[sp], stk[sp + 1]);
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFDivStore) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        sp -= 2;
+        const std::int64_t lhs = stk[sp];
+        const std::int64_t rhs = stk[sp + 1];
+        loc[ip->b] = ITH_TOTAL_DIV(lhs, rhs);
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFModStore) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        sp -= 2;
+        const std::int64_t lhs = stk[sp];
+        const std::int64_t rhs = stk[sp + 1];
+        loc[ip->b] = ITH_TOTAL_MOD(lhs, rhs);
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFCopyLocal) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        loc[ip->b] = loc[ip->a];
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFConstStore) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        loc[ip->b] = ip->a;
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFGLoadK) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        if (gsize == 0) {
+          stk[sp++] = 0;
+        } else {
+          const auto g = static_cast<std::int64_t>(gsize);
+          const std::int64_t idx = ip->a;
+          stk[sp++] = gbl[static_cast<std::size_t>(((idx % g) + g) % g)];
+        }
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFDivImm) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        const std::int64_t lhs = stk[sp - 1];
+        const std::int64_t rhs = ip->a;
+        stk[sp - 1] = ITH_TOTAL_DIV(lhs, rhs);
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFModImm) {
+        const FusedWindow& w = pool[ip->imm];
+        ITH_ACCOUNT_WINDOW_1(w);
+        const std::int64_t lhs = stk[sp - 1];
+        const std::int64_t rhs = ip->a;
+        stk[sp - 1] = ITH_TOTAL_MOD(lhs, rhs);
+        ip += 2;
+        ITH_DISPATCH();
+      }
+      ITH_CASE(kFKCmpLtJz) { ITH_FUSED_K_CMP_BRANCH(<, false); }
+      ITH_CASE(kFKCmpLtJnz) { ITH_FUSED_K_CMP_BRANCH(<, true); }
+      ITH_CASE(kFKCmpLeJz) { ITH_FUSED_K_CMP_BRANCH(<=, false); }
+      ITH_CASE(kFKCmpLeJnz) { ITH_FUSED_K_CMP_BRANCH(<=, true); }
+      ITH_CASE(kFKCmpEqJz) { ITH_FUSED_K_CMP_BRANCH(==, false); }
+      ITH_CASE(kFKCmpEqJnz) { ITH_FUSED_K_CMP_BRANCH(==, true); }
+      ITH_CASE(kFKCmpNeJz) { ITH_FUSED_K_CMP_BRANCH(!=, false); }
+      ITH_CASE(kFKCmpNeJnz) { ITH_FUSED_K_CMP_BRANCH(!=, true); }
+
 #if !ITH_COMPUTED_GOTO
     }  // switch: every case dispatches or exits, control never falls out
   }
@@ -556,7 +985,19 @@ done:
 #undef ITH_DISPATCH
 #undef ITH_NEXT
 #undef ITH_TAKEN_BRANCH
+#undef ITH_TAKEN_BRANCH_D
 #undef ITH_FUSED_CMP_BRANCH
 #undef ITH_FUSED_GUARD
+#undef ITH_FUSED_CMP_BRANCH_IMM
+#undef ITH_FUSED_GUARD_IMM
+#undef ITH_FUSED_K_CMP_BRANCH
+#undef ITH_ACCOUNT_WINDOW_1
+#undef ITH_ACCOUNT_WINDOW_2
+#undef ITH_ACCOUNT_WINDOW_3
+#undef ITH_WRAP_ADD
+#undef ITH_WRAP_SUB
+#undef ITH_WRAP_MUL
+#undef ITH_TOTAL_DIV
+#undef ITH_TOTAL_MOD
 
 }  // namespace ith::rt

@@ -60,6 +60,11 @@ class FastInterpreter final : public Engine {
     std::int64_t* loc;
     std::int64_t* stk;
     std::size_t sp;
+    /// The entered body's operand side-pool base (immediate fused forms
+    /// index it by the head's 16-bit handle). Mirrored into the dispatch
+    /// loop alongside ip/loc so imm handlers reach their window in one
+    /// indexed load instead of chasing frames_.back().pb.
+    const FusedWindow* pool;
   };
 
   /// body_for + lazy threading: fills dispatch targets from `labels`

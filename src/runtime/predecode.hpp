@@ -92,11 +92,81 @@ enum class XOp : std::uint8_t {
   kFRetChained,  ///< the kRet of a caller-side {kCall, kRet} pair: the
                  ///< callee's return chains straight into this return
                  ///< without an indirect dispatch in between
+  // --- immediate-operand fused forms (DESIGN.md §14, "Immediate-operand
+  // forms"): the component operands AND the per-component accounting data
+  // (pre-folded cost, icache line) are captured into the head's free slots
+  // and the body's operand side-pool at predecode time, so a fused dispatch
+  // never touches the interior PredecodedInsn entries. The interiors still
+  // keep their mirror xops — control transfers landing mid-window execute
+  // unfused exactly as for the plain fused forms above, which stay as the
+  // pool-less fallback when a body exhausts the 16-bit handle space. ---
+  kFAddImm,             ///< kConst kAdd : top += imm (imm in head `a`)
+  kFSubImm,             ///< kConst kSub : top -= imm
+  kFMulImm,             ///< kConst kMul : top *= imm
+  kFLoadLoadAddImm,     ///< push(loc[a] + loc[b]) — both slots in the head
+  kFLoadLoadSubImm,
+  kFLoadLoadMulImm,
+  kFCmpLtJzImm,         ///< pop 2, compare, branch by the delta in head `b`
+  kFCmpLtJnzImm,
+  kFCmpLeJzImm,
+  kFCmpLeJnzImm,
+  kFCmpEqJzImm,
+  kFCmpEqJnzImm,
+  kFCmpNeJzImm,
+  kFCmpNeJnzImm,
+  kFLoadConstCmpLtJzImm,   ///< loop guard: slot in `a`, bound in `b`, the
+  kFLoadConstCmpLtJnzImm,  ///< branch delta in the side-pool record
+  kFLoadConstCmpLeJzImm,
+  kFLoadConstCmpLeJnzImm,
+  kFLoadConstCmpEqJzImm,
+  kFLoadConstCmpEqJnzImm,
+  kFLoadConstCmpNeJzImm,
+  kFLoadConstCmpNeJnzImm,
+  kFIncLocal,  ///< kLoad kConst kAdd kStore on ONE local: loc[a] += b, zero
+               ///< stack traffic — the counted-loop increment idiom
+  kFDecLocal,  ///< kLoad kConst kSub kStore on one local: loc[a] -= b
+  // --- statement forms: whole `push loc op k` / `x = y op z` shapes as one
+  // dispatch. The generated workloads compile every assignment statement to
+  // load/const/arith/store runs, so these retire most of a hot method's
+  // dispatches and ALL of its transient operand-stack traffic. Arithmetic
+  // uses the same wrap-mod-2^64 (and total div/mod) expressions as the
+  // mirror handlers, so values are bit-identical to unfused execution. ---
+  kFLoadAddK,   ///< kLoad kConst kAdd : push(loc[a] + b)
+  kFLoadSubK,   ///< kLoad kConst kSub : push(loc[a] - b)
+  kFLoadMulK,   ///< kLoad kConst kMul : push(loc[a] * b)
+  kFLoadDivK,   ///< kLoad kConst kDiv : push(loc[a] / b), total division
+  kFLoadModK,   ///< kLoad kConst kMod : push(loc[a] % b), total remainder
+  kFLocAddK,    ///< kLoad kConst kAdd kStore : loc[extra] = loc[a] + b
+  kFLocSubK,    ///< kLoad kConst kSub kStore : loc[extra] = loc[a] - b
+  kFLocMulK,    ///< kLoad kConst kMul kStore : loc[extra] = loc[a] * b
+  kFLocDivK,    ///< kLoad kConst kDiv kStore : loc[extra] = loc[a] / b
+  kFLocModK,    ///< kLoad kConst kMod kStore : loc[extra] = loc[a] % b
+  kFLocAddLoc,  ///< kLoad kLoad kAdd kStore : loc[extra] = loc[a] + loc[b]
+  kFLocSubLoc,  ///< kLoad kLoad kSub kStore : loc[extra] = loc[a] - loc[b]
+  kFLocMulLoc,  ///< kLoad kLoad kMul kStore : loc[extra] = loc[a] * loc[b]
+  kFAddStore,   ///< kAdd kStore : loc[b] = pop + pop — expression tails
+  kFSubStore,   ///< kSub kStore : loc[b] = pop - pop
+  kFMulStore,   ///< kMul kStore : loc[b] = pop * pop
+  kFDivStore,   ///< kDiv kStore : loc[b] = pop / pop, total division
+  kFModStore,   ///< kMod kStore : loc[b] = pop % pop, total remainder
+  kFCopyLocal,  ///< kLoad kStore : loc[b] = loc[a]
+  kFConstStore, ///< kConst kStore : loc[b] = a
+  kFGLoadK,     ///< kConst kGLoad : push(globals[a mod |globals|])
+  kFDivImm,     ///< kConst kDiv : top = top / a, total division
+  kFModImm,     ///< kConst kMod : top = top % a, total remainder
+  kFKCmpLtJz,   ///< kConst kCmpLt kJz : pop, compare against a, branch by b
+  kFKCmpLtJnz,  ///< (the dispatcher idiom `... const k; cmpeq; jz`)
+  kFKCmpLeJz,
+  kFKCmpLeJnz,
+  kFKCmpEqJz,
+  kFKCmpEqJnz,
+  kFKCmpNeJz,
+  kFKCmpNeJnz,
 };
 
 /// Number of extended opcodes (label-table size for the fast engine).
-inline constexpr int kNumXOps = static_cast<int>(XOp::kFRetChained) + 1;
-static_assert(kNumXOps == bc::kNumOps + 23, "fused opcode count drifted");
+inline constexpr int kNumXOps = static_cast<int>(XOp::kFKCmpNeJnz) + 1;
+static_assert(kNumXOps == bc::kNumOps + 78, "fused opcode count drifted");
 
 /// When the predecoder may fuse. The default comes from the ITH_FUSION
 /// environment variable (see default_fusion_policy) so the escape hatch
@@ -119,19 +189,69 @@ FusionPolicy default_fusion_policy();
 
 const char* fusion_policy_name(FusionPolicy policy);
 
-/// One fusion rule: an adjacent bc::Op pattern and the fused opcode that
-/// replaces the dispatch of the entry at `rewrite_at`. Rules are DATA — the
-/// scan in predecode() interprets this table; adding a pattern means adding
-/// a row here plus its handler in fast_interpreter.cpp, nothing else.
+/// One fusion rule: an adjacent bc::Op pattern, the fused opcode that
+/// replaces the dispatch of the entry at `rewrite_at`, and the
+/// operand-capture descriptor for the rule's immediate form. Rules are DATA
+/// — the scan in predecode() interprets this table; adding a pattern means
+/// adding a row here plus its handler in fast_interpreter.cpp, nothing
+/// else.
 struct FusionRule {
   const char* name;                  ///< stable id for stats/obs counters
   std::uint8_t len;                  ///< pattern length (2..kMaxFusionPatternLen)
   std::uint8_t rewrite_at;           ///< which component gets the fused xop
-  XOp fused;                         ///< replacement extended opcode
+  /// Pool-less fallback opcode: used when the immediate form cannot be
+  /// emitted (side-pool handle space exhausted). XOp::kNop marks an
+  /// imm-only rule (kFIncLocal/kFDecLocal) with no fallback — on overflow
+  /// the window is simply left unfused and the scan tries the next rule.
+  XOp fused;
+  /// Immediate-operand form (head/side-pool captured operands). Equal to
+  /// `fused` for rules without one (kFRetChained).
+  XOp fused_imm;
+  /// Operand capture, as data: the component index whose `a` operand is
+  /// folded into the head's `b` slot / the side-pool record's `extra` slot
+  /// when the immediate form is emitted (-1 = nothing to capture there).
+  /// The head's own `a` operand always stays in place.
+  std::int8_t capture_b;
+  std::int8_t capture_extra;
+  /// Operand-equality constraint: component whose `a` must equal component
+  /// 0's `a` for the rule to match at all (-1 = unconstrained). This is how
+  /// kFIncLocal requires the kLoad and the kStore to hit the same local.
+  std::int8_t require_same_a;
   std::array<bc::Op, 4> pattern;     ///< adjacent ops; only [0, len) matter
 };
 
 inline constexpr int kMaxFusionPatternLen = 4;
+
+/// Side-pool records one body can address: the handle riding in
+/// PredecodedInsn's padding is 16 bits wide, so windows past this many fall
+/// back to the pool-less fused form (counted as FusionStats::pool_overflows).
+inline constexpr std::size_t kMaxFusedWindowsPerBody = std::size_t{1} << 16;
+
+/// Side-pool record for one immediate-operand fused window: everything a
+/// fused handler needs about its non-head components, so dispatch retires
+/// the interior PredecodedInsn entries from the hot path entirely. `cost`
+/// and `line` are verbatim copies of components [1, len)'s pre-folded
+/// accounting fields, in original program order — the handler feeds them to
+/// the same per-component account() call the plain forms use, which is what
+/// keeps cycles (IEEE addition order), icache probes, and the budget trip
+/// point bit-identical to unfused execution. `extra` holds the one operand
+/// that fits in neither head slot: the branch component's pc-relative delta
+/// in the 4-long guard forms.
+/// Field order is hot-path layout: the batched accounting fast path reads
+/// cost[], extra, and probe_mask — all inside the record's first 32 bytes —
+/// while line[] is only touched on the exact per-component slow path.
+struct FusedWindow {
+  std::array<double, kMaxFusionPatternLen - 1> cost{};
+  std::int32_t extra = 0;
+  /// Bit k-1 set iff component k sits on a different icache line than
+  /// component k-1. Within a captured window every probe decision is
+  /// static (the running line after component k-1's account IS component
+  /// k-1's line), so probe_mask == 0 proves no interior component can probe
+  /// and the handler may take a batched accounting fast path: bare cost
+  /// additions plus one budget decrement, no per-component branches.
+  std::uint8_t probe_mask = 0;
+  std::array<std::uint64_t, kMaxFusionPatternLen - 1> line{};
+};
 
 /// The fusion pattern table, ordered longest-first so the scan's first
 /// match at a pc is the longest one.
@@ -146,7 +266,10 @@ struct FusionStats {
   std::uint64_t bodies_fused = 0;       ///< bodies where >= 1 rule fired
   std::uint64_t rules_fired = 0;        ///< total pattern matches rewritten
   std::uint64_t insns_fused = 0;        ///< dispatches eliminated: sum(len-1)
-  std::vector<std::uint64_t> rule_hits;  ///< indexed like fusion_rules()
+  std::uint64_t windows_imm = 0;        ///< windows rewritten to immediate forms
+  std::uint64_t pool_overflows = 0;     ///< imm-eligible windows past the handle space
+  std::vector<std::uint64_t> rule_hits;      ///< indexed like fusion_rules()
+  std::vector<std::uint64_t> rule_hits_imm;  ///< immediate-form subset, same index
 };
 
 /// One predecoded instruction, 40 bytes: the dispatch-critical fields
@@ -154,9 +277,12 @@ struct FusionStats {
 /// prefix of each entry. The simulated byte address is deliberately NOT
 /// stored — any address inside the line identifies the same line to the
 /// I-cache, so the engine probes with `line * icache_line_bytes`.
-/// Fusion lives entirely in the former tail padding (xop + fuse_len): a
-/// fused head reads its components' operands from the still-present
-/// interior entries, so no operand storage is added.
+/// Fusion lives entirely in the former tail padding (xop + fuse_len + imm):
+/// a PLAIN fused head reads its components' operands from the still-present
+/// interior entries; an IMMEDIATE fused head reads nothing but itself and
+/// its FusedWindow side-pool record — captured operands ride in `b` (the
+/// slot only kCall used, and no rule's head is a kCall) and the 16-bit pool
+/// handle in `imm`.
 struct PredecodedInsn {
   const void* target = nullptr;  ///< computed-goto label (engine fills lazily)
   double base_cost = 0.0;        ///< machine_words * cpi[tier], pre-folded
@@ -165,10 +291,12 @@ struct PredecodedInsn {
                                  ///< the pc-RELATIVE jump delta (target - pc), so
                                  ///< the dispatch loop never needs the code base
                                  ///< (back edge iff delta <= 0)
-  std::int32_t b = 0;            ///< kCall argument count
+  std::int32_t b = 0;            ///< kCall argument count; captured component
+                                 ///< operand on an immediate fused head
   bc::Op op = bc::Op::kNop;      ///< original opcode (pre-fusion identity)
   XOp xop = XOp::kNop;           ///< dispatch key: mirrors `op` unless fused
   std::uint8_t fuse_len = 1;     ///< entries this dispatch retires (1 unfused)
+  std::uint16_t imm = 0;         ///< side-pool handle (immediate heads only)
 };
 
 // The doc comment above promises 40 bytes and a stable dispatch-critical
@@ -180,6 +308,8 @@ static_assert(offsetof(PredecodedInsn, target) == 0 && offsetof(PredecodedInsn, 
               "dispatch-critical prefix (target, base_cost, line) reordered");
 static_assert(offsetof(PredecodedInsn, a) == 24 && offsetof(PredecodedInsn, b) == 28,
               "operand fields moved out of the fused handlers' expected slots");
+static_assert(offsetof(PredecodedInsn, imm) == 36,
+              "side-pool handle must ride in the former tail padding");
 
 /// A predecoded body plus everything the engine needs to enter a frame in
 /// O(1): the source CompiledMethod (for OSR / provenance lookups) and the
@@ -197,6 +327,12 @@ struct PredecodedBody {
   bool threaded = false;
   /// At least one fusion rule fired on this body.
   bool fused = false;
+  /// Operand side-pool for immediate-operand fused heads: one FusedWindow
+  /// per captured window, indexed by the head's 16-bit `imm` handle. Holds
+  /// verbatim copies of the interior components' (base_cost, line) pairs —
+  /// so immediate handlers account per component without touching interior
+  /// entries — plus the captured branch delta for guard windows.
+  std::vector<FusedWindow> pool;
 };
 
 /// Predecodes `cm` (which must be finalized and have code_base assigned,

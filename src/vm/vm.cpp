@@ -120,10 +120,14 @@ void VirtualMachine::publish_fusion_counters() {
   bump("rt.fused_bodies", fs->bodies_fused, fusion_reported_.bodies_fused);
   bump("rt.fused_rules_fired", fs->rules_fired, fusion_reported_.rules_fired);
   bump("rt.fused_insns_eliminated", fs->insns_fused, fusion_reported_.insns_fused);
+  bump("rt.fused_imm_windows", fs->windows_imm, fusion_reported_.windows_imm);
+  bump("rt.fused_imm_pool_overflows", fs->pool_overflows, fusion_reported_.pool_overflows);
   const std::vector<rt::FusionRule>& rules = rt::fusion_rules();
   for (std::size_t r = 0; r < rules.size(); ++r) {
     bump("rt.fused_rule." + std::string(rules[r].name), fs->rule_hits[r],
          fusion_reported_.rule_hits[r]);
+    bump("rt.fused_imm_rule." + std::string(rules[r].name), fs->rule_hits_imm[r],
+         fusion_reported_.rule_hits_imm[r]);
   }
 }
 

@@ -36,6 +36,12 @@ TEST(Corpus, ContainsTheSeededEdgeCases) {
   EXPECT_TRUE(has("fusion_backedge_interior"));
   EXPECT_TRUE(has("fusion_osr_midpattern"));
   EXPECT_TRUE(has("fusion_ret_chain"));
+  // Immediate-operand forms (PR 10): OSR landing mid-window of an imm
+  // guard, a back edge into the interior of an operand-captured window, and
+  // a loop whose branch delta/accounting data live in the side-pool.
+  EXPECT_TRUE(has("fusion_osr_imm_window"));
+  EXPECT_TRUE(has("fusion_backedge_imm_interior"));
+  EXPECT_TRUE(has("fusion_sidepool_operand"));
 }
 
 TEST(Corpus, EveryEntryVerifiesAndPassesTheOracle) {

@@ -40,6 +40,9 @@ TEST(Fusion, PredecodedInsnLayoutBudget) {
   EXPECT_EQ(offsetof(rt::PredecodedInsn, target), 0u);
   EXPECT_EQ(offsetof(rt::PredecodedInsn, base_cost), 8u);
   EXPECT_EQ(offsetof(rt::PredecodedInsn, line), 16u);
+  // The side-pool handle rides in the former tail padding: adding it must
+  // not have grown the entry or moved a hot field.
+  EXPECT_EQ(offsetof(rt::PredecodedInsn, imm), 36u);
 }
 
 TEST(Fusion, PatternTableIsWellFormed) {
@@ -51,23 +54,50 @@ TEST(Fusion, PatternTableIsWellFormed) {
     EXPECT_GE(rule.len, 2) << rule.name;
     EXPECT_LE(rule.len, rt::kMaxFusionPatternLen) << rule.name;
     EXPECT_LT(rule.rewrite_at, rule.len) << rule.name;
-    EXPECT_GE(static_cast<int>(rule.fused), bc::kNumOps) << rule.name << " maps to a mirror xop";
+    // The pool-less fallback must be a real fused xop — except for imm-only
+    // rules, where kNop means "leave unfused on pool overflow" and a
+    // distinct immediate form must exist.
+    if (rule.fused == rt::XOp::kNop) {
+      EXPECT_NE(rule.fused_imm, rule.fused) << rule.name << " has no form at all";
+    } else {
+      EXPECT_GE(static_cast<int>(rule.fused), bc::kNumOps) << rule.name << " maps to a mirror xop";
+    }
+    if (rule.fused_imm != rule.fused) {
+      EXPECT_GE(static_cast<int>(rule.fused_imm), bc::kNumOps)
+          << rule.name << " imm form maps to a mirror xop";
+      EXPECT_EQ(rule.rewrite_at, 0) << rule.name << ": imm capture assumes the head leads";
+    }
+    // Capture descriptors must address components inside the window.
+    EXPECT_LT(rule.capture_b, static_cast<std::int8_t>(rule.len)) << rule.name;
+    EXPECT_LT(rule.capture_extra, static_cast<std::int8_t>(rule.len)) << rule.name;
+    EXPECT_LT(rule.require_same_a, static_cast<std::int8_t>(rule.len)) << rule.name;
     // Longest-first ordering is what makes "first match wins" pick the
     // longest pattern.
-    if (r > 0) EXPECT_LE(rule.len, rules[r - 1].len) << rule.name;
+    if (r > 0) {
+      EXPECT_LE(rule.len, rules[r - 1].len) << rule.name;
+    }
   }
 }
 
 TEST(Fusion, RewritesHeadKeepsInterior) {
-  // square(x) = x * x is exactly the load+load+mul pattern.
+  // square(x) = x * x is exactly the load+load+mul pattern, which now
+  // rewrites to the immediate form: both slots in the head, accounting data
+  // in the side-pool record, interiors untouched.
   const bc::Program prog = test::make_loop_program(10);
   rt::FusionStats stats;
   const rt::PredecodedBody pb =
       predecode_method(prog, "square", rt::FusionPolicy::kAll, &stats);
   ASSERT_GE(pb.code.size(), 4u);
   EXPECT_TRUE(pb.fused);
-  EXPECT_EQ(pb.code[0].xop, rt::XOp::kFLoadLoadMul);
+  EXPECT_EQ(pb.code[0].xop, rt::XOp::kFLoadLoadMulImm);
   EXPECT_EQ(pb.code[0].fuse_len, 3);
+  EXPECT_EQ(pb.code[0].b, pb.code[1].a) << "second slot not captured into the head";
+  ASSERT_LT(pb.code[0].imm, pb.pool.size());
+  const rt::FusedWindow& w = pb.pool[pb.code[0].imm];
+  EXPECT_EQ(w.cost[0], pb.code[1].base_cost);
+  EXPECT_EQ(w.cost[1], pb.code[2].base_cost);
+  EXPECT_EQ(w.line[0], pb.code[1].line);
+  EXPECT_EQ(w.line[1], pb.code[2].line);
   // Interior entries keep their mirror identity (and original operands), so
   // any control transfer landing on them executes unfused.
   EXPECT_EQ(pb.code[1].xop, rt::XOp::kLoad);
@@ -76,6 +106,8 @@ TEST(Fusion, RewritesHeadKeepsInterior) {
   EXPECT_EQ(pb.code[0].op, bc::Op::kLoad);  // pre-fusion identity preserved
   EXPECT_EQ(stats.rules_fired, 1u);
   EXPECT_EQ(stats.insns_fused, 2u);
+  EXPECT_EQ(stats.windows_imm, 1u);
+  EXPECT_EQ(stats.pool_overflows, 0u);
 }
 
 TEST(Fusion, LoopGuardUsesLongestPattern) {
@@ -87,21 +119,33 @@ TEST(Fusion, LoopGuardUsesLongestPattern) {
   bool saw_guard = false;
   for (const rt::PredecodedInsn& pi : pb.code) {
     EXPECT_NE(pi.xop, rt::XOp::kFCmpLtJz) << "pair rule fired inside the guard window";
-    if (pi.xop == rt::XOp::kFLoadConstCmpLtJz) {
+    EXPECT_NE(pi.xop, rt::XOp::kFCmpLtJzImm) << "pair rule fired inside the guard window";
+    if (pi.xop == rt::XOp::kFLoadConstCmpLtJzImm) {
       saw_guard = true;
       EXPECT_EQ(pi.fuse_len, 4);
+      // Guard capture layout: slot in a (untouched), bound in b, branch
+      // delta in the pool record's extra.
+      EXPECT_EQ(pi.b, pb.code[static_cast<std::size_t>(&pi - pb.code.data()) + 1].a);
+      ASSERT_LT(pi.imm, pb.pool.size());
+      EXPECT_EQ(pb.pool[pi.imm].extra,
+                pb.code[static_cast<std::size_t>(&pi - pb.code.data()) + 3].a);
     }
   }
   EXPECT_TRUE(saw_guard);
   const auto& rules = rt::fusion_rules();
   std::uint64_t hits = 0;
+  std::uint64_t imm_hits = 0;
+  ASSERT_EQ(stats.rule_hits_imm.size(), rules.size());
   for (std::size_t r = 0; r < rules.size(); ++r) {
     hits += stats.rule_hits[r];
+    imm_hits += stats.rule_hits_imm[r];
+    EXPECT_LE(stats.rule_hits_imm[r], stats.rule_hits[r]) << rules[r].name;
     if (std::string(rules[r].name) == "load_const_cmplt_jz") {
       EXPECT_GE(stats.rule_hits[r], 1u);
     }
   }
   EXPECT_EQ(hits, stats.rules_fired) << "per-rule hits must sum to rules_fired";
+  EXPECT_EQ(imm_hits, stats.windows_imm) << "per-rule imm hits must sum to windows_imm";
 }
 
 TEST(Fusion, CallRetMarksCallerReturn) {
@@ -206,6 +250,88 @@ void expect_three_way_identical(const bc::Program& prog, const std::string& labe
   }
 }
 
+// --- immediate-operand forms: capture layout, the same-slot constraint,
+// --- and the pool-overflow fallback.
+
+TEST(Fusion, IncLocalCapturesTheCountedLoopIncrement) {
+  // The canonical counted-loop increment: load i; const 1; add; store i.
+  bc::ProgramBuilder pbuild("inc", 0);
+  auto& m = pbuild.method("main", 0, 1);
+  m.const_(4).store(0);
+  m.load(0).const_(3).add().store(0);
+  m.load(0).halt();
+  pbuild.entry("main");
+  const bc::Program prog = pbuild.build();
+  rt::FusionStats stats;
+  const rt::PredecodedBody pb = predecode_method(prog, "main", rt::FusionPolicy::kAll, &stats);
+  const rt::PredecodedInsn& head = pb.code[2];
+  EXPECT_EQ(head.xop, rt::XOp::kFIncLocal);
+  EXPECT_EQ(head.fuse_len, 4);
+  EXPECT_EQ(head.a, 0) << "slot";
+  EXPECT_EQ(head.b, 3) << "captured immediate";
+  ASSERT_LT(head.imm, pb.pool.size());
+  const rt::FusedWindow& w = pb.pool[head.imm];
+  for (std::size_t k = 1; k <= 3; ++k) {
+    EXPECT_EQ(w.cost[k - 1], pb.code[2 + k].base_cost);
+    EXPECT_EQ(w.line[k - 1], pb.code[2 + k].line);
+  }
+  // Interiors keep their mirrors for mid-window control transfers.
+  EXPECT_EQ(pb.code[3].xop, rt::XOp::kConst);
+  EXPECT_EQ(pb.code[4].xop, rt::XOp::kAdd);
+  EXPECT_EQ(pb.code[5].xop, rt::XOp::kStore);
+  EXPECT_EQ(test::run_exit_value(prog), 7);
+}
+
+TEST(Fusion, IncLocalRequiresTheSameSlot) {
+  // load 0 ... store 1 is NOT an increment, but it IS a whole assignment
+  // statement: the same-slot miss must fall through to the general
+  // loc_add_k rule, which captures all three operands (source slot in the
+  // head's a, immediate in b, destination slot in the window's extra).
+  bc::ProgramBuilder pbuild("notinc", 0);
+  auto& m = pbuild.method("main", 0, 2);
+  m.const_(4).store(0);
+  m.load(0).const_(3).add().store(1);
+  m.load(1).halt();
+  pbuild.entry("main");
+  const bc::Program prog = pbuild.build();
+  const rt::PredecodedBody pb = predecode_method(prog, "main", rt::FusionPolicy::kAll);
+  const rt::PredecodedInsn& head = pb.code[2];
+  EXPECT_EQ(head.xop, rt::XOp::kFLocAddK) << "same-slot miss must fall to loc_add_k";
+  EXPECT_EQ(head.a, 0) << "source slot";
+  EXPECT_EQ(head.b, 3) << "captured immediate";
+  ASSERT_LT(head.imm, pb.pool.size());
+  EXPECT_EQ(pb.pool[head.imm].extra, 1) << "captured destination slot";
+  EXPECT_EQ(test::run_exit_value(prog), 7);
+}
+
+TEST(Fusion, PoolOverflowFallsBackToPlainForms) {
+  // Exhaust the 16-bit handle space, then demand one more window of each
+  // kind: a rule with a plain form degrades to it, an imm-only rule leaves
+  // the window unfused (and its embedded pair gets picked up instead).
+  bc::ProgramBuilder pbuild("overflow", 0);
+  auto& m = pbuild.method("main", 0, 1);
+  m.const_(0);
+  for (std::size_t i = 0; i < rt::kMaxFusedWindowsPerBody; ++i) m.const_(1).add();
+  m.store(0);
+  m.load(0).const_(1).add().store(0);  // inc_local window past the pool
+  m.load(0).const_(1).add();           // const+add window past the pool
+  m.halt();
+  pbuild.entry("main");
+  const bc::Program prog = pbuild.build();
+  rt::FusionStats stats;
+  const rt::PredecodedBody pb = predecode_method(prog, "main", rt::FusionPolicy::kAll, &stats);
+  EXPECT_EQ(pb.pool.size(), rt::kMaxFusedWindowsPerBody);
+  EXPECT_EQ(stats.windows_imm, rt::kMaxFusedWindowsPerBody);
+  EXPECT_GE(stats.pool_overflows, 2u);
+  const std::size_t inc_head = 1 + 2 * rt::kMaxFusedWindowsPerBody + 1;
+  EXPECT_EQ(pb.code[inc_head].xop, rt::XOp::kLoad) << "imm-only rule must stay unfused";
+  EXPECT_EQ(pb.code[inc_head + 1].xop, rt::XOp::kFConstAdd) << "pool-less fallback missing";
+  EXPECT_EQ(pb.code[inc_head + 4].xop, rt::XOp::kLoad);
+  EXPECT_EQ(pb.code[inc_head + 5].xop, rt::XOp::kFConstAdd);
+  // Bit-identity holds even straddling the overflow boundary.
+  expect_three_way_identical(prog, "pool_overflow");
+}
+
 /// A back edge whose target is the INTERIOR of a fused 4-long guard window:
 /// the loop re-enters at the kCmpLt, so the fused head executes only on the
 /// fall-through entry and the interior entries must still run unfused.
@@ -254,6 +380,24 @@ bc::Program make_jump_into_window_program() {
   return pb.build();
 }
 
+/// A back edge into the interior of an operand-captured kFDecLocal window:
+/// the branch lands on the kConst component, so the decrement runs fused on
+/// fall-through and unfused (with live operand-stack input) when entered
+/// mid-window — the captured operands must never shadow the interiors.
+bc::Program make_backedge_into_inc_window_program() {
+  bc::ProgramBuilder pb("backedge_inc_interior", 0);
+  auto& m = pb.method("main", 0, 1);
+  m.const_(5).store(0);
+  m.load(0);       // window head: {kLoad, kConst, kSub, kStore} on slot 0
+  m.label("mid");  // lands on the kConst: interior of the captured window
+  m.const_(1).sub().store(0);
+  m.load(0).load(0).jnz("mid");  // i != 0: back edge into the window
+  m.pop();
+  m.load(0).halt();
+  pb.entry("main");
+  return pb.build();
+}
+
 /// Deep call+return chain: every frame returns straight into another return,
 /// so one dynamic kRet chains through the whole stack.
 bc::Program make_ret_chain_program() {
@@ -280,6 +424,7 @@ bc::Program make_ret_chain_program() {
 
 TEST(Fusion, AdversarialControlFlowIsBitIdentical) {
   expect_three_way_identical(make_backedge_into_window_program(), "backedge_interior");
+  expect_three_way_identical(make_backedge_into_inc_window_program(), "backedge_inc_interior");
   expect_three_way_identical(make_jump_into_window_program(), "jump_interior");
   expect_three_way_identical(make_ret_chain_program(), "ret_chain");
   expect_three_way_identical(test::make_loop_program(200), "guard_loop");
@@ -292,8 +437,9 @@ TEST(Fusion, AdversarialControlFlowIsBitIdentical) {
 // component, or unfused — swept across budgets so the trip point lands on
 // every offset within the fused windows.
 TEST(Fusion, BudgetTrapParityAcrossFusedWindows) {
-  const bc::Program prog = make_backedge_into_window_program();
-  for (std::uint64_t budget = 1; budget <= 60; ++budget) {
+  for (const bc::Program& prog :
+       {make_backedge_into_window_program(), make_backedge_into_inc_window_program()}) {
+    for (std::uint64_t budget = 1; budget <= 60; ++budget) {
     std::string outcome[3];
     int i = 0;
     const struct {
@@ -312,6 +458,7 @@ TEST(Fusion, BudgetTrapParityAcrossFusedWindows) {
     }
     EXPECT_EQ(outcome[0], outcome[1]) << "budget " << budget;
     EXPECT_EQ(outcome[1], outcome[2]) << "budget " << budget;
+    }
   }
 }
 
